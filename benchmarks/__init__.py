@@ -1,0 +1,1 @@
+"""Benchmark harnesses regenerating the paper's tables and figures."""

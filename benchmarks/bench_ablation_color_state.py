@@ -1,0 +1,85 @@
+"""Ablation: set-based color states vs per-path single-color commitment.
+
+The paper's key mechanism is keeping a *set* of candidate masks open during
+the search (color state) instead of committing to one mask per 2-pin path.
+This ablation compares Mr.TPL against the DAC-2012 baseline -- which is
+exactly the single-color-commitment variant -- on one mid-size case, and
+additionally quantifies the value of the paper's rip-up-and-reroute loop by
+running Mr.TPL with and without iterations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.baselines import Dac2012Router
+from repro.bench.suites import ispd18_suite
+from repro.eval import evaluate_solution
+from repro.gr import GlobalRouter
+from repro.grid import RoutingGrid
+from repro.tpl import MrTPLRouter
+
+
+def _route(case, router_factory, max_iterations):
+    design = case.build()
+    guides = GlobalRouter(design).route()
+    grid = RoutingGrid(design)
+    router = router_factory(design, grid, guides, max_iterations)
+    solution = router.run()
+    return evaluate_solution(design, grid, solution, guides)
+
+
+def test_color_state_vs_single_color(benchmark):
+    """Color-state search must beat per-2-pin color commitment on stitches."""
+    case = ispd18_suite(bench_scale(), cases=[3])[0]
+
+    def run_both():
+        ours = _route(
+            case,
+            lambda d, g, gu, it: MrTPLRouter(d, grid=g, guides=gu, use_global_router=False,
+                                             max_iterations=it),
+            max_iterations=3,
+        )
+        single = _route(
+            case,
+            lambda d, g, gu, it: Dac2012Router(d, grid=g, guides=gu, use_global_router=False,
+                                               max_iterations=it),
+            max_iterations=3,
+        )
+        return ours, single
+
+    ours, single = run_once(benchmark, run_both)
+    print()
+    print("Ablation: color-state search vs single-color 2-pin commitment")
+    print(f"  color states : conflicts={ours.conflicts} stitches={ours.stitches} "
+          f"runtime={ours.runtime_seconds:.2f}s")
+    print(f"  single color : conflicts={single.conflicts} stitches={single.stitches} "
+          f"runtime={single.runtime_seconds:.2f}s")
+    assert ours.stitches <= single.stitches
+    assert ours.conflicts <= single.conflicts
+
+
+def test_ripup_iterations_help(benchmark):
+    """The conflict-driven rip-up loop must not increase the conflict count."""
+    case = ispd18_suite(bench_scale(), cases=[3])[0]
+
+    def run_both():
+        no_rrr = _route(
+            case,
+            lambda d, g, gu, it: MrTPLRouter(d, grid=g, guides=gu, use_global_router=False,
+                                             max_iterations=it),
+            max_iterations=0,
+        )
+        with_rrr = _route(
+            case,
+            lambda d, g, gu, it: MrTPLRouter(d, grid=g, guides=gu, use_global_router=False,
+                                             max_iterations=it),
+            max_iterations=4,
+        )
+        return no_rrr, with_rrr
+
+    no_rrr, with_rrr = run_once(benchmark, run_both)
+    print()
+    print("Ablation: rip-up & reroute iterations (paper Fig. 2 outer loop)")
+    print(f"  0 iterations : conflicts={no_rrr.conflicts} stitches={no_rrr.stitches}")
+    print(f"  4 iterations : conflicts={with_rrr.conflicts} stitches={with_rrr.stitches}")
+    assert with_rrr.conflicts <= no_rrr.conflicts

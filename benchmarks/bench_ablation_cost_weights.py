@@ -1,0 +1,61 @@
+"""Ablation: sweep of the Eq. (1) cost weights (stitch weight beta, color weight gamma).
+
+The paper balances traditional cost, stitch cost and color-conflict cost
+with the weights alpha/beta/gamma.  This bench sweeps beta and gamma on one
+case and reports the conflict/stitch trade-off, verifying the two monotone
+relationships the cost model is designed around:
+
+* a zero color weight (gamma = 0) must not produce fewer conflicts than the
+  default weighting,
+* a very large stitch weight must not produce more stitches than a zero
+  stitch weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import bench_scale, run_once
+from repro.bench.suites import ispd18_suite
+from repro.eval import evaluate_solution
+from repro.gr import GlobalRouter
+from repro.grid import RoutingGrid
+from repro.tpl import MrTPLRouter
+
+
+def _route_with_weights(case, beta=None, gamma=None):
+    design = case.build()
+    rules = design.tech.rules
+    if beta is not None:
+        rules.beta = beta
+    if gamma is not None:
+        rules.gamma = gamma
+    guides = GlobalRouter(design).route()
+    grid = RoutingGrid(design)
+    router = MrTPLRouter(design, grid=grid, guides=guides, use_global_router=False,
+                         max_iterations=2)
+    solution = router.run()
+    return evaluate_solution(design, grid, solution, guides)
+
+
+def test_cost_weight_sweep(benchmark):
+    """Sweep beta/gamma and verify the expected monotone trade-offs."""
+    case = ispd18_suite(bench_scale(), cases=[2])[0]
+
+    def sweep():
+        return {
+            "default": _route_with_weights(case),
+            "no_color_cost": _route_with_weights(case, gamma=0.0),
+            "no_stitch_cost": _route_with_weights(case, beta=0.0),
+            "heavy_stitch_cost": _route_with_weights(case, beta=40.0),
+        }
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Ablation: Eq. (1) weight sweep")
+    for name, result in results.items():
+        print(f"  {name:<18s} conflicts={result.conflicts:<3d} stitches={result.stitches:<3d} "
+              f"cost={result.score:.0f}")
+
+    assert results["default"].conflicts <= results["no_color_cost"].conflicts
+    assert results["heavy_stitch_cost"].stitches <= results["no_stitch_cost"].stitches + 2

@@ -1,0 +1,46 @@
+"""Fig. 1: qualitative scenarios (unsolvable decomposition conflict, 2-pin stitch blow-up).
+
+* Scenario (a)/(b): four nets squeezed through a corridor -- decomposition of
+  the plainly routed layout versus Mr.TPL's routing-time coloring.
+* Scenario (c)/(d): a 4-pin net with pre-colored neighbours -- the 2-pin
+  DAC-2012 baseline versus Mr.TPL.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.eval import run_fig1_examples
+
+
+def test_fig1_scenarios(benchmark):
+    """Run both Fig. 1 scenarios and check the qualitative outcome."""
+    results = run_once(benchmark, run_fig1_examples, max_iterations=3)
+    by_name = {result.scenario: result for result in results}
+
+    cluster = by_name["fig1_dense_cluster"]
+    print()
+    print("Fig. 1(a)/(b): dense 4-net corridor")
+    print(
+        "  decomposition: %d conflicts / %d stitches"
+        % (cluster.conflicts("decomposition"), cluster.stitches("decomposition"))
+    )
+    print(
+        "  Mr.TPL:        %d conflicts / %d stitches"
+        % (cluster.conflicts("mr-tpl"), cluster.stitches("mr-tpl"))
+    )
+
+    multi = by_name["fig1_multi_pin_net"]
+    print("Fig. 1(c)/(d): 4-pin net with pre-colored neighbours")
+    print(
+        "  DAC-2012 (2-pin): %d conflicts / %d stitches"
+        % (multi.conflicts("dac2012"), multi.stitches("dac2012"))
+    )
+    print(
+        "  Mr.TPL:           %d conflicts / %d stitches"
+        % (multi.conflicts("mr-tpl"), multi.stitches("mr-tpl"))
+    )
+
+    # Mr.TPL never does worse than the alternatives on these micro scenarios.
+    assert cluster.conflicts("mr-tpl") <= cluster.conflicts("decomposition")
+    assert multi.conflicts("mr-tpl") <= multi.conflicts("dac2012")
+    assert multi.stitches("mr-tpl") <= multi.stitches("dac2012")

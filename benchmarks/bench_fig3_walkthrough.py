@@ -1,0 +1,27 @@
+"""Fig. 3: the 4-pin walk-through with two pre-colored obstacles.
+
+The fixed mask-2 (green) and mask-3 (blue) shapes must squeeze the color
+state of the routed path from ``111`` to ``101`` to ``100``; the walk-through
+is reproduced by routing the same layout and checking the resulting
+mask usage, stitches and conflicts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.eval import run_fig3_walkthrough
+from repro.tpl import MASK_NAMES
+
+
+def test_fig3_walkthrough(benchmark):
+    """Route the Fig. 3 design and verify the paper's qualitative outcome."""
+    result = run_once(benchmark, run_fig3_walkthrough, max_iterations=3)
+    print()
+    print("Fig. 3 walk-through (4-pin net, fixed mask-2 and mask-3 shapes)")
+    for color, count in sorted(result.colors_used.items()):
+        print(f"  vertices on {MASK_NAMES[color]:>5s} mask: {count}")
+    print(f"  stitches: {result.stitches}   conflicts: {result.conflicts}")
+
+    assert result.conflicts == 0, "the walk-through must end conflict-free"
+    assert result.evaluation.open_nets == 0
+    assert sum(result.colors_used.values()) > 0

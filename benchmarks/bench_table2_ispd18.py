@@ -1,0 +1,75 @@
+"""Table II: Mr.TPL vs the DAC-2012 TPL-aware router on the ISPD-2018-like suite.
+
+For every case the benchmark reports the same columns as the paper's
+Table II: conflicts, stitches, ISPD-style cost and runtime for the baseline
+([5], Ma et al. DAC 2012) and for Mr.TPL, plus the per-case improvement and
+speedup.  Run with ``pytest benchmarks/bench_table2_ispd18.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.suites import ispd18_suite
+from repro.eval import format_comparison_table, run_table2_case, summarize_table2
+from repro.eval.report import format_percent
+
+_COLUMNS = [
+    "case",
+    "baseline_conflicts",
+    "ours_conflicts",
+    "baseline_stitches",
+    "ours_stitches",
+    "baseline_cost",
+    "ours_cost",
+    "baseline_runtime",
+    "ours_runtime",
+    "speedup",
+]
+
+_ROWS = []
+
+
+def _case_ids(scale: float, cases):
+    return [case.name for case in ispd18_suite(scale, cases=cases)]
+
+
+def pytest_generate_tests(metafunc):
+    if "suite_case" in metafunc.fixturenames:
+        from benchmarks.conftest import bench_cases, bench_scale
+
+        suite = ispd18_suite(bench_scale(), cases=bench_cases())
+        metafunc.parametrize("suite_case", suite, ids=[case.name for case in suite])
+
+
+def test_table2_case(benchmark, suite_case):
+    """Route one ISPD-2018-like case with both routers and record the row."""
+    row = run_once(benchmark, run_table2_case, suite_case, max_iterations=3)
+    _ROWS.append(row)
+    assert row.ours.open_nets == 0
+    assert row.baseline.runtime_seconds > 0 and row.ours.runtime_seconds > 0
+
+
+def test_table2_summary_matches_paper_direction(benchmark):
+    """Aggregate the rows: Mr.TPL must win on conflicts, stitches and runtime."""
+    if not _ROWS:
+        pytest.skip("no Table II rows were collected")
+    summary = run_once(benchmark, summarize_table2, _ROWS)
+    print()
+    print("Table II (ISPD-2018-like suite) — baseline [5] vs Mr.TPL")
+    print(format_comparison_table([row.as_dict() for row in _ROWS], _COLUMNS))
+    print(
+        "avg conflict reduction:",
+        format_percent(summary["avg_conflict_improvement"]),
+        "| avg stitch reduction:",
+        format_percent(summary["avg_stitch_improvement"]),
+        "| avg cost reduction:",
+        format_percent(summary["avg_cost_improvement"]),
+        "| avg speedup: %.2fx (max %.2fx)"
+        % (summary["avg_speedup"], summary["max_speedup"]),
+    )
+    # Direction of the paper's headline claims.
+    assert summary["avg_conflict_improvement"] > 0
+    assert summary["avg_stitch_improvement"] > 0
+    assert summary["avg_speedup"] > 1.0

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: route a small synthetic design with Mr.TPL and score it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates an ISPD-2018-like benchmark case, runs global routing,
+routes it with the Mr.TPL color-state router, and prints the quality metrics
+(conflicts, stitches, wirelength, ISPD-style cost) plus a per-net summary.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ispd18_suite
+from repro.eval import evaluate_solution
+from repro.gr import GlobalRouter
+from repro.grid import RoutingGrid
+from repro.tpl import MASK_NAMES, MrTPLRouter
+
+
+def main() -> None:
+    # 1. Build a benchmark case (deterministic: same seed -> same design).
+    case = ispd18_suite(scale=0.6, cases=[2])[0]
+    design = case.build()
+    stats = design.statistics()
+    print(f"design {design.name}: {stats['routable_nets']} nets "
+          f"({stats['multi_pin_nets']} multi-pin), {stats['layers']} layers, "
+          f"{stats['die_width']}x{stats['die_height']} DBU")
+
+    # 2. Global routing produces the per-net guides Mr.TPL uses to bound the
+    #    color-cost region.
+    guides = GlobalRouter(design).route()
+    print(f"global routing: guides for {len(guides)} nets")
+
+    # 3. Detailed routing with color-state searching.
+    grid = RoutingGrid(design)
+    router = MrTPLRouter(design, grid=grid, guides=guides, use_global_router=False)
+    solution = router.run()
+
+    # 4. Score the result exactly as the benchmark tables do.
+    result = evaluate_solution(design, grid, solution, guides)
+    print(f"routed {result.routed_nets} nets in {result.runtime_seconds:.2f}s "
+          f"({result.iterations} rip-up iterations)")
+    print(f"conflicts={result.conflicts} stitches={result.stitches} "
+          f"wirelength={result.wirelength} vias={result.vias} cost={result.score:.0f}")
+
+    # 5. Inspect one multi-pin net: which masks did its segments land on?
+    sample = next(net for net in design.routable_nets() if net.is_multi_pin)
+    route = solution.route_of(sample.name)
+    usage = {0: 0, 1: 0, 2: 0}
+    for color in route.vertex_colors.values():
+        usage[color] += 1
+    masks = ", ".join(f"{MASK_NAMES[color]}={count}" for color, count in usage.items())
+    print(f"net {sample.name} ({sample.num_pins} pins): {route.wirelength()} wire units, "
+          f"{route.via_count()} vias, {route.stitch_count()} stitches, masks: {masks}")
+
+
+if __name__ == "__main__":
+    main()

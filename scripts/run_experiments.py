@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Run the Table II / Table III experiments and dump rows as they finish.
+
+Usage::
+
+    python scripts/run_experiments.py [scale] [max_cases]
+
+Rows are appended to ``experiment_results.jsonl`` in the repository root so a
+partially completed run is still usable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.suites import ispd18_suite, ispd19_suite
+from repro.eval.experiments import run_table2_case, run_table3_case
+
+OUT = Path(__file__).resolve().parent.parent / "experiment_results.jsonl"
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
+    max_cases = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    with OUT.open("a") as handle:
+        for case in ispd18_suite(scale, cases=list(range(1, max_cases + 1))):
+            row = run_table2_case(case, max_iterations=3)
+            record = {"table": "II", "scale": scale, **row.as_dict()}
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            print("T2", record, flush=True)
+        for case in ispd19_suite(scale, cases=list(range(1, max_cases + 1))):
+            row = run_table3_case(case, max_iterations=3)
+            record = {"table": "III", "scale": scale, **row.as_dict()}
+            record["decomposition_runtime"] = row.decomposition_runtime
+            record["ours_runtime"] = row.ours_runtime
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            print("T3", record, flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup script.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on offline machines whose
+setuptools/pip combination cannot build PEP 660 editable wheels (no ``wheel``
+package available).  In that situation use::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Mr.TPL reproduction: multi-pin net detailed routing for triple patterning.
+
+This package reproduces "Mr.TPL: A Method for Multi-Pin Net Router in Triple
+Patterning Lithography" (DAC 2025) as a self-contained Python library:
+
+* :mod:`repro.tpl` -- the Mr.TPL color-state router (the paper's contribution),
+* :mod:`repro.dr` -- the Dr.CU-like detailed routing substrate it plugs into,
+* :mod:`repro.gr` -- global routing and guides,
+* :mod:`repro.baselines` -- the DAC-2012 TPL router and an OpenMPL-like
+  layout decomposer used as comparison points,
+* :mod:`repro.bench` / :mod:`repro.eval` -- benchmark suites and the
+  harnesses regenerating the paper's tables and figures.
+
+Quickstart::
+
+    from repro.bench import ispd18_suite
+    from repro.grid import RoutingGrid
+    from repro.tpl import MrTPLRouter
+    from repro.eval import evaluate_solution
+
+    design = ispd18_suite(scale=0.6)[0].build()
+    grid = RoutingGrid(design)
+    solution = MrTPLRouter(design, grid=grid).run()
+    print(evaluate_solution(design, grid, solution).as_dict())
+"""
+
+from repro.design import Design, Net, Pin, Obstacle
+from repro.grid import RoutingGrid, RoutingSolution, NetRoute
+from repro.tpl import MrTPLRouter, ColorState
+from repro.dr import DetailedRouter
+from repro.baselines import Dac2012Router, LayoutDecomposer
+from repro.eval import evaluate_solution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "Net",
+    "Pin",
+    "Obstacle",
+    "RoutingGrid",
+    "RoutingSolution",
+    "NetRoute",
+    "MrTPLRouter",
+    "ColorState",
+    "DetailedRouter",
+    "Dac2012Router",
+    "LayoutDecomposer",
+    "evaluate_solution",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.dac2012` -- a reproduction of the TPL-aware routing
+  approach of Ma et al. (DAC 2012): the routing graph is expanded with one
+  plane per mask and nets are decomposed into independently routed 2-pin
+  connections whose colors are committed immediately (Table II comparator).
+* :mod:`repro.baselines.coloring` -- exact and heuristic 3-coloring of
+  conflict/stitch graphs.
+* :mod:`repro.baselines.decomposer` -- an OpenMPL-like layout decomposer
+  that colors an already-routed (unchanged) layout (Table III comparator).
+"""
+
+from repro.baselines.dac2012 import Dac2012Router
+from repro.baselines.coloring import (
+    ColoringProblem,
+    color_component_exact,
+    color_component_greedy,
+    solve_coloring,
+)
+from repro.baselines.decomposer import LayoutDecomposer, DecompositionResult
+
+__all__ = [
+    "Dac2012Router",
+    "ColoringProblem",
+    "color_component_exact",
+    "color_component_greedy",
+    "solve_coloring",
+    "LayoutDecomposer",
+    "DecompositionResult",
+]

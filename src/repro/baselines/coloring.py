@@ -1,0 +1,243 @@
+"""Three-coloring of conflict/stitch graphs for layout decomposition.
+
+The decomposition baseline (OpenMPL-like) reduces mask assignment to graph
+coloring: nodes are coloring units (pieces of routed metal), *conflict*
+edges connect units of different nets that are closer than ``Dcolor``
+(same color on a conflict edge costs a conflict), and *stitch* edges connect
+electrically adjacent units of the same net (different colors on a stitch
+edge cost a stitch).  The objective is the weighted sum the paper minimises.
+
+Components small enough are solved exactly with branch-and-bound; larger
+components fall back to a degree-ordered greedy assignment followed by
+iterative single-node improvement, which is the standard structure of
+practical decomposers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.tpl.color_state import ALL_COLORS
+
+#: Default weight of one conflict relative to one stitch.
+DEFAULT_CONFLICT_WEIGHT = 10.0
+DEFAULT_STITCH_WEIGHT = 1.0
+
+
+@dataclass
+class ColoringProblem:
+    """A 3-coloring instance over arbitrary hashable node ids."""
+
+    conflict_edges: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+    stitch_edges: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+    fixed_colors: Dict[Hashable, int] = field(default_factory=dict)
+    conflict_weight: float = DEFAULT_CONFLICT_WEIGHT
+    stitch_weight: float = DEFAULT_STITCH_WEIGHT
+
+    def nodes(self) -> List[Hashable]:
+        """Return every node mentioned by an edge or a fixed assignment."""
+        seen: Dict[Hashable, None] = {}
+        for a, b in self.conflict_edges + self.stitch_edges:
+            seen.setdefault(a)
+            seen.setdefault(b)
+        for node in self.fixed_colors:
+            seen.setdefault(node)
+        return list(seen)
+
+    def graph(self) -> nx.Graph:
+        """Return the combined conflict+stitch graph (edge attr ``kind``)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        for a, b in self.conflict_edges:
+            graph.add_edge(a, b, kind="conflict")
+        for a, b in self.stitch_edges:
+            if graph.has_edge(a, b):
+                continue  # a conflict edge dominates
+            graph.add_edge(a, b, kind="stitch")
+        return graph
+
+    def cost_of(self, assignment: Dict[Hashable, int]) -> float:
+        """Return the weighted conflict+stitch cost of a complete assignment."""
+        conflicts, stitches = self.count(assignment)
+        return conflicts * self.conflict_weight + stitches * self.stitch_weight
+
+    def count(self, assignment: Dict[Hashable, int]) -> Tuple[int, int]:
+        """Return ``(conflicts, stitches)`` of a complete assignment."""
+        conflicts = sum(
+            1
+            for a, b in self.conflict_edges
+            if assignment.get(a) is not None
+            and assignment.get(a) == assignment.get(b)
+        )
+        stitches = sum(
+            1
+            for a, b in self.stitch_edges
+            if assignment.get(a) is not None
+            and assignment.get(b) is not None
+            and assignment.get(a) != assignment.get(b)
+        )
+        return conflicts, stitches
+
+
+def color_component_exact(
+    problem: ColoringProblem,
+    nodes: Sequence[Hashable],
+    time_budget_nodes: int = 200_000,
+) -> Dict[Hashable, int]:
+    """Optimally color *nodes* by branch-and-bound over the 3 masks.
+
+    The search assigns nodes in decreasing-degree order and prunes branches
+    whose partial cost already exceeds the best complete assignment found.
+    ``time_budget_nodes`` caps the number of explored search-tree nodes; on
+    exhaustion the best solution found so far is returned (which is still a
+    valid, usually near-optimal assignment).
+    """
+    graph = problem.graph()
+    ordered = sorted(nodes, key=lambda n: (-graph.degree(n), str(n)))
+    adjacency: Dict[Hashable, List[Tuple[Hashable, str]]] = {
+        node: [
+            (nbr, graph.edges[node, nbr]["kind"])
+            for nbr in graph.neighbors(node)
+            if nbr in set(nodes)
+        ]
+        for node in ordered
+    }
+    best_assignment: Dict[Hashable, int] = {}
+    best_cost = float("inf")
+    explored = 0
+
+    def partial_cost(assignment: Dict[Hashable, int], node: Hashable, color: int) -> float:
+        cost = 0.0
+        for nbr, kind in adjacency[node]:
+            nbr_color = assignment.get(nbr)
+            if nbr_color is None:
+                continue
+            if kind == "conflict" and nbr_color == color:
+                cost += problem.conflict_weight
+            elif kind == "stitch" and nbr_color != color:
+                cost += problem.stitch_weight
+        return cost
+
+    def branch(index: int, assignment: Dict[Hashable, int], cost: float) -> None:
+        nonlocal best_assignment, best_cost, explored
+        explored += 1
+        if cost >= best_cost or explored > time_budget_nodes:
+            return
+        if index == len(ordered):
+            best_cost = cost
+            best_assignment = dict(assignment)
+            return
+        node = ordered[index]
+        fixed = problem.fixed_colors.get(node)
+        colors = [fixed] if fixed is not None else list(ALL_COLORS)
+        scored = sorted(colors, key=lambda c: partial_cost(assignment, node, c))
+        for color in scored:
+            delta = partial_cost(assignment, node, color)
+            assignment[node] = color
+            branch(index + 1, assignment, cost + delta)
+            del assignment[node]
+
+    branch(0, dict(problem.fixed_colors), 0.0)
+    if not best_assignment:
+        # Budget exhausted before any leaf: fall back to greedy.
+        return color_component_greedy(problem, nodes)
+    return {node: best_assignment[node] for node in nodes}
+
+
+def color_component_greedy(
+    problem: ColoringProblem,
+    nodes: Sequence[Hashable],
+    improvement_passes: int = 2,
+) -> Dict[Hashable, int]:
+    """Greedily color *nodes*, then run single-node improvement passes."""
+    graph = problem.graph()
+    node_set = set(nodes)
+    assignment: Dict[Hashable, int] = {
+        node: color
+        for node, color in problem.fixed_colors.items()
+        if node in node_set
+    }
+
+    def delta_cost(node: Hashable, color: int) -> float:
+        cost = 0.0
+        for nbr in graph.neighbors(node):
+            nbr_color = assignment.get(nbr)
+            if nbr_color is None:
+                continue
+            kind = graph.edges[node, nbr]["kind"]
+            if kind == "conflict" and nbr_color == color:
+                cost += problem.conflict_weight
+            elif kind == "stitch" and nbr_color != color:
+                cost += problem.stitch_weight
+        return cost
+
+    ordered = sorted(nodes, key=lambda n: (-graph.degree(n), str(n)))
+    for node in ordered:
+        if node in assignment:
+            continue
+        assignment[node] = min(ALL_COLORS, key=lambda c: (delta_cost(node, c), c))
+
+    for _ in range(improvement_passes):
+        improved = False
+        for node in ordered:
+            if node in problem.fixed_colors:
+                continue
+            current = assignment[node]
+            best = min(ALL_COLORS, key=lambda c: (delta_cost_excluding(graph, problem, assignment, node, c), c))
+            if best != current and delta_cost_excluding(
+                graph, problem, assignment, node, best
+            ) < delta_cost_excluding(graph, problem, assignment, node, current):
+                assignment[node] = best
+                improved = True
+        if not improved:
+            break
+    return {node: assignment[node] for node in nodes}
+
+
+def delta_cost_excluding(
+    graph: nx.Graph,
+    problem: ColoringProblem,
+    assignment: Dict[Hashable, int],
+    node: Hashable,
+    color: int,
+) -> float:
+    """Return the cost contributed by *node* if it were colored *color*."""
+    cost = 0.0
+    for nbr in graph.neighbors(node):
+        nbr_color = assignment.get(nbr)
+        if nbr_color is None or nbr == node:
+            continue
+        kind = graph.edges[node, nbr]["kind"]
+        if kind == "conflict" and nbr_color == color:
+            cost += problem.conflict_weight
+        elif kind == "stitch" and nbr_color != color:
+            cost += problem.stitch_weight
+    return cost
+
+
+def solve_coloring(
+    problem: ColoringProblem,
+    exact_component_limit: int = 14,
+) -> Dict[Hashable, int]:
+    """Color the whole problem component by component.
+
+    Connected components of the combined graph are independent, so each is
+    solved on its own: exactly when it has at most ``exact_component_limit``
+    nodes, greedily (with improvement) otherwise.  Isolated nodes receive the
+    first mask.
+    """
+    graph = problem.graph()
+    assignment: Dict[Hashable, int] = {}
+    for component in nx.connected_components(graph):
+        nodes = sorted(component, key=str)
+        if len(nodes) <= exact_component_limit:
+            assignment.update(color_component_exact(problem, nodes))
+        else:
+            assignment.update(color_component_greedy(problem, nodes))
+    for node in problem.nodes():
+        if node not in assignment:
+            assignment[node] = problem.fixed_colors.get(node, ALL_COLORS[0])
+    return assignment

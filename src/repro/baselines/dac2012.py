@@ -1,0 +1,244 @@
+"""The DAC-2012 style TPL-aware router baseline (Ma et al.).
+
+Ma, Zhang and Wong (DAC 2012) route on a mask-expanded grid: every routing
+vertex is split into per-mask copies (their formulation uses 12 copies --
+3 masks x 4 directions; this reproduction uses the 3 mask planes, which
+preserves the two properties the paper's comparison exploits):
+
+* the search graph is three times larger, so the router is noticeably
+  slower than one searching the plain grid with color *states*;
+* the method is defined for 2-pin connections: a multi-pin net is broken
+  into independent 2-pin connections whose colors are committed as soon as
+  each path is found.  Because "2-pin methods cannot dynamically adjust the
+  already-colored paths when connecting multiple pins" (paper Section I),
+  junctions between sub-paths of the same net frequently disagree on the
+  mask and turn into stitches, and the eagerly committed colors leave less
+  room to dodge conflicts with neighbouring nets.
+
+The baseline shares the grid, cost weights, guides and evaluation pipeline
+with Mr.TPL so the Table II comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.design import Design, Net
+from repro.dr.cost import CostModel, TargetBounds
+from repro.geometry import GridPoint, Point
+from repro.gr import GlobalRouter, GuideSet
+from repro.gr.steiner import rectilinear_mst
+from repro.grid import ALL_DIRECTIONS, NetRoute, RoutingGrid, RoutingSolution
+from repro.tpl.color_state import ALL_COLORS
+from repro.tpl.conflict import ConflictChecker
+from repro.utils import Timer, UpdatablePriorityQueue, get_logger
+
+_LOG = get_logger("baselines.dac2012")
+
+#: A search state on the mask-expanded graph: (grid vertex, mask).
+MaskedVertex = Tuple[GridPoint, int]
+
+
+class Dac2012Router:
+    """2-pin, mask-expanded-graph TPL-aware router (Table II baseline)."""
+
+    name = "dac2012"
+
+    def __init__(
+        self,
+        design: Design,
+        grid: Optional[RoutingGrid] = None,
+        guides: Optional[GuideSet] = None,
+        use_global_router: bool = True,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        self.design = design
+        self.grid = grid if grid is not None else RoutingGrid(design)
+        if guides is None and use_global_router:
+            guides = GlobalRouter(design).route()
+        self.guides = guides
+        self.cost_model = CostModel(self.grid, guides)
+        self.conflict_checker = ConflictChecker(design, self.grid)
+        self.max_iterations = (
+            max_iterations
+            if max_iterations is not None
+            else design.tech.rules.max_ripup_iterations
+        )
+        self.max_expansions = 6_000_000
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RoutingSolution:
+        """Route and color every net; negotiate conflicts like the host router."""
+        timer = Timer()
+        timer.start()
+        solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
+        for net in self.schedule_nets():
+            solution.add_route(self.route_net(net))
+
+        iterations = 0
+        for iteration in range(self.max_iterations):
+            report = self.conflict_checker.check(solution)
+            offenders = report.nets_involved()
+            offenders.update(route.net_name for route in solution.failed_nets())
+            if not offenders:
+                break
+            iterations = iteration + 1
+            for location in report.conflict_locations():
+                self.grid.add_history(location, 1.0)
+            for net_name in offenders:
+                self.grid.release_net(net_name)
+                solution.routes.pop(net_name, None)
+            for net_name in sorted(offenders):
+                solution.add_route(self.route_net(self.design.net_by_name(net_name)))
+
+        for route in solution.routes.values():
+            route.recount_stitches()
+        solution.iterations = iterations
+        solution.runtime_seconds = timer.stop()
+        return solution
+
+    def schedule_nets(self) -> List[Net]:
+        """Return the same routing order the other routers use."""
+        return sorted(
+            self.design.routable_nets(),
+            key=lambda net: (net.half_perimeter_wirelength(), -net.num_pins, net.name),
+        )
+
+    # ------------------------------------------------------------------
+
+    def route_net(self, net: Net) -> NetRoute:
+        """Route one net as independent 2-pin connections on the expanded graph."""
+        route = NetRoute(net_name=net.name)
+        pin_groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
+        if any(not group for group in pin_groups):
+            route.routed = False
+            route.failure_reason = "pin without reachable access vertex"
+            return route
+        for group in pin_groups:
+            route.vertices.update(group)
+
+        for index_a, index_b in self._two_pin_topology(net):
+            found = self._route_two_pin(pin_groups[index_a], pin_groups[index_b], route)
+            if not found:
+                route.routed = False
+                route.failure_reason = (
+                    f"2-pin connection {net.pins[index_a].full_name} -> "
+                    f"{net.pins[index_b].full_name} failed"
+                )
+                break
+
+        if route.routed:
+            for vertex in route.vertices:
+                self.grid.occupy(vertex, net.name)
+            route.recount_stitches()
+        return route
+
+    def _two_pin_topology(self, net: Net) -> List[Tuple[int, int]]:
+        """Decompose the net into 2-pin connections via a Manhattan MST over pins."""
+        centers = [pin.center() for pin in net.pins]
+        index_of: Dict[Point, int] = {}
+        for index, center in enumerate(centers):
+            index_of.setdefault(center, index)
+        pairs: List[Tuple[int, int]] = []
+        for a, b in rectilinear_mst(centers):
+            pairs.append((index_of[a], index_of[b]))
+        if not pairs and len(net.pins) >= 2:
+            pairs = [(i, i + 1) for i in range(len(net.pins) - 1)]
+        return pairs
+
+    # ------------------------------------------------------------------
+
+    def _route_two_pin(
+        self,
+        source_group: List[GridPoint],
+        target_group: List[GridPoint],
+        route: NetRoute,
+    ) -> bool:
+        """Route one 2-pin connection on the (vertex, mask) expanded graph.
+
+        The colors of the found path are committed to the grid immediately --
+        the defining limitation of the 2-pin formulation.
+        """
+        net_name = route.net_name
+        targets = set(target_group)
+        bounds = TargetBounds.from_targets(targets)
+        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
+        costs: Dict[MaskedVertex, float] = {}
+        parents: Dict[MaskedVertex, Optional[MaskedVertex]] = {}
+
+        for vertex in source_group:
+            if self.grid.is_blocked(vertex):
+                continue
+            committed = route.vertex_colors.get(vertex)
+            colors = [committed] if committed is not None else list(ALL_COLORS)
+            for color in colors:
+                state: MaskedVertex = (vertex, color)
+                costs[state] = 0.0
+                parents[state] = None
+                queue.push(state, self.cost_model.heuristic_bounds(vertex, bounds))
+
+        reached: Optional[MaskedVertex] = None
+        expansions = 0
+        stitch_penalty = self.cost_model.stitch_cost()
+        while queue:
+            state, _priority = queue.pop()
+            vertex, color = state
+            cost_here = costs[state]
+            expansions += 1
+            if vertex in targets:
+                reached = state
+                break
+            if expansions > self.max_expansions:
+                break
+            # Mask change in place: a stitch on the expanded graph.
+            for other_color in ALL_COLORS:
+                if other_color == color:
+                    continue
+                switched: MaskedVertex = (vertex, other_color)
+                candidate = cost_here + stitch_penalty
+                if candidate < costs.get(switched, float("inf")) - 1e-12:
+                    costs[switched] = candidate
+                    parents[switched] = state
+                    queue.push(
+                        switched,
+                        candidate + self.cost_model.heuristic_bounds(vertex, bounds),
+                    )
+            # Planar and via moves keeping the mask.
+            for direction in ALL_DIRECTIONS:
+                neighbor = self.grid.neighbor(vertex, direction)
+                if neighbor is None or self.grid.is_blocked(neighbor):
+                    continue
+                step = self.cost_model.weighted_traditional_cost(
+                    vertex, direction, neighbor, net_name
+                )
+                step += self.cost_model.color_costs(neighbor, net_name)[color]
+                moved: MaskedVertex = (neighbor, color)
+                candidate = cost_here + step
+                if candidate < costs.get(moved, float("inf")) - 1e-12:
+                    costs[moved] = candidate
+                    parents[moved] = state
+                    queue.push(
+                        moved,
+                        candidate + self.cost_model.heuristic_bounds(neighbor, bounds),
+                    )
+
+        if reached is None:
+            return False
+
+        path: List[MaskedVertex] = []
+        cursor: Optional[MaskedVertex] = reached
+        while cursor is not None:
+            path.append(cursor)
+            cursor = parents[cursor]
+        path.reverse()
+
+        previous_vertex: Optional[GridPoint] = None
+        for vertex, color in path:
+            if previous_vertex is not None and previous_vertex != vertex:
+                route.add_edge(previous_vertex, vertex)
+            previous_vertex = vertex
+            route.set_color(vertex, color)
+            self.grid.set_vertex_color(vertex, net_name, color)
+            self.grid.occupy(vertex, net_name)
+        return True

@@ -1,0 +1,142 @@
+"""The ISPD-2018-like and ISPD-2019-like benchmark suites.
+
+Each suite contains ten cases named ``test1`` .. ``test10`` whose size and
+density grow monotonically, mirroring how the contest benchmarks scale from
+the small ``ispd18_test1`` to the large, congested ``test10`` (the case where
+the paper's Table II improvement collapses to ~20 % because the layout is
+simply too dense).  A global ``scale`` knob shrinks or grows every case so
+the same experiment can run as a quick smoke test or a longer study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.synthetic import SyntheticSpec, generate_design
+from repro.design import Design
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    """One named case of a suite."""
+
+    name: str
+    spec: SyntheticSpec
+
+    def build(self) -> Design:
+        """Generate the design of this case."""
+        return generate_design(self.spec)
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def ispd18_suite(scale: float = 1.0, cases: Optional[List[int]] = None) -> List[SuiteCase]:
+    """Return the ISPD-2018-like suite (Table II workload).
+
+    Parameters
+    ----------
+    scale:
+        Multiplies the grid size and net count of every case; ``1.0`` is the
+        default laptop-scale sizing, smaller values give smoke-test cases.
+    cases:
+        Optional list of case numbers (1-10) to build; all ten by default.
+    """
+    profiles = [
+        # (cols, rows, layers, nets, obstacles, net_radius)
+        (20, 20, 3, 18, 2, 9),
+        (22, 22, 3, 24, 3, 9),
+        (24, 24, 3, 32, 3, 10),
+        (26, 26, 3, 40, 4, 10),
+        (30, 30, 4, 52, 4, 11),
+        (32, 32, 4, 62, 5, 11),
+        (36, 36, 4, 76, 6, 12),
+        (38, 38, 4, 88, 6, 12),
+        (42, 42, 4, 104, 7, 12),
+        (44, 44, 4, 126, 8, 10),
+    ]
+    wanted = cases if cases is not None else list(range(1, 11))
+    suite: List[SuiteCase] = []
+    for number in wanted:
+        cols, rows, layers, nets, obstacles, radius = profiles[number - 1]
+        spec = SyntheticSpec(
+            name=f"ispd18like_test{number}",
+            seed=1800 + number,
+            cols=_scaled(cols, scale, 16),
+            rows=_scaled(rows, scale, 16),
+            num_layers=layers,
+            color_spacing=8,
+            num_nets=_scaled(nets, scale, 4),
+            min_pins=2,
+            max_pins=5,
+            multi_pin_bias=0.65,
+            net_radius=_scaled(radius, scale, 6),
+            obstacle_count=obstacles,
+            obstacle_span=4,
+            colored_obstacle_fraction=0.5,
+            macro_count=1 if number >= 5 else 0,
+            row_spacing=3,
+            cell_spacing=3,
+        )
+        suite.append(SuiteCase(name=f"test{number}", spec=spec))
+    return suite
+
+
+def ispd19_suite(scale: float = 1.0, cases: Optional[List[int]] = None) -> List[SuiteCase]:
+    """Return the ISPD-2019-like suite (Table III workload).
+
+    The 2019 contest introduced "advanced routing rules"; the synthetic
+    analogue tightens the color spacing relative to the pitch, increases the
+    net density and the number of pre-colored obstacles -- the regime where
+    decompose-after-routing runs out of colors while routing-time coloring
+    still succeeds.
+    """
+    profiles = [
+        (20, 20, 3, 22, 3, 8),
+        (22, 22, 3, 30, 4, 8),
+        (24, 24, 3, 38, 4, 9),
+        (26, 26, 3, 48, 5, 9),
+        (30, 30, 4, 58, 5, 10),
+        (32, 32, 4, 68, 6, 10),
+        (36, 36, 4, 82, 7, 11),
+        (38, 38, 4, 96, 7, 11),
+        (42, 42, 4, 112, 8, 12),
+        (44, 44, 4, 134, 9, 10),
+    ]
+    wanted = cases if cases is not None else list(range(1, 11))
+    suite: List[SuiteCase] = []
+    for number in wanted:
+        cols, rows, layers, nets, obstacles, radius = profiles[number - 1]
+        spec = SyntheticSpec(
+            name=f"ispd19like_test{number}",
+            seed=1900 + number,
+            cols=_scaled(cols, scale, 16),
+            rows=_scaled(rows, scale, 16),
+            num_layers=layers,
+            color_spacing=8,
+            num_nets=_scaled(nets, scale, 4),
+            min_pins=2,
+            max_pins=6,
+            multi_pin_bias=0.7,
+            net_radius=_scaled(radius, scale, 5),
+            obstacle_count=obstacles,
+            obstacle_span=5,
+            colored_obstacle_fraction=0.6,
+            macro_count=1 if number >= 4 else 0,
+            row_spacing=3,
+            cell_spacing=3,
+            strap_period=4,
+        )
+        suite.append(SuiteCase(name=f"test{number}", spec=spec))
+    return suite
+
+
+def suite_case(suite_name: str, number: int, scale: float = 1.0) -> SuiteCase:
+    """Return one case of either suite by name (``"ispd18"`` / ``"ispd19"``)."""
+    if suite_name == "ispd18":
+        return ispd18_suite(scale, cases=[number])[0]
+    if suite_name == "ispd19":
+        return ispd19_suite(scale, cases=[number])[0]
+    raise ValueError(f"unknown suite {suite_name!r}; expected 'ispd18' or 'ispd19'")

@@ -1,0 +1,24 @@
+"""Design model: cells, instances, pins, nets, obstacles, and the design.
+
+This is the input side of the routing problem formulation in the paper:
+"(1) Layout, including the distribution of pre-placed standard cells,
+macros, obstacles, and ports.  (2) The netlist, which describes the
+connections between components in the layout.  (3) Design rules."
+"""
+
+from repro.design.pin import Pin, PinShape
+from repro.design.net import Net
+from repro.design.cell import CellMaster, CellInstance, MasterPin
+from repro.design.obstacle import Obstacle
+from repro.design.design import Design
+
+__all__ = [
+    "Pin",
+    "PinShape",
+    "Net",
+    "CellMaster",
+    "CellInstance",
+    "MasterPin",
+    "Obstacle",
+    "Design",
+]

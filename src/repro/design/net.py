@@ -1,0 +1,65 @@
+"""Nets: the connection requirements of the routing problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.design.pin import Pin
+from repro.geometry import Rect
+
+
+@dataclass
+class Net:
+    """A multi-pin net.
+
+    The paper's contribution targets nets with three or more pins -- the
+    cases where 2-pin TPL routing "cannot dynamically adjust the
+    already-colored paths when connecting multiple pins".
+    """
+
+    name: str
+    pins: List[Pin] = field(default_factory=list)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        for pin in self.pins:
+            pin.net_name = self.name
+
+    @property
+    def num_pins(self) -> int:
+        """Return the number of pins."""
+        return len(self.pins)
+
+    @property
+    def is_multi_pin(self) -> bool:
+        """Return ``True`` for nets with more than two pins."""
+        return len(self.pins) > 2
+
+    @property
+    def is_routable(self) -> bool:
+        """Return ``True`` when the net needs routing (at least two pins)."""
+        return len(self.pins) >= 2
+
+    def add_pin(self, pin: Pin) -> None:
+        """Attach *pin* to this net."""
+        pin.net_name = self.name
+        self.pins.append(pin)
+
+    def bounding_box(self) -> Rect:
+        """Return the bounding box over all pin shapes."""
+        if not self.pins:
+            raise ValueError(f"net {self.name!r} has no pins")
+        return Rect.bounding([pin.bounding_box() for pin in self.pins])
+
+    def half_perimeter_wirelength(self) -> int:
+        """Return the HPWL lower bound on wirelength for this net."""
+        box = self.bounding_box()
+        return box.width + box.height
+
+    def pin_by_name(self, full_name: str) -> Pin:
+        """Return the pin whose :attr:`Pin.full_name` equals *full_name*."""
+        for pin in self.pins:
+            if pin.full_name == full_name:
+                return pin
+        raise KeyError(f"net {self.name!r} has no pin {full_name!r}")

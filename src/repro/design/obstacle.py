@@ -1,0 +1,29 @@
+"""Routing obstacles (blockages)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A rectangular region on one layer that routing must avoid.
+
+    Obstacles come from macro blockages, pre-routed power straps, or the
+    explicit blockage statements of the benchmark format.  They block grid
+    vertices they cover and also participate in spacing / color interactions
+    when they carry a pre-assigned mask (``color`` in ``{0, 1, 2}``) as in the
+    paper's Fig. 3 example where two obstacles are fixed on Mask 2 and Mask 3.
+    """
+
+    layer: int
+    rect: Rect
+    name: str = ""
+    color: int = -1  # -1 means uncolored metal / pure blockage
+
+    @property
+    def is_colored(self) -> bool:
+        """Return ``True`` when the obstacle has a pre-assigned mask."""
+        return 0 <= self.color <= 2

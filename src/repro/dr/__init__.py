@@ -1,0 +1,30 @@
+"""Detailed routing substrate (Dr.CU-like).
+
+This package provides the host detailed router that the paper integrates
+Mr.TPL into: a sequential, negotiation-based track-graph router with
+
+* a shared cost model (traditional cost, congestion/history, guide penalty),
+* a multi-source maze search for multi-pin nets,
+* net scheduling,
+* a rip-up-and-reroute loop driven by shorts/overlaps,
+* a design-rule checker for the routed result.
+
+The plain :class:`DetailedRouter` is TPL-unaware; it is used (a) standalone
+to produce the routed-then-decomposed layouts of the Table III comparison and
+(b) as the structural template that :class:`repro.tpl.MrTPLRouter` extends
+with color states.
+"""
+
+from repro.dr.cost import CostModel
+from repro.dr.maze import MazeRouter, SearchResult
+from repro.dr.router import DetailedRouter
+from repro.dr.drc import DRCChecker, Violation
+
+__all__ = [
+    "CostModel",
+    "MazeRouter",
+    "SearchResult",
+    "DetailedRouter",
+    "DRCChecker",
+    "Violation",
+]

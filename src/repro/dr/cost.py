@@ -1,0 +1,138 @@
+"""The shared detailed-routing cost model and search heuristics.
+
+Implements the ``Cost_trad`` term of the paper's Eq. (1) plus the penalties
+every negotiation-based detailed router applies: accumulated history cost,
+soft occupancy (short) cost, and the out-of-guide penalty from the ISPD
+contest cost model.  The stitch and color terms are layered on top by the
+TPL-aware routers; the plain router uses this model unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry import GridPoint
+from repro.gr.guide import GuideSet
+from repro.grid import Direction, RoutingGrid
+
+
+@dataclass(frozen=True)
+class TargetBounds:
+    """Bounding box of a target vertex set, used for the A* lower bound.
+
+    The distance from a vertex to the box is an admissible lower bound on the
+    distance to the nearest target, and it is O(1) to evaluate regardless of
+    how many target vertices the search has (a multi-pin net can expose
+    dozens of access vertices at once).
+    """
+
+    min_layer: int
+    max_layer: int
+    min_col: int
+    max_col: int
+    min_row: int
+    max_row: int
+
+    @classmethod
+    def from_targets(cls, targets: Iterable[GridPoint]) -> Optional["TargetBounds"]:
+        """Build bounds from a target set; ``None`` for an empty set."""
+        targets = list(targets)
+        if not targets:
+            return None
+        return cls(
+            min_layer=min(t.layer for t in targets),
+            max_layer=max(t.layer for t in targets),
+            min_col=min(t.col for t in targets),
+            max_col=max(t.col for t in targets),
+            min_row=min(t.row for t in targets),
+            max_row=max(t.row for t in targets),
+        )
+
+    def components_from(self, vertex: GridPoint) -> "tuple[float, float]":
+        """Return ``(planar_distance, layer_distance)`` from *vertex* to the box."""
+        dcol = max(self.min_col - vertex.col, 0, vertex.col - self.max_col)
+        drow = max(self.min_row - vertex.row, 0, vertex.row - self.max_row)
+        dlayer = max(self.min_layer - vertex.layer, 0, vertex.layer - self.max_layer)
+        return float(dcol + drow), float(dlayer)
+
+
+class CostModel:
+    """Edge-cost evaluator bound to one grid and (optionally) a guide set."""
+
+    def __init__(self, grid: RoutingGrid, guides: Optional[GuideSet] = None) -> None:
+        self.grid = grid
+        self.rules = grid.rules
+        self.guides = guides
+
+    def traditional_cost(
+        self,
+        vertex: GridPoint,
+        direction: Direction,
+        neighbor: GridPoint,
+        net_name: str,
+    ) -> float:
+        """Return ``Cost_trad`` of stepping ``vertex -> neighbor`` for *net_name*.
+
+        Components: base wirelength / wrong-way / via cost, history cost and
+        soft occupancy at the destination, and the out-of-guide penalty when
+        the destination leaves the net's GR guide.
+        """
+        cost = self.grid.base_edge_cost(vertex, direction)
+        cost += self.grid.congestion_cost(neighbor, net_name)
+        cost += self.out_of_guide_cost(neighbor, net_name)
+        return cost
+
+    def weighted_traditional_cost(
+        self,
+        vertex: GridPoint,
+        direction: Direction,
+        neighbor: GridPoint,
+        net_name: str,
+    ) -> float:
+        """Return ``alpha * Cost_trad`` (the Eq. 1 weighting applied)."""
+        return self.rules.alpha * self.traditional_cost(vertex, direction, neighbor, net_name)
+
+    def out_of_guide_cost(self, vertex: GridPoint, net_name: str) -> float:
+        """Return the penalty for *vertex* lying outside the net's guide."""
+        if self.guides is None:
+            return 0.0
+        point = self.grid.physical_point(vertex)
+        if self.guides.covers_point(net_name, vertex.layer, point):
+            return 0.0
+        return self.rules.out_of_guide_penalty
+
+    def stitch_cost(self) -> float:
+        """Return ``beta * stitch_cost``: the weighted cost of one stitch."""
+        return self.rules.beta * self.rules.stitch_cost
+
+    def color_costs(self, vertex: GridPoint, net_name: str) -> list:
+        """Return ``gamma * Cost_color`` for each of the three masks at *vertex*."""
+        return [self.rules.gamma * c for c in self.grid.color_costs(vertex, net_name)]
+
+    def is_usable(self, vertex: GridPoint) -> bool:
+        """Return ``True`` when *vertex* is not hard-blocked."""
+        return not self.grid.is_blocked(vertex)
+
+    def heuristic(self, vertex: GridPoint, targets: list) -> float:
+        """Return an admissible lower bound from *vertex* to the nearest target.
+
+        Uses planar Manhattan distance plus the via distance scaled by the via
+        cost; both are exact lower bounds on the remaining traditional cost,
+        so A* with this heuristic returns minimum-cost paths.
+        """
+        if not targets:
+            return 0.0
+        best = float("inf")
+        for target in targets:
+            planar = abs(vertex.col - target.col) + abs(vertex.row - target.row)
+            vias = abs(vertex.layer - target.layer) * self.rules.via_cost
+            best = min(best, planar + vias)
+        return self.rules.alpha * best
+
+    def heuristic_bounds(self, vertex: GridPoint, bounds: Optional[TargetBounds]) -> float:
+        """Return the O(1) admissible lower bound towards a target bounding box."""
+        if bounds is None:
+            return 0.0
+        planar, layers = bounds.components_from(vertex)
+        return self.rules.alpha * (planar + layers * self.rules.via_cost)

@@ -1,0 +1,191 @@
+"""Design-rule checking of routed results.
+
+The checker reports the violations that feed the ISPD-style cost score and
+the rip-up decisions:
+
+* **shorts** -- two different nets occupying the same grid vertex,
+* **spacing violations** -- metal of different nets closer than the minimum
+  spacing (excluding exact overlap, which is already a short),
+* **open nets** -- nets whose routed metal does not connect all pins,
+* **off-track / out-of-guide** statistics used by the contest score.
+
+Color-specific checks (same-mask spacing) live in :mod:`repro.tpl.conflict`
+because they depend on the mask assignment, not only the geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.design import Design
+from repro.geometry import GridPoint, Rect, SpatialIndex
+from repro.gr.guide import GuideSet
+from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation."""
+
+    kind: str
+    nets: Tuple[str, ...]
+    location: GridPoint
+    detail: str = ""
+
+
+class DRCChecker:
+    """Checks a :class:`RoutingSolution` against the grid and design rules."""
+
+    def __init__(
+        self,
+        design: Design,
+        grid: RoutingGrid,
+        guides: Optional[GuideSet] = None,
+    ) -> None:
+        self.design = design
+        self.grid = grid
+        self.guides = guides
+        self.rules = grid.rules
+
+    # -- individual checks -----------------------------------------------------
+
+    def find_shorts(self, solution: RoutingSolution) -> List[Violation]:
+        """Return a violation for every vertex shared by two or more nets."""
+        violations: List[Violation] = []
+        for vertex, owners in solution.vertex_ownership().items():
+            if len(owners) > 1:
+                violations.append(
+                    Violation(
+                        kind="short",
+                        nets=tuple(sorted(owners)),
+                        location=vertex,
+                        detail=f"{len(owners)} nets overlap",
+                    )
+                )
+        return violations
+
+    def find_spacing_violations(self, solution: RoutingSolution) -> List[Violation]:
+        """Return violations for different-net metal closer than ``min_spacing``.
+
+        The check works in grid space: two vertices of different nets on the
+        same layer whose physical spacing (centre distance minus wire width)
+        is below the minimum spacing violate the rule.  Vertices of the same
+        net never violate spacing against themselves.
+        """
+        min_spacing = self.rules.min_spacing
+        if min_spacing <= 0:
+            return []
+        violations: List[Violation] = []
+        per_layer: Dict[int, SpatialIndex] = {
+            layer: SpatialIndex(bucket_size=max(self.grid.pitch * 8, 16))
+            for layer in range(self.grid.num_layers)
+        }
+        for route in solution.routed_nets():
+            for vertex in route.vertices:
+                rect = self.grid.vertex_rect(vertex)
+                per_layer[vertex.layer].insert(rect, (route.net_name, vertex))
+        seen: Set[Tuple[str, str, GridPoint, GridPoint]] = set()
+        for route in solution.routed_nets():
+            for vertex in route.vertices:
+                rect = self.grid.vertex_rect(vertex)
+                for _other_rect, (other_net, other_vertex) in per_layer[vertex.layer].within(
+                    rect, min_spacing
+                ):
+                    if other_net == route.net_name:
+                        continue
+                    if other_vertex == vertex:
+                        continue  # exact overlap is reported as a short
+                    key = self._pair_key(route.net_name, vertex, other_net, other_vertex)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    violations.append(
+                        Violation(
+                            kind="spacing",
+                            nets=tuple(sorted((route.net_name, other_net))),
+                            location=vertex,
+                            detail=f"below min spacing {min_spacing}",
+                        )
+                    )
+        return violations
+
+    def find_open_nets(self, solution: RoutingSolution) -> List[Violation]:
+        """Return a violation per net that does not connect all of its pins."""
+        violations: List[Violation] = []
+        for net in self.design.routable_nets():
+            route = solution.routes.get(net.name)
+            if route is None or not route.routed:
+                location = GridPoint(0, 0, 0)
+                violations.append(
+                    Violation(kind="open", nets=(net.name,), location=location, detail="unrouted")
+                )
+                continue
+            pin_groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
+            if not route.connects_all(pin_groups):
+                anchor = next(iter(route.vertices), GridPoint(0, 0, 0))
+                violations.append(
+                    Violation(
+                        kind="open",
+                        nets=(net.name,),
+                        location=anchor,
+                        detail="routed metal does not connect every pin",
+                    )
+                )
+        return violations
+
+    def out_of_guide_vertices(self, solution: RoutingSolution) -> int:
+        """Return the number of routed vertices falling outside their net's guide."""
+        if self.guides is None:
+            return 0
+        count = 0
+        for route in solution.routed_nets():
+            for vertex in route.vertices:
+                point = self.grid.physical_point(vertex)
+                if not self.guides.covers_point(route.net_name, vertex.layer, point):
+                    count += 1
+        return count
+
+    def wrong_way_edges(self, solution: RoutingSolution) -> int:
+        """Return the number of planar edges routed against the preferred direction."""
+        count = 0
+        for route in solution.routed_nets():
+            for a, b in route.edges:
+                if a.layer != b.layer:
+                    continue
+                layer = self.design.tech.layers[a.layer]
+                horizontal_move = a.row == b.row
+                if layer.is_horizontal and not horizontal_move:
+                    count += 1
+                elif layer.is_vertical and horizontal_move:
+                    count += 1
+        return count
+
+    # -- aggregate -----------------------------------------------------------------
+
+    def check(self, solution: RoutingSolution) -> Dict[str, List[Violation]]:
+        """Run every check and return violations grouped by kind."""
+        return {
+            "short": self.find_shorts(solution),
+            "spacing": self.find_spacing_violations(solution),
+            "open": self.find_open_nets(solution),
+        }
+
+    def summary(self, solution: RoutingSolution) -> Dict[str, int]:
+        """Return violation counts plus guide / direction statistics."""
+        grouped = self.check(solution)
+        return {
+            "shorts": len(grouped["short"]),
+            "spacing": len(grouped["spacing"]),
+            "opens": len(grouped["open"]),
+            "out_of_guide": self.out_of_guide_vertices(solution),
+            "wrong_way": self.wrong_way_edges(solution),
+        }
+
+    @staticmethod
+    def _pair_key(
+        net_a: str, vertex_a: GridPoint, net_b: str, vertex_b: GridPoint
+    ) -> Tuple[str, str, GridPoint, GridPoint]:
+        if (net_a, vertex_a) <= (net_b, vertex_b):
+            return net_a, net_b, vertex_a, vertex_b
+        return net_b, net_a, vertex_b, vertex_a

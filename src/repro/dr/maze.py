@@ -1,0 +1,124 @@
+"""Multi-source maze search on the routing grid (TPL-unaware).
+
+The plain detailed router grows each multi-pin net as a tree: every search
+starts from all vertices already in the tree (cost 0) and stops at the first
+access vertex of a still-unreached pin.  This is the standard multi-source
+Dijkstra formulation that Algorithm 1 of the paper also follows -- the
+Mr.TPL variant in :mod:`repro.tpl.search` adds the color-state dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dr.cost import CostModel, TargetBounds
+from repro.geometry import GridPoint
+from repro.grid import ALL_DIRECTIONS, Direction, RoutingGrid
+from repro.utils import UpdatablePriorityQueue
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one maze search."""
+
+    reached: Optional[GridPoint]
+    parents: Dict[GridPoint, Optional[GridPoint]] = field(default_factory=dict)
+    costs: Dict[GridPoint, float] = field(default_factory=dict)
+    expansions: int = 0
+
+    @property
+    def found(self) -> bool:
+        """Return ``True`` when a target vertex was reached."""
+        return self.reached is not None
+
+    def backtrace(self) -> List[GridPoint]:
+        """Return the path from a source (cost 0) to the reached vertex.
+
+        The path is ordered source-first.  Raises ``ValueError`` when the
+        search failed.
+        """
+        if self.reached is None:
+            raise ValueError("cannot backtrace a failed search")
+        path: List[GridPoint] = []
+        cursor: Optional[GridPoint] = self.reached
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.parents.get(cursor)
+        path.reverse()
+        return path
+
+
+class MazeRouter:
+    """Dijkstra/A* search engine shared by the plain detailed router."""
+
+    def __init__(self, grid: RoutingGrid, cost_model: CostModel, max_expansions: int = 2_000_000) -> None:
+        self.grid = grid
+        self.cost_model = cost_model
+        self.max_expansions = max_expansions
+
+    def search(
+        self,
+        sources: Iterable[GridPoint],
+        targets: Set[GridPoint],
+        net_name: str,
+        allow_occupied_targets: bool = True,
+    ) -> SearchResult:
+        """Search from *sources* to any vertex in *targets*.
+
+        Parameters
+        ----------
+        sources:
+            Seed vertices (the routed tree so far, or the first pin's access
+            vertices); they start with cost 0.
+        targets:
+            Acceptable destination vertices (access vertices of unreached pins).
+        net_name:
+            The net being routed (needed for occupancy / guide costs).
+        allow_occupied_targets:
+            Target vertices covered by another net's metal are still accepted
+            when ``True``; the negotiation loop resolves the resulting short.
+        """
+        result = SearchResult(reached=None)
+        if not targets:
+            return result
+        bounds = TargetBounds.from_targets(targets)
+        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
+        costs: Dict[GridPoint, float] = {}
+        parents: Dict[GridPoint, Optional[GridPoint]] = {}
+        for source in sources:
+            if not self.grid.in_bounds(source):
+                continue
+            if self.grid.is_blocked(source):
+                continue
+            costs[source] = 0.0
+            parents[source] = None
+            queue.push(source, self.cost_model.heuristic_bounds(source, bounds))
+        expansions = 0
+        while queue:
+            vertex, _priority = queue.pop()
+            cost_here = costs[vertex]
+            expansions += 1
+            if vertex in targets:
+                if allow_occupied_targets or not self.grid.is_occupied_by_other(vertex, net_name):
+                    result.reached = vertex
+                    break
+            if expansions > self.max_expansions:
+                break
+            for direction in ALL_DIRECTIONS:
+                neighbor = self.grid.neighbor(vertex, direction)
+                if neighbor is None or self.grid.is_blocked(neighbor):
+                    continue
+                step = self.cost_model.weighted_traditional_cost(
+                    vertex, direction, neighbor, net_name
+                )
+                candidate = cost_here + step
+                if candidate < costs.get(neighbor, float("inf")) - 1e-12:
+                    costs[neighbor] = candidate
+                    parents[neighbor] = vertex
+                    priority = candidate + self.cost_model.heuristic_bounds(neighbor, bounds)
+                    queue.push(neighbor, priority)
+        result.parents = parents
+        result.costs = costs
+        result.expansions = expansions
+        return result

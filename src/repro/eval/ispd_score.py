@@ -1,0 +1,58 @@
+"""An ISPD-2018-contest-style detailed routing cost score.
+
+The contest score is a weighted sum of wirelength, via count, out-of-guide
+wiring, wrong-way wiring, and violation penalties (shorts, spacing, opens).
+The exact contest evaluator also scores off-track wiring and minimum-area
+violations, which do not arise on this repository's fully on-track grid; the
+remaining structure and the relative weighting follow the published contest
+documentation so the "cost" column of Table II has the same shape: dominated
+by wirelength and vias, nudged by guide adherence, and punished hard for
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class IspdScoreWeights:
+    """Weights of the contest-style score."""
+
+    wirelength: float = 0.5
+    via: float = 4.0
+    out_of_guide: float = 1.0
+    wrong_way: float = 1.0
+    short: float = 500.0
+    spacing: float = 500.0
+    open_net: float = 500.0
+
+
+def ispd_score(
+    wirelength: int,
+    vias: int,
+    out_of_guide: int,
+    wrong_way: int,
+    shorts: int,
+    spacing_violations: int,
+    open_nets: int,
+    pitch: int = 1,
+    weights: Optional[IspdScoreWeights] = None,
+) -> float:
+    """Return the contest-style routing score (lower is better).
+
+    ``wirelength`` is given in grid edges and converted to DBU with *pitch*
+    so the score scales like the contest's (which measures microns); the
+    remaining terms are counts.
+    """
+    w = weights or IspdScoreWeights()
+    score = 0.0
+    score += w.wirelength * wirelength * max(pitch, 1)
+    score += w.via * vias
+    score += w.out_of_guide * out_of_guide
+    score += w.wrong_way * wrong_way
+    score += w.short * shorts
+    score += w.spacing * spacing_violations
+    score += w.open_net * open_nets
+    return score

@@ -1,0 +1,27 @@
+"""Integer geometry kernel used throughout the router.
+
+All coordinates are integers in database units (DBU), matching how detailed
+routers and the ISPD contest benchmarks represent layouts.  The kernel
+provides points (2-D and 3-D with a layer index), axis-aligned rectangles,
+closed integer intervals, rectilinear wire segments, macro placement
+transforms, and a uniform-bucket spatial index used for spacing / color
+conflict queries.
+"""
+
+from repro.geometry.point import Point, GridPoint
+from repro.geometry.interval import Interval
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.geometry.transform import Orientation, Transform
+from repro.geometry.spatial import SpatialIndex
+
+__all__ = [
+    "Point",
+    "GridPoint",
+    "Interval",
+    "Rect",
+    "Segment",
+    "Orientation",
+    "Transform",
+    "SpatialIndex",
+]

@@ -1,0 +1,78 @@
+"""Closed integer intervals.
+
+Intervals show up when reasoning about track spans, wire segment extents and
+spacing checks along one axis.  The convention is *closed* on both ends:
+``Interval(2, 5)`` contains 2, 3, 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``lo <= hi`` enforced."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        # Swap rather than raise: callers frequently construct from two
+        # unordered endpoints of a wire segment.
+        if self.lo > self.hi:
+            lo, hi = self.hi, self.lo
+            object.__setattr__(self, "lo", lo)
+            object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def from_endpoints(cls, a: int, b: int) -> "Interval":
+        """Build an interval from two unordered endpoints."""
+        return cls(min(a, b), max(a, b))
+
+    @property
+    def length(self) -> int:
+        """Return ``hi - lo`` (zero for a degenerate single-point interval)."""
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> float:
+        """Return the midpoint."""
+        return (self.lo + self.hi) / 2.0
+
+    def contains(self, value: int) -> bool:
+        """Return ``True`` when *value* lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return ``True`` when *other* is entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` when the two closed intervals share any point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def distance_to(self, other: "Interval") -> int:
+        """Return the gap between intervals (0 when they touch or overlap)."""
+        if self.overlaps(other):
+            return 0
+        return other.lo - self.hi if other.lo > self.hi else self.lo - other.hi
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Return the overlapping interval, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both (even if disjoint)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def expanded(self, amount: int) -> "Interval":
+        """Return the interval grown by *amount* on both sides."""
+        return Interval(self.lo - amount, self.hi + amount)
+
+    def shifted(self, amount: int) -> "Interval":
+        """Return the interval translated by *amount*."""
+        return Interval(self.lo + amount, self.hi + amount)

@@ -1,0 +1,83 @@
+"""Integer points in layout space and on the routing grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A 2-D point in database units.
+
+    Points are immutable and hashable so they can key dictionaries and sets
+    (pin access points, via locations, conflict sites).
+    """
+
+    x: int
+    y: int
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """Return the L1 distance to *other*."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev_distance(self, other: "Point") -> int:
+        """Return the L-infinity distance to *other*."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return ``(x, y)``."""
+        return self.x, self.y
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x}, {self.y})"
+
+
+@dataclass(frozen=True, order=True)
+class GridPoint:
+    """A vertex address on the 3-D routing grid: ``(layer, col, row)``.
+
+    ``layer`` indexes the routing layer stack (0 = lowest routing layer),
+    ``col``/``row`` index tracks, not DBU.  The routing grid translates grid
+    points to physical :class:`Point` coordinates.
+    """
+
+    layer: int
+    col: int
+    row: int
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.layer
+        yield self.col
+        yield self.row
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return ``(layer, col, row)``."""
+        return self.layer, self.col, self.row
+
+    def neighbor(self, dlayer: int = 0, dcol: int = 0, drow: int = 0) -> "GridPoint":
+        """Return the grid point offset by the given deltas."""
+        return GridPoint(self.layer + dlayer, self.col + dcol, self.row + drow)
+
+    def planar_distance(self, other: "GridPoint") -> int:
+        """Return the Manhattan distance ignoring the layer dimension."""
+        return abs(self.col - other.col) + abs(self.row - other.row)
+
+    def distance(self, other: "GridPoint", via_weight: int = 1) -> int:
+        """Return Manhattan distance with layer hops scaled by *via_weight*."""
+        return self.planar_distance(other) + via_weight * abs(self.layer - other.layer)
+
+    def same_layer(self, other: "GridPoint") -> bool:
+        """Return ``True`` when both points are on the same routing layer."""
+        return self.layer == other.layer
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"M{self.layer}({self.col}, {self.row})"

@@ -1,0 +1,123 @@
+"""A uniform-bucket spatial index for rectangle proximity queries.
+
+The router repeatedly asks "which shapes lie within distance *d* of this
+rectangle on this layer?" -- for spacing checks, color-conflict costing, and
+final conflict counting.  A uniform grid of buckets is simple, has no
+balancing cost, and is fast enough at the benchmark sizes used here (the
+same structure Dr.CU uses for its R-tree-free fast path).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, Iterator, List, Set, Tuple, TypeVar
+
+from repro.geometry.rect import Rect
+
+T = TypeVar("T")
+
+
+class SpatialIndex(Generic[T]):
+    """Bucketed index mapping rectangles to arbitrary payload objects.
+
+    Payloads must be hashable.  One index instance covers a single layer;
+    callers keep one index per routing layer.
+    """
+
+    def __init__(self, bucket_size: int = 64) -> None:
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self._bucket_size = bucket_size
+        self._buckets: Dict[Tuple[int, int], List[Tuple[Rect, T]]] = defaultdict(list)
+        self._items: Dict[T, List[Rect]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return sum(len(rects) for rects in self._items.values())
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, rect: Rect, item: T) -> None:
+        """Register *rect* with payload *item*."""
+        for key in self._bucket_keys(rect):
+            self._buckets[key].append((rect, item))
+        self._items[item].append(rect)
+
+    def remove_item(self, item: T) -> int:
+        """Remove every rectangle registered under *item*; return the count."""
+        rects = self._items.pop(item, [])
+        if not rects:
+            return 0
+        removed = 0
+        for rect in rects:
+            for key in self._bucket_keys(rect):
+                bucket = self._buckets.get(key)
+                if not bucket:
+                    continue
+                before = len(bucket)
+                bucket[:] = [(r, i) for (r, i) in bucket if not (i == item and r == rect)]
+                removed += before - len(bucket)
+        return len(rects)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._buckets.clear()
+        self._items.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, region: Rect) -> Iterator[Tuple[Rect, T]]:
+        """Yield ``(rect, item)`` pairs whose rectangles overlap *region*.
+
+        Each stored rectangle is yielded at most once even when it spans
+        several buckets.
+        """
+        seen: Set[Tuple[Rect, int]] = set()
+        for key in self._bucket_keys(region):
+            for rect, item in self._buckets.get(key, ()):
+                token = (rect, id(item))
+                if token in seen:
+                    continue
+                seen.add(token)
+                if rect.overlaps(region):
+                    yield rect, item
+
+    def query_items(self, region: Rect) -> Set[T]:
+        """Return the set of payloads overlapping *region*."""
+        return {item for _rect, item in self.query(region)}
+
+    def within(self, rect: Rect, distance: int) -> Iterator[Tuple[Rect, T]]:
+        """Yield ``(rect, item)`` whose spacing to *rect* is strictly below *distance*.
+
+        This is the query shape used by color-conflict costing: shapes closer
+        than the same-mask spacing ``Dcolor`` interact; shapes exactly at the
+        threshold are legal.
+        """
+        region = rect.expanded(max(distance, 0))
+        for other, item in self.query(region):
+            if other.distance_to(rect) < distance:
+                yield other, item
+
+    def items(self) -> Iterator[Tuple[Rect, T]]:
+        """Iterate over all stored ``(rect, item)`` pairs."""
+        for item, rects in self._items.items():
+            for rect in rects:
+                yield rect, item
+
+    def rectangles_of(self, item: T) -> List[Rect]:
+        """Return the rectangles registered under *item*."""
+        return list(self._items.get(item, ()))
+
+    # -- internals ----------------------------------------------------------
+
+    def _bucket_keys(self, rect: Rect) -> Iterable[Tuple[int, int]]:
+        size = self._bucket_size
+        x0 = rect.xlo // size
+        x1 = rect.xhi // size
+        y0 = rect.ylo // size
+        y1 = rect.yhi // size
+        for bx in range(x0, x1 + 1):
+            for by in range(y0, y1 + 1):
+                yield bx, by

@@ -1,0 +1,85 @@
+"""Placement orientations and transforms for cell / macro instances.
+
+Standard cells and macros are described once as masters in their own local
+coordinate system; instances place them at an offset with one of the eight
+standard orientations (DEF ``N, S, W, E, FN, FS, FW, FE``).  The transform
+maps master-space shapes (pins, obstructions) into chip space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Orientation(Enum):
+    """The eight DEF placement orientations."""
+
+    N = "N"    # no rotation
+    S = "S"    # 180 degrees
+    W = "W"    # 90 degrees counter-clockwise
+    E = "E"    # 90 degrees clockwise
+    FN = "FN"  # mirrored about the Y axis
+    FS = "FS"  # mirrored about the X axis
+    FW = "FW"  # mirrored then rotated 90 CCW
+    FE = "FE"  # mirrored then rotated 90 CW
+
+    @property
+    def swaps_axes(self) -> bool:
+        """Return ``True`` for orientations that exchange width and height."""
+        return self in (Orientation.W, Orientation.E, Orientation.FW, Orientation.FE)
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A placement transform: orientation about the origin, then translation.
+
+    The master's bounding box is assumed to have its lower-left corner at the
+    origin with size ``(width, height)``; this matches LEF macro conventions
+    and lets every orientation be expressed with simple coordinate swaps.
+    """
+
+    offset: Point
+    orientation: Orientation = Orientation.N
+    width: int = 0
+    height: int = 0
+
+    def apply_to_point(self, point: Point) -> Point:
+        """Map a master-space point into chip space."""
+        x, y = point.x, point.y
+        w, h = self.width, self.height
+        orient = self.orientation
+        if orient is Orientation.N:
+            tx, ty = x, y
+        elif orient is Orientation.S:
+            tx, ty = w - x, h - y
+        elif orient is Orientation.W:
+            tx, ty = h - y, x
+        elif orient is Orientation.E:
+            tx, ty = y, w - x
+        elif orient is Orientation.FN:
+            tx, ty = w - x, y
+        elif orient is Orientation.FS:
+            tx, ty = x, h - y
+        elif orient is Orientation.FW:
+            tx, ty = y, x
+        elif orient is Orientation.FE:
+            tx, ty = h - y, w - x
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unknown orientation {orient}")
+        return Point(tx + self.offset.x, ty + self.offset.y)
+
+    def apply_to_rect(self, rect: Rect) -> Rect:
+        """Map a master-space rectangle into chip space."""
+        a = self.apply_to_point(Point(rect.xlo, rect.ylo))
+        b = self.apply_to_point(Point(rect.xhi, rect.yhi))
+        return Rect.from_points(a, b)
+
+    def placed_size(self) -> Point:
+        """Return the instance footprint size after orientation."""
+        if self.orientation.swaps_axes:
+            return Point(self.height, self.width)
+        return Point(self.width, self.height)

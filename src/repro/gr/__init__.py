@@ -1,0 +1,22 @@
+"""Global routing: Steiner topology, congestion-aware GR, and route guides.
+
+Mr.TPL's flow (paper Fig. 2) "calculates color cost by GR guide": the
+detailed router prefers to stay inside the per-net guide produced here, and
+the color-aware cost terms are evaluated within that region.  The global
+router is a congestion-negotiating maze router over the GCell grid with an
+rectilinear-Steiner-tree topology step, which is the standard structure of
+the GR stage feeding Dr.CU-class detailed routers.
+"""
+
+from repro.gr.steiner import SteinerTree, build_steiner_tree, rectilinear_mst
+from repro.gr.guide import RouteGuide, GuideSet
+from repro.gr.global_router import GlobalRouter
+
+__all__ = [
+    "SteinerTree",
+    "build_steiner_tree",
+    "rectilinear_mst",
+    "RouteGuide",
+    "GuideSet",
+    "GlobalRouter",
+]

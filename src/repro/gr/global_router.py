@@ -1,0 +1,151 @@
+"""A congestion-aware global router producing per-net route guides.
+
+The global router is deliberately simple -- its job in this reproduction is
+to provide realistic GR guides for the detailed routers (the paper's flow
+"calculate[s] color cost by GR guide"), not to compete with industrial GR:
+
+1. compute a rectilinear Steiner topology per net (:mod:`repro.gr.steiner`),
+2. route each 2-pin connection of the topology over the GCell grid with a
+   congestion-penalised Dijkstra search (layer 0 is reserved for pin access,
+   planar routing happens on layers 1+ in their preferred direction),
+3. accumulate boundary usage so later nets avoid congested regions,
+4. emit a :class:`~repro.gr.guide.GuideSet` with one expanded guide per net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.design import Design, Net
+from repro.geometry import Point
+from repro.gr.guide import GuideSet, RouteGuide
+from repro.gr.steiner import build_steiner_tree
+from repro.grid.gcell import GCell, GCellGrid
+from repro.utils import UpdatablePriorityQueue, get_logger
+
+_LOG = get_logger("gr.global_router")
+
+
+class GlobalRouter:
+    """Guide-producing global router over the GCell grid."""
+
+    def __init__(
+        self,
+        design: Design,
+        gcell_size: int = 16,
+        capacity: int = 6,
+        guide_margin: int = 1,
+    ) -> None:
+        self.design = design
+        self.gcell_grid = GCellGrid(design, gcell_size=gcell_size, capacity=capacity)
+        self.guide_margin = guide_margin
+
+    # -- public API -----------------------------------------------------------
+
+    def route(self) -> GuideSet:
+        """Globally route every routable net and return the guide set.
+
+        Nets are processed in increasing half-perimeter wirelength order so
+        short nets (hard to detour) claim their resources first -- the usual
+        net-ordering heuristic of sequential global routers.
+        """
+        guides = GuideSet(self.gcell_grid)
+        nets = sorted(
+            self.design.routable_nets(),
+            key=lambda net: (net.half_perimeter_wirelength(), net.name),
+        )
+        for net in nets:
+            guide = self.route_net(net)
+            guides.add(guide.expanded(self.gcell_grid, self.guide_margin))
+        _LOG.info(
+            "global routing done: %d nets, overflow %.1f",
+            len(nets),
+            self.gcell_grid.total_overflow(),
+        )
+        return guides
+
+    def route_net(self, net: Net) -> RouteGuide:
+        """Globally route one net and return its (unexpanded) guide."""
+        guide = RouteGuide(net.name)
+        pin_points = [pin.center() for pin in net.pins]
+        pin_cells = [self.gcell_grid.cell_of_point(0, point) for point in pin_points]
+        for cell in pin_cells:
+            guide.add_cell(cell)
+        if len(set(pin_cells)) <= 1:
+            return guide
+        tree = build_steiner_tree(pin_points)
+        for start, end in tree.two_pin_connections():
+            path = self._route_two_pin(start, end)
+            for cell in path:
+                guide.add_cell(cell)
+            for a, b in zip(path, path[1:]):
+                if a.layer == b.layer:
+                    self.gcell_grid.add_usage(a, b)
+        return guide
+
+    # -- 2-pin GCell routing --------------------------------------------------
+
+    def _route_two_pin(self, start: Point, end: Point) -> List[GCell]:
+        """Route one topology edge on the GCell grid; returns the cell path."""
+        grid = self.gcell_grid
+        source = grid.cell_of_point(0, start)
+        target = grid.cell_of_point(0, end)
+        if source == target:
+            return [source]
+        frontier: UpdatablePriorityQueue = UpdatablePriorityQueue()
+        frontier.push(source, 0.0)
+        best_cost: Dict[GCell, float] = {source: 0.0}
+        parent: Dict[GCell, Optional[GCell]] = {source: None}
+        target_planar = (target.gx, target.gy)
+        found: Optional[GCell] = None
+        while frontier:
+            cell, _priority = frontier.pop()
+            cost = best_cost[cell]
+            if (cell.gx, cell.gy) == target_planar:
+                found = cell
+                break
+            for nbr in grid.neighbors(cell):
+                step = self._edge_cost(cell, nbr)
+                candidate = cost + step
+                if candidate < best_cost.get(nbr, float("inf")):
+                    best_cost[nbr] = candidate
+                    parent[nbr] = cell
+                    heuristic = self._lower_bound(nbr, target)
+                    frontier.push(nbr, candidate + heuristic)
+        if found is None:
+            # Unreachable targets should not happen on an open GCell grid, but
+            # fall back to the straight bounding-box guide rather than failing.
+            return self._bounding_box_cells(source, target)
+        path: List[GCell] = []
+        cursor: Optional[GCell] = found
+        while cursor is not None:
+            path.append(cursor)
+            cursor = parent[cursor]
+        path.reverse()
+        return path
+
+    def _edge_cost(self, a: GCell, b: GCell) -> float:
+        grid = self.gcell_grid
+        if a.layer != b.layer:
+            return 2.0
+        layer = self.design.tech.layers[a.layer]
+        horizontal_move = a.gy == b.gy
+        preferred = (layer.is_horizontal and horizontal_move) or (
+            layer.is_vertical and not horizontal_move
+        )
+        direction_penalty = 1.0 if preferred else 2.5
+        # Layer 0 carries pins and cell obstructions: discourage planar use.
+        if a.layer == 0:
+            direction_penalty *= 4.0
+        return direction_penalty * grid.congestion_cost(a, b)
+
+    def _lower_bound(self, cell: GCell, target: GCell) -> float:
+        return abs(cell.gx - target.gx) + abs(cell.gy - target.gy)
+
+    def _bounding_box_cells(self, a: GCell, b: GCell) -> List[GCell]:
+        cells = []
+        for gx in range(min(a.gx, b.gx), max(a.gx, b.gx) + 1):
+            for gy in range(min(a.gy, b.gy), max(a.gy, b.gy) + 1):
+                for layer in range(self.gcell_grid.num_layers):
+                    cells.append(GCell(layer, gx, gy))
+        return cells

@@ -1,0 +1,568 @@
+"""The 3-D routing grid graph.
+
+Vertices live at ``(layer, col, row)`` where *col*/*row* index a uniform
+track lattice covering the die.  Edges connect planar neighbours on the same
+layer (preferred-direction moves are cheap, wrong-way moves are penalised)
+and vertically adjacent layers through vias.
+
+The grid also stores the mutable routing state shared between nets:
+
+* hard blockages (obstacles, macro obstructions),
+* per-vertex net occupancy (who currently owns the metal at a vertex),
+* per-vertex mask colors of already routed-and-colored metal,
+* pre-colored fixed shapes (colored obstacles) that constrain the TPL masks,
+* history cost accumulated by the rip-up-and-reroute loop.
+
+All routers (the plain detailed router, the Mr.TPL color-state router, and
+the DAC-2012 baseline) operate on this one structure so their comparisons
+run on identical inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.design import Design
+from repro.geometry import GridPoint, Point, Rect, SpatialIndex
+from repro.tech import DesignRules, TechStack
+
+
+class Direction(Enum):
+    """Search directions from a grid vertex (paper Alg. 2: ``{F,B,R,L,U,D}``)."""
+
+    EAST = (0, 1, 0)    # +col
+    WEST = (0, -1, 0)   # -col
+    NORTH = (0, 0, 1)   # +row
+    SOUTH = (0, 0, -1)  # -row
+    UP = (1, 0, 0)      # +layer (via)
+    DOWN = (-1, 0, 0)   # -layer (via)
+
+    @property
+    def delta(self) -> Tuple[int, int, int]:
+        """Return ``(dlayer, dcol, drow)``."""
+        return self.value
+
+    @property
+    def is_via(self) -> bool:
+        """Return ``True`` for layer-changing moves."""
+        return self in (Direction.UP, Direction.DOWN)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """Return ``True`` for moves along the x axis."""
+        return self in (Direction.EAST, Direction.WEST)
+
+    @property
+    def is_vertical(self) -> bool:
+        """Return ``True`` for moves along the y axis."""
+        return self in (Direction.NORTH, Direction.SOUTH)
+
+    @property
+    def opposite(self) -> "Direction":
+        """Return the reverse direction."""
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.UP: Direction.DOWN,
+    Direction.DOWN: Direction.UP,
+}
+
+#: Planar directions only (no vias); the stitch rule of Algorithm 2 applies
+#: to these, because a via between layers is never a stitch.
+PLANAR_DIRECTIONS: Tuple[Direction, ...] = (
+    Direction.EAST,
+    Direction.WEST,
+    Direction.NORTH,
+    Direction.SOUTH,
+)
+
+#: All six search directions.
+ALL_DIRECTIONS: Tuple[Direction, ...] = PLANAR_DIRECTIONS + (Direction.UP, Direction.DOWN)
+
+
+@dataclass(frozen=True)
+class ColoredShape:
+    """A piece of colored metal registered on the grid for TPL interactions."""
+
+    net_name: str
+    color: int
+    rect: Rect
+    layer: int
+
+
+class RoutingGrid:
+    """Mutable routing grid over a :class:`~repro.design.Design`.
+
+    Parameters
+    ----------
+    design:
+        The design whose die area, obstacles and pins seed the grid.
+    pitch:
+        Track pitch in DBU; a single pitch shared by all layers keeps vertex
+        columns/rows aligned vertically so vias land on track crossings.
+    """
+
+    def __init__(self, design: Design, pitch: Optional[int] = None) -> None:
+        self.design = design
+        self.tech: TechStack = design.tech
+        self.rules: DesignRules = design.tech.rules
+        self.pitch = pitch if pitch is not None else self.tech.layers[0].pitch
+        if self.pitch <= 0:
+            raise ValueError("track pitch must be positive")
+
+        die = design.die_area
+        self.origin = Point(die.xlo, die.ylo)
+        self.num_layers = self.tech.num_layers
+        self.num_cols = max(2, die.width // self.pitch + 1)
+        self.num_rows = max(2, die.height // self.pitch + 1)
+
+        # Hard blockages per vertex.
+        self._blocked: Set[GridPoint] = set()
+        # Net occupancy: vertex -> set of net names whose metal covers it.
+        self._occupancy: Dict[GridPoint, Set[str]] = defaultdict(set)
+        # Final mask color of routed metal: (vertex) -> color in {0,1,2}.
+        self._vertex_color: Dict[GridPoint, int] = {}
+        # History cost from rip-up & reroute negotiation.
+        self._history: Dict[GridPoint, float] = defaultdict(float)
+        # Colored metal shapes (routed wires and pre-colored obstacles) for
+        # color-distance queries, one spatial index per layer.
+        self._colored_shapes: List[SpatialIndex[ColoredShape]] = [
+            SpatialIndex(bucket_size=max(self.pitch * 8, 16)) for _ in range(self.num_layers)
+        ]
+        # Blockage shapes per layer for spacing-aware cost queries.
+        self._blockage_shapes: List[SpatialIndex[str]] = [
+            SpatialIndex(bucket_size=max(self.pitch * 8, 16)) for _ in range(self.num_layers)
+        ]
+        # Incremental color pressure: for every vertex, how much conflict cost
+        # each mask would currently incur there (aggregated over all colored
+        # metal within Dcolor).  A per-net overlay allows excluding a net's own
+        # contribution when it is the one being routed.  This replaces
+        # repeated spatial queries on the router's hottest path.
+        self._color_pressure: Dict[GridPoint, List[float]] = {}
+        self._net_pressure: Dict[Tuple[str, GridPoint], List[float]] = {}
+        self._net_colored_vertices: Dict[str, List[Tuple[GridPoint, int]]] = defaultdict(list)
+        self._pressure_offsets_cache: Dict[int, List[Tuple[int, int]]] = {}
+
+        self._apply_design_blockages()
+        self._register_fixed_colors()
+
+    # ------------------------------------------------------------------
+    # Geometry mapping
+    # ------------------------------------------------------------------
+
+    def in_bounds(self, vertex: GridPoint) -> bool:
+        """Return ``True`` when *vertex* lies inside the grid."""
+        return (
+            0 <= vertex.layer < self.num_layers
+            and 0 <= vertex.col < self.num_cols
+            and 0 <= vertex.row < self.num_rows
+        )
+
+    def physical_point(self, vertex: GridPoint) -> Point:
+        """Return the DBU coordinate of *vertex*."""
+        return Point(
+            self.origin.x + vertex.col * self.pitch,
+            self.origin.y + vertex.row * self.pitch,
+        )
+
+    def vertex_rect(self, vertex: GridPoint) -> Rect:
+        """Return the metal rectangle a wire through *vertex* occupies."""
+        half = max(self.rules.wire_width // 2, 0)
+        point = self.physical_point(vertex)
+        return Rect(point.x - half, point.y - half, point.x + half, point.y + half)
+
+    def nearest_vertex(self, layer: int, point: Point) -> GridPoint:
+        """Return the grid vertex on *layer* closest to *point* (clamped)."""
+        col = round((point.x - self.origin.x) / self.pitch)
+        row = round((point.y - self.origin.y) / self.pitch)
+        col = min(max(col, 0), self.num_cols - 1)
+        row = min(max(row, 0), self.num_rows - 1)
+        return GridPoint(layer, col, row)
+
+    def vertices_covering(self, layer: int, rect: Rect) -> List[GridPoint]:
+        """Return the vertices on *layer* whose track crossing lies inside *rect*."""
+        col_lo = max(0, -(-(rect.xlo - self.origin.x) // self.pitch))
+        col_hi = min(self.num_cols - 1, (rect.xhi - self.origin.x) // self.pitch)
+        row_lo = max(0, -(-(rect.ylo - self.origin.y) // self.pitch))
+        row_hi = min(self.num_rows - 1, (rect.yhi - self.origin.y) // self.pitch)
+        vertices: List[GridPoint] = []
+        for col in range(col_lo, col_hi + 1):
+            for row in range(row_lo, row_hi + 1):
+                vertices.append(GridPoint(layer, col, row))
+        return vertices
+
+    def pin_access_vertices(self, pin: "object") -> List[GridPoint]:
+        """Return unblocked grid vertices covered by *pin*'s shapes.
+
+        If a pin shape covers no track crossing (possible for tiny off-grid
+        pins), the nearest vertex to the shape centre is used instead so
+        every pin stays reachable.
+        """
+        vertices: List[GridPoint] = []
+        for shape in pin.shapes:
+            covered = self.vertices_covering(shape.layer, shape.rect)
+            if not covered:
+                covered = [self.nearest_vertex(shape.layer, shape.rect.center)]
+            vertices.extend(v for v in covered if not self.is_blocked(v))
+        if not vertices:
+            # Every covered vertex is blocked; fall back to the raw cover so
+            # the router can at least report the failure meaningfully.
+            for shape in pin.shapes:
+                covered = self.vertices_covering(shape.layer, shape.rect)
+                if not covered:
+                    covered = [self.nearest_vertex(shape.layer, shape.rect.center)]
+                vertices.extend(covered)
+        # Deterministic order helps reproducibility.
+        return sorted(set(vertices))
+
+    def all_vertices(self) -> Iterator[GridPoint]:
+        """Iterate over every vertex of the grid (layer-major order)."""
+        for layer in range(self.num_layers):
+            for col in range(self.num_cols):
+                for row in range(self.num_rows):
+                    yield GridPoint(layer, col, row)
+
+    @property
+    def num_vertices(self) -> int:
+        """Return the total vertex count."""
+        return self.num_layers * self.num_cols * self.num_rows
+
+    # ------------------------------------------------------------------
+    # Neighbourhood and base edge costs
+    # ------------------------------------------------------------------
+
+    def neighbor(self, vertex: GridPoint, direction: Direction) -> Optional[GridPoint]:
+        """Return the vertex adjacent to *vertex* in *direction*, or ``None``."""
+        dlayer, dcol, drow = direction.delta
+        candidate = GridPoint(vertex.layer + dlayer, vertex.col + dcol, vertex.row + drow)
+        if not self.in_bounds(candidate):
+            return None
+        return candidate
+
+    def neighbors(self, vertex: GridPoint) -> Iterator[Tuple[Direction, GridPoint]]:
+        """Yield ``(direction, neighbor)`` pairs for all in-bounds neighbours."""
+        for direction in ALL_DIRECTIONS:
+            nbr = self.neighbor(vertex, direction)
+            if nbr is not None:
+                yield direction, nbr
+
+    def base_edge_cost(self, vertex: GridPoint, direction: Direction) -> float:
+        """Return the traditional routing cost of moving from *vertex* in *direction*.
+
+        This is the ``Cost_trad`` term of the paper's Eq. (1): unit wirelength
+        for preferred-direction moves, a wrong-way penalty for off-direction
+        moves, and the via cost for layer changes.  History and occupancy
+        penalties are added separately because they depend on the destination
+        vertex state at query time.
+        """
+        if direction.is_via:
+            return self.rules.via_cost
+        layer = self.tech.layers[vertex.layer]
+        preferred = (
+            layer.is_horizontal and direction.is_horizontal
+            or layer.is_vertical and direction.is_vertical
+        )
+        return 1.0 if preferred else self.rules.wrong_way_penalty
+
+    def congestion_cost(self, vertex: GridPoint, net_name: str) -> float:
+        """Return history + occupancy cost of placing *net_name* metal at *vertex*."""
+        cost = self.rules.history_weight * self._history.get(vertex, 0.0)
+        owners = self._occupancy.get(vertex)
+        if owners and any(owner != net_name for owner in owners):
+            cost += self.rules.occupancy_penalty
+        return cost
+
+    # ------------------------------------------------------------------
+    # Blockages
+    # ------------------------------------------------------------------
+
+    def block_vertex(self, vertex: GridPoint) -> None:
+        """Mark a single vertex as unusable."""
+        self._blocked.add(vertex)
+
+    def block_rect(self, layer: int, rect: Rect, name: str = "blockage") -> int:
+        """Block every vertex covered by *rect* on *layer*; return the count."""
+        vertices = self.vertices_covering(layer, rect)
+        for vertex in vertices:
+            self._blocked.add(vertex)
+        self._blockage_shapes[layer].insert(rect, name)
+        return len(vertices)
+
+    def is_blocked(self, vertex: GridPoint) -> bool:
+        """Return ``True`` when *vertex* is covered by a hard blockage."""
+        return vertex in self._blocked
+
+    def blocked_vertices(self) -> Set[GridPoint]:
+        """Return a copy of the blocked vertex set."""
+        return set(self._blocked)
+
+    def _apply_design_blockages(self) -> None:
+        for shape in self.design.blockage_shapes():
+            if 0 <= shape.layer < self.num_layers:
+                self.block_rect(shape.layer, shape.rect)
+
+    def _register_fixed_colors(self) -> None:
+        for obstacle in self.design.colored_obstacles():
+            if 0 <= obstacle.layer < self.num_layers:
+                net_name = f"__fixed__{obstacle.name or id(obstacle)}"
+                shape = ColoredShape(
+                    net_name=net_name,
+                    color=obstacle.color,
+                    rect=obstacle.rect,
+                    layer=obstacle.layer,
+                )
+                self._colored_shapes[obstacle.layer].insert(obstacle.rect, shape)
+                self._add_rect_pressure(obstacle.layer, obstacle.rect, net_name, obstacle.color)
+
+    # ------------------------------------------------------------------
+    # Incremental color pressure
+    # ------------------------------------------------------------------
+
+    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int]]:
+        """Return the ``(dcol, drow)`` offsets whose vertices interact at Dcolor.
+
+        Two vertices interact when the spacing between their metal rectangles
+        is below the layer's color spacing; the offsets are precomputed once
+        per layer so color-pressure updates are O(neighbourhood).
+        """
+        cached = self._pressure_offsets_cache.get(layer)
+        if cached is not None:
+            return cached
+        dcolor = self.rules.color_spacing_on(layer)
+        half = max(self.rules.wire_width // 2, 0)
+        reach = max(1, -(-(dcolor + 2 * half) // self.pitch))
+        offsets: List[Tuple[int, int]] = []
+        base = Rect(-half, -half, half, half)
+        for dcol in range(-reach, reach + 1):
+            for drow in range(-reach, reach + 1):
+                other = Rect(
+                    dcol * self.pitch - half,
+                    drow * self.pitch - half,
+                    dcol * self.pitch + half,
+                    drow * self.pitch + half,
+                )
+                if base.distance_to(other) < dcolor:
+                    offsets.append((dcol, drow))
+        self._pressure_offsets_cache[layer] = offsets
+        return offsets
+
+    def _add_vertex_pressure(
+        self, vertex: GridPoint, net_name: str, color: int, sign: float
+    ) -> None:
+        """Add (or remove, with ``sign=-1``) the pressure of one colored vertex."""
+        if not self.tech.layers[vertex.layer].tpl:
+            return
+        amount = sign * self.rules.conflict_cost
+        for dcol, drow in self._pressure_offsets(vertex.layer):
+            col = vertex.col + dcol
+            row = vertex.row + drow
+            if not (0 <= col < self.num_cols and 0 <= row < self.num_rows):
+                continue
+            target = GridPoint(vertex.layer, col, row)
+            aggregate = self._color_pressure.get(target)
+            if aggregate is None:
+                aggregate = [0.0, 0.0, 0.0]
+                self._color_pressure[target] = aggregate
+            aggregate[color] += amount
+            key = (net_name, target)
+            own = self._net_pressure.get(key)
+            if own is None:
+                own = [0.0, 0.0, 0.0]
+                self._net_pressure[key] = own
+            own[color] += amount
+
+    def _add_rect_pressure(self, layer: int, rect: Rect, net_name: str, color: int) -> None:
+        """Spread the pressure of a colored rectangle (fixed obstacle) on *layer*."""
+        if not (0 <= color <= 2) or not self.tech.layers[layer].tpl:
+            return
+        dcolor = self.rules.color_spacing_on(layer)
+        region = rect.expanded(dcolor + self.pitch)
+        for vertex in self.vertices_covering(layer, region):
+            if self.vertex_rect(vertex).distance_to(rect) < dcolor:
+                aggregate = self._color_pressure.setdefault(vertex, [0.0, 0.0, 0.0])
+                aggregate[color] += self.rules.conflict_cost
+                own = self._net_pressure.setdefault((net_name, vertex), [0.0, 0.0, 0.0])
+                own[color] += self.rules.conflict_cost
+
+    # ------------------------------------------------------------------
+    # Occupancy (routed metal ownership)
+    # ------------------------------------------------------------------
+
+    def occupy(self, vertex: GridPoint, net_name: str) -> None:
+        """Record that *net_name* has metal at *vertex*."""
+        self._occupancy[vertex].add(net_name)
+
+    def release_net(self, net_name: str) -> int:
+        """Remove all occupancy, colors and colored shapes of *net_name*.
+
+        Returns the number of vertices released.  Used by rip-up & reroute.
+        """
+        released = 0
+        for vertex, owners in list(self._occupancy.items()):
+            if net_name in owners:
+                owners.discard(net_name)
+                released += 1
+                if not owners:
+                    del self._occupancy[vertex]
+                self._vertex_color.pop(vertex, None)
+        for vertex, color in self._net_colored_vertices.pop(net_name, []):
+            self._add_vertex_pressure(vertex, net_name, color, sign=-1.0)
+        for layer_index in range(self.num_layers):
+            index = self._colored_shapes[layer_index]
+            stale = [item for _rect, item in index.items() if item.net_name == net_name]
+            for item in stale:
+                index.remove_item(item)
+        return released
+
+    def occupants(self, vertex: GridPoint) -> Set[str]:
+        """Return the set of net names with metal at *vertex*."""
+        return set(self._occupancy.get(vertex, ()))
+
+    def is_occupied_by_other(self, vertex: GridPoint, net_name: str) -> bool:
+        """Return ``True`` when a different net already has metal at *vertex*."""
+        owners = self._occupancy.get(vertex)
+        return bool(owners) and any(owner != net_name for owner in owners)
+
+    def occupied_vertices(self) -> Dict[GridPoint, Set[str]]:
+        """Return a copy of the occupancy map."""
+        return {vertex: set(owners) for vertex, owners in self._occupancy.items()}
+
+    # ------------------------------------------------------------------
+    # Colors (TPL masks) on routed metal
+    # ------------------------------------------------------------------
+
+    def set_vertex_color(self, vertex: GridPoint, net_name: str, color: int) -> None:
+        """Color the routed metal of *net_name* at *vertex* with mask *color*.
+
+        Re-coloring the same vertex for the same net is idempotent (same
+        color) or replaces the previous contribution (different color), so
+        the incremental pressure bookkeeping never double-counts.
+        """
+        if not 0 <= color <= 2:
+            raise ValueError(f"TPL mask color must be 0, 1 or 2, got {color}")
+        registered = dict(self._net_colored_vertices.get(net_name, ()))
+        previous = registered.get(vertex)
+        if previous == color:
+            self._vertex_color[vertex] = color
+            return
+        if previous is not None:
+            self._add_vertex_pressure(vertex, net_name, previous, sign=-1.0)
+            self._net_colored_vertices[net_name] = [
+                (v, c) for v, c in self._net_colored_vertices[net_name] if v != vertex
+            ]
+        self._vertex_color[vertex] = color
+        shape = ColoredShape(
+            net_name=net_name,
+            color=color,
+            rect=self.vertex_rect(vertex),
+            layer=vertex.layer,
+        )
+        self._colored_shapes[vertex.layer].insert(shape.rect, shape)
+        self._net_colored_vertices[net_name].append((vertex, color))
+        self._add_vertex_pressure(vertex, net_name, color, sign=1.0)
+
+    def vertex_color(self, vertex: GridPoint) -> Optional[int]:
+        """Return the mask color of routed metal at *vertex*, if any."""
+        return self._vertex_color.get(vertex)
+
+    def colored_shapes_near(
+        self, layer: int, rect: Rect, distance: int
+    ) -> Iterator[Tuple[Rect, ColoredShape]]:
+        """Yield colored shapes on *layer* closer than *distance* to *rect*."""
+        if not 0 <= layer < self.num_layers:
+            return
+        yield from self._colored_shapes[layer].within(rect, distance)
+
+    def color_cost(self, vertex: GridPoint, net_name: str, color: int) -> float:
+        """Return the TPL color cost of putting *color* metal of *net_name* at *vertex*.
+
+        This is the ``Cost_color`` term of Eq. (1): each already-colored piece
+        of metal of a *different* net on the same layer within ``Dcolor`` and
+        sharing the candidate mask contributes one conflict penalty.  Metal of
+        the same net never conflicts (it will be electrically connected).
+        """
+        return self.color_costs(vertex, net_name)[color]
+
+    def color_costs(self, vertex: GridPoint, net_name: str) -> List[float]:
+        """Return the color cost for each of the three masks at *vertex*.
+
+        The value is served from the incrementally maintained color-pressure
+        map (updated on :meth:`set_vertex_color` / :meth:`release_net`), with
+        the querying net's own contribution subtracted out.
+        """
+        aggregate = self._color_pressure.get(vertex)
+        if aggregate is None:
+            return [0.0, 0.0, 0.0]
+        own = self._net_pressure.get((net_name, vertex))
+        if own is None:
+            return list(aggregate)
+        return [max(aggregate[i] - own[i], 0.0) for i in range(3)]
+
+    # ------------------------------------------------------------------
+    # History cost (negotiated congestion)
+    # ------------------------------------------------------------------
+
+    def add_history(self, vertex: GridPoint, amount: float = 1.0) -> None:
+        """Increase the history cost at *vertex* (rip-up & reroute feedback)."""
+        self._history[vertex] += amount
+
+    def history(self, vertex: GridPoint) -> float:
+        """Return the accumulated history cost at *vertex*."""
+        return self._history.get(vertex, 0.0)
+
+    def decay_history(self, factor: float = 0.9) -> None:
+        """Multiply every history entry by *factor* (PathFinder-style decay)."""
+        for vertex in list(self._history):
+            self._history[vertex] *= factor
+            if self._history[vertex] < 1e-9:
+                del self._history[vertex]
+
+    # ------------------------------------------------------------------
+    # Bulk state management
+    # ------------------------------------------------------------------
+
+    def reset_routing_state(self) -> None:
+        """Drop all routing results (occupancy, colors, history) but keep blockages."""
+        self._occupancy.clear()
+        self._vertex_color.clear()
+        self._history.clear()
+        self._color_pressure.clear()
+        self._net_pressure.clear()
+        self._net_colored_vertices.clear()
+        for layer_index in range(self.num_layers):
+            index = self._colored_shapes[layer_index]
+            fixed = [
+                (rect, item)
+                for rect, item in index.items()
+                if item.net_name.startswith("__fixed__")
+            ]
+            index.clear()
+            for rect, item in fixed:
+                index.insert(rect, item)
+        # Re-seed the pressure of the fixed, pre-colored obstacles.
+        for obstacle in self.design.colored_obstacles():
+            if 0 <= obstacle.layer < self.num_layers:
+                self._add_rect_pressure(
+                    obstacle.layer,
+                    obstacle.rect,
+                    f"__fixed__{obstacle.name or id(obstacle)}",
+                    obstacle.color,
+                )
+
+    def snapshot_statistics(self) -> Dict[str, int]:
+        """Return grid occupancy statistics (used by reports and tests)."""
+        return {
+            "vertices": self.num_vertices,
+            "blocked": len(self._blocked),
+            "occupied": len(self._occupancy),
+            "colored": len(self._vertex_color),
+            "history_entries": len(self._history),
+        }

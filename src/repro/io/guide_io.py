@@ -1,0 +1,86 @@
+"""ISPD-style route guide files.
+
+The contests exchange global-routing results as ``.guide`` files: one block
+per net listing guide rectangles with their layer.  The same format is used
+here so guides can be persisted, inspected, and re-loaded into the detailed
+routers without re-running global routing.
+
+.. code-block:: text
+
+    net_12
+    (
+    0 0 64 32 M2
+    32 0 96 32 M3
+    )
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.geometry import Rect
+from repro.gr.guide import GuideSet, RouteGuide
+from repro.grid.gcell import GCell, GCellGrid
+
+PathLike = Union[str, Path]
+
+
+def _layer_name(index: int) -> str:
+    return f"M{index + 1}"
+
+
+def _layer_index(name: str) -> int:
+    return int(name[1:]) - 1
+
+
+def write_guides(guides: GuideSet, path: PathLike) -> None:
+    """Write *guides* in the ISPD ``.guide`` format."""
+    grid = guides.gcell_grid
+    lines: List[str] = []
+    for net_name in guides.net_names():
+        guide = guides.guide_of(net_name)
+        lines.append(net_name)
+        lines.append("(")
+        for layer, rect in guide.rectangles(grid):
+            lines.append(f"{rect.xlo} {rect.ylo} {rect.xhi} {rect.yhi} {_layer_name(layer)}")
+        lines.append(")")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_guides(path: PathLike, gcell_grid: GCellGrid) -> GuideSet:
+    """Read a ``.guide`` file back into a :class:`GuideSet`.
+
+    Each rectangle is mapped onto the GCells it covers on its layer, so the
+    round trip is exact as long as the same GCell grid is used for writing
+    and reading.
+    """
+    guides = GuideSet(gcell_grid)
+    current_name: str = ""
+    current_guide: RouteGuide = RouteGuide("")
+    in_block = False
+    for raw_line in Path(path).read_text().splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line == "(":
+            in_block = True
+            continue
+        if line == ")":
+            if current_name:
+                guides.add(current_guide)
+            in_block = False
+            current_name = ""
+            continue
+        if not in_block:
+            current_name = line
+            current_guide = RouteGuide(current_name)
+            continue
+        tokens = line.split()
+        xlo, ylo, xhi, yhi = (int(tokens[i]) for i in range(4))
+        layer = _layer_index(tokens[4])
+        # Shrink by one DBU so a rectangle that ends exactly on a GCell
+        # boundary does not bleed into the neighbouring cell on read-back.
+        rect = Rect(xlo, ylo, max(xlo, xhi - 1), max(ylo, yhi - 1))
+        current_guide.add_cells(gcell_grid.cells_covering(layer, rect))
+    return guides

@@ -1,0 +1,20 @@
+"""Technology model: routing layers, design rules, and the layer stack.
+
+The technology captures everything the routers need to know about the
+process: layer directions and pitches, minimum width and spacing, via costs,
+and -- central to this paper -- the same-mask color spacing ``Dcolor`` that
+defines when two shapes on the same triple-patterning mask conflict.
+"""
+
+from repro.tech.layer import Layer, LayerDirection
+from repro.tech.rules import DesignRules, TPL_MASK_COUNT
+from repro.tech.stack import TechStack, make_default_tech
+
+__all__ = [
+    "Layer",
+    "LayerDirection",
+    "DesignRules",
+    "TechStack",
+    "make_default_tech",
+    "TPL_MASK_COUNT",
+]

@@ -1,0 +1,107 @@
+"""Design rules, including the triple-patterning color spacing.
+
+The rule set follows the structure of the ISPD 2018/2019 initial detailed
+routing contests (minimum width / spacing, via costs, off-track and
+off-guide penalties) plus the TPL-specific ``Dcolor`` same-mask spacing
+used by the paper's problem formulation:
+
+    "when the distance between patterns on a layout falls below a predefined
+     threshold, these patterns must be assigned to separate masks"
+
+Two shapes closer than ``spacing`` are a short/spacing violation regardless
+of mask; two shapes whose distance is in ``[spacing, color_spacing)`` are
+legal only if they sit on different masks; at or beyond ``color_spacing``
+they never interact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Number of masks in triple patterning lithography.
+TPL_MASK_COUNT = 3
+
+
+@dataclass
+class DesignRules:
+    """Container for the routing and coloring rules used by all routers.
+
+    The cost weights ``alpha`` / ``beta`` / ``gamma`` are the weighting
+    factors of the paper's Eq. (1):
+
+        ``Cost(e) = alpha*Cost_trad(e) + beta*Cost_stitch(e) + gamma*Cost_color(e)``
+    """
+
+    #: Same-mask spacing threshold ``Dcolor`` in DBU: patterns closer than
+    #: this must be on different masks.
+    color_spacing: int = 3
+
+    #: Hard minimum spacing in DBU below which shapes conflict on any mask.
+    min_spacing: int = 1
+
+    #: Default wire width in DBU (the grid routers use centre-line geometry,
+    #: so this mainly affects exported shapes and scoring).
+    wire_width: int = 1
+
+    #: Weight of the traditional routing cost (wirelength, vias, congestion).
+    alpha: float = 1.0
+
+    #: Weight of the stitch cost.
+    beta: float = 4.0
+
+    #: Weight of the color conflict cost.
+    gamma: float = 12.0
+
+    #: Cost of one via (layer change) in units of planar edge cost.
+    via_cost: float = 4.0
+
+    #: Multiplier applied to edges running against the layer's preferred
+    #: direction.
+    wrong_way_penalty: float = 3.0
+
+    #: Cost added for routing outside the net's global-routing guide.
+    out_of_guide_penalty: float = 2.0
+
+    #: Cost added per unit of accumulated history (negotiated congestion).
+    history_weight: float = 1.5
+
+    #: Cost of using a vertex already occupied by another net (soft short);
+    #: kept finite so rip-up & reroute can negotiate, as in PathFinder/Dr.CU,
+    #: but high enough that a short is never preferred over a color conflict.
+    occupancy_penalty: float = 200.0
+
+    #: Stitch cost used *inside* the color-state search (Algorithm 2's
+    #: ``stitchCost``); expressed in traditional-cost units before the beta
+    #: weighting.
+    stitch_cost: float = 1.0
+
+    #: Conflict cost used inside the search when a candidate color collides
+    #: with a neighbouring shape of another net within ``color_spacing``.
+    conflict_cost: float = 6.0
+
+    #: Maximum rip-up-and-reroute iterations of the outer loop (paper Fig. 2
+    #: "Max Iteration").
+    max_ripup_iterations: int = 4
+
+    #: Per-layer overrides of ``color_spacing`` (layer index -> DBU), used by
+    #: the ISPD-2019-like suite where lower layers have tighter rules.
+    color_spacing_per_layer: Dict[int, int] = field(default_factory=dict)
+
+    def color_spacing_on(self, layer_index: int) -> int:
+        """Return ``Dcolor`` for *layer_index* (honouring per-layer overrides)."""
+        return self.color_spacing_per_layer.get(layer_index, self.color_spacing)
+
+    def requires_different_mask(self, distance: int, layer_index: int = 0) -> bool:
+        """Return ``True`` when two shapes at *distance* must use different masks."""
+        return distance < self.color_spacing_on(layer_index)
+
+    def is_spacing_violation(self, distance: int) -> bool:
+        """Return ``True`` when two shapes of different nets are illegally close."""
+        return distance < self.min_spacing
+
+    def scaled(self, **overrides: float) -> "DesignRules":
+        """Return a copy with selected fields overridden (for ablation sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

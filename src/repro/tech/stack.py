@@ -1,0 +1,123 @@
+"""The technology stack: an ordered list of routing layers plus rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.tech.layer import Layer, LayerDirection
+from repro.tech.rules import DesignRules
+
+
+@dataclass
+class TechStack:
+    """An ordered routing layer stack with the associated design rules.
+
+    Layer 0 is the lowest routing layer.  Adjacent layers are connected by
+    vias (modelled as unit-cost layer-change edges scaled by
+    :attr:`DesignRules.via_cost`).
+    """
+
+    layers: List[Layer]
+    rules: DesignRules = field(default_factory=DesignRules)
+    name: str = "tech"
+
+    def __post_init__(self) -> None:
+        for expected, layer in enumerate(self.layers):
+            if layer.index != expected:
+                raise ValueError(
+                    f"layer {layer.name!r} has index {layer.index}, expected {expected}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    @property
+    def num_layers(self) -> int:
+        """Return the number of routing layers."""
+        return len(self.layers)
+
+    def layer_by_name(self, name: str) -> Layer:
+        """Return the layer called *name* (raises ``KeyError`` if unknown)."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+    def tpl_layers(self) -> List[Layer]:
+        """Return the layers subject to triple patterning."""
+        return [layer for layer in self.layers if layer.tpl]
+
+    def above(self, layer: Layer) -> Optional[Layer]:
+        """Return the layer directly above *layer*, or ``None`` at the top."""
+        if layer.index + 1 < len(self.layers):
+            return self.layers[layer.index + 1]
+        return None
+
+    def below(self, layer: Layer) -> Optional[Layer]:
+        """Return the layer directly below *layer*, or ``None`` at the bottom."""
+        if layer.index - 1 >= 0:
+            return self.layers[layer.index - 1]
+        return None
+
+
+def make_default_tech(
+    num_layers: int = 4,
+    pitch: int = 4,
+    width: int = 1,
+    spacing: int = 1,
+    color_spacing: int = 8,
+    tpl_layer_count: Optional[int] = None,
+    rules: Optional[DesignRules] = None,
+) -> TechStack:
+    """Build a contest-style alternating H/V layer stack.
+
+    Parameters
+    ----------
+    num_layers:
+        Number of routing layers.  Layer 0 is horizontal, layer 1 vertical,
+        and so on, matching the M1-up convention of the ISPD benchmarks.
+    pitch / width / spacing:
+        Per-layer track pitch, default wire width and minimum spacing (DBU).
+    color_spacing:
+        The TPL same-mask spacing ``Dcolor`` (DBU).
+    tpl_layer_count:
+        How many of the lowest layers are triple-patterned.  Defaults to all
+        layers; upper layers in real designs are usually single-patterned, so
+        the benchmark suites restrict TPL to the lower two or three layers.
+    rules:
+        Optional pre-built :class:`DesignRules`; a default-consistent set is
+        created otherwise.
+    """
+    if num_layers < 2:
+        raise ValueError("a routable stack needs at least two layers")
+    if tpl_layer_count is None:
+        tpl_layer_count = num_layers
+    layers = []
+    for index in range(num_layers):
+        direction = LayerDirection.HORIZONTAL if index % 2 == 0 else LayerDirection.VERTICAL
+        layers.append(
+            Layer(
+                index=index,
+                name=f"Metal{index + 1}",
+                direction=direction,
+                pitch=pitch,
+                width=width,
+                spacing=spacing,
+                offset=0,
+                tpl=index < tpl_layer_count,
+            )
+        )
+    if rules is None:
+        rules = DesignRules(
+            color_spacing=color_spacing,
+            min_spacing=spacing,
+            wire_width=width,
+        )
+    return TechStack(layers=layers, rules=rules)

@@ -1,0 +1,37 @@
+"""Mr.TPL: the paper's core contribution.
+
+The package implements the triple-patterning-aware multi-pin net detailed
+router of the paper:
+
+* :mod:`repro.tpl.color_state` -- the 3-bit color state of Table I and its
+  set algebra,
+* :mod:`repro.tpl.search` -- color-state searching (paper Algorithm 2),
+* :mod:`repro.tpl.backtrace` -- the verSet / segSet backtrace that collapses
+  color states to final masks (paper Algorithm 3),
+* :mod:`repro.tpl.conflict` -- color conflict detection and counting on a
+  colored routing solution,
+* :mod:`repro.tpl.mr_tpl` -- :class:`MrTPLRouter`, the full Fig. 2 flow with
+  conflict-driven rip-up and reroute.
+"""
+
+from repro.tpl.color_state import ColorState, RED, GREEN, BLUE, MASK_NAMES
+from repro.tpl.conflict import ConflictChecker, ColorConflict
+from repro.tpl.search import ColorStateSearch, ColorSearchResult
+from repro.tpl.backtrace import Backtracer, ColoredPath, PathSegmentSet
+from repro.tpl.mr_tpl import MrTPLRouter
+
+__all__ = [
+    "ColorState",
+    "RED",
+    "GREEN",
+    "BLUE",
+    "MASK_NAMES",
+    "ConflictChecker",
+    "ColorConflict",
+    "ColorStateSearch",
+    "ColorSearchResult",
+    "Backtracer",
+    "ColoredPath",
+    "PathSegmentSet",
+    "MrTPLRouter",
+]

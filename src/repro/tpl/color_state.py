@@ -1,0 +1,196 @@
+"""The 3-bit color state of paper Table I and its set algebra.
+
+A color state is "the preparatory assignment of different colors to the
+routing segments on the same metal layer" (paper Definition 1).  It is a set
+of masks a wire segment may still legally take; during color-state searching
+a segment can keep several candidates open and only the backtrace collapses
+it to one mask.
+
+Encoding (Table I): bit 2 = red (mask 1), bit 1 = green (mask 2),
+bit 0 = blue (mask 3), so ``100`` is "only red", ``111`` is "all colors",
+``000`` is "no color is allowed" -- a dead state signalling an unavoidable
+conflict on that segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Mask indices.  ``RED`` is mask 1 in the paper's figures, ``GREEN`` mask 2,
+#: ``BLUE`` mask 3.
+RED = 0
+GREEN = 1
+BLUE = 2
+
+#: Human-readable mask names indexed by color.
+MASK_NAMES: Tuple[str, str, str] = ("red", "green", "blue")
+
+#: All colors, in deterministic preference order used for tie-breaking.
+ALL_COLORS: Tuple[int, int, int] = (RED, GREEN, BLUE)
+
+
+def _bit_of(color: int) -> int:
+    """Return the Table I bit mask of *color* (red=0b100, green=0b010, blue=0b001)."""
+    if color not in (RED, GREEN, BLUE):
+        raise ValueError(f"invalid TPL mask color {color}")
+    return 1 << (2 - color)
+
+
+@dataclass(frozen=True, order=True)
+class ColorState:
+    """An immutable set of candidate masks encoded as a 3-bit integer."""
+
+    bits: int = 0b111
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 0b111:
+            raise ValueError(f"color state bits must be in [0, 7], got {self.bits}")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def all(cls) -> "ColorState":
+        """Return the ``111`` state: every mask allowed."""
+        return cls(0b111)
+
+    @classmethod
+    def none(cls) -> "ColorState":
+        """Return the ``000`` state: no mask allowed (dead / conflict state)."""
+        return cls(0b000)
+
+    @classmethod
+    def of(cls, *colors: int) -> "ColorState":
+        """Return the state allowing exactly the given colors."""
+        bits = 0
+        for color in colors:
+            bits |= _bit_of(color)
+        return cls(bits)
+
+    @classmethod
+    def single(cls, color: int) -> "ColorState":
+        """Return the state allowing only *color*."""
+        return cls(_bit_of(color))
+
+    @classmethod
+    def from_colors(cls, colors: Iterable[int]) -> "ColorState":
+        """Return the state allowing every color in *colors*."""
+        return cls.of(*colors)
+
+    @classmethod
+    def from_string(cls, encoded: str) -> "ColorState":
+        """Parse a Table I binary string such as ``"101"``."""
+        if len(encoded) != 3 or any(ch not in "01" for ch in encoded):
+            raise ValueError(f"color state string must be 3 binary digits, got {encoded!r}")
+        return cls(int(encoded, 2))
+
+    # -- queries ---------------------------------------------------------------
+
+    def allows(self, color: int) -> bool:
+        """Return ``True`` when *color* is among the candidates."""
+        return bool(self.bits & _bit_of(color))
+
+    def colors(self) -> List[int]:
+        """Return the allowed colors in ``RED, GREEN, BLUE`` order."""
+        return [color for color in ALL_COLORS if self.allows(color)]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.colors())
+
+    def __len__(self) -> int:
+        return bin(self.bits).count("1")
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    @property
+    def count(self) -> int:
+        """Return the number of allowed colors."""
+        return len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        """Return ``True`` for the dead ``000`` state."""
+        return self.bits == 0
+
+    @property
+    def is_single(self) -> bool:
+        """Return ``True`` when exactly one mask remains."""
+        return self.count == 1
+
+    @property
+    def is_full(self) -> bool:
+        """Return ``True`` for the unconstrained ``111`` state."""
+        return self.bits == 0b111
+
+    def single_color(self) -> int:
+        """Return the only allowed color (raises unless :attr:`is_single`)."""
+        colors = self.colors()
+        if len(colors) != 1:
+            raise ValueError(f"color state {self} does not hold exactly one color")
+        return colors[0]
+
+    # -- algebra ----------------------------------------------------------------
+
+    def intersection(self, other: "ColorState") -> "ColorState":
+        """Return the masks allowed by both states (the verSet merge of Alg. 3)."""
+        return ColorState(self.bits & other.bits)
+
+    def union(self, other: "ColorState") -> "ColorState":
+        """Return the masks allowed by either state."""
+        return ColorState(self.bits | other.bits)
+
+    def complement(self) -> "ColorState":
+        """Return the masks *not* allowed by this state."""
+        return ColorState(~self.bits & 0b111)
+
+    def without(self, color: int) -> "ColorState":
+        """Return this state with *color* removed."""
+        return ColorState(self.bits & ~_bit_of(color))
+
+    def with_color(self, color: int) -> "ColorState":
+        """Return this state with *color* added."""
+        return ColorState(self.bits | _bit_of(color))
+
+    def has_common(self, other: "ColorState") -> bool:
+        """Return ``True`` when the two states share at least one mask.
+
+        This is the "has common color" test of Algorithm 3 line 7: adjacent
+        vertices sharing a color can stay in the same segment set, otherwise a
+        stitch is required between them.
+        """
+        return bool(self.bits & other.bits)
+
+    def preferred_color(self, penalties: Optional[Sequence[float]] = None) -> int:
+        """Return the cheapest allowed color.
+
+        *penalties* gives a cost per color (e.g. conflict pressure around a
+        segment); ties and the no-penalty case fall back to the deterministic
+        RED < GREEN < BLUE order.  Raises on the empty state.
+        """
+        colors = self.colors()
+        if not colors:
+            raise ValueError("cannot pick a color from the empty color state")
+        if penalties is None:
+            return colors[0]
+        return min(colors, key=lambda color: (penalties[color], color))
+
+    # -- presentation --------------------------------------------------------------
+
+    def encode(self) -> str:
+        """Return the Table I 3-digit binary encoding, e.g. ``"101"``."""
+        return format(self.bits, "03b")
+
+    def describe(self) -> str:
+        """Return the Table I description string for this state."""
+        if self.is_empty:
+            return "none color is allowed"
+        names = [MASK_NAMES[color] for color in self.colors()]
+        if len(names) == 1:
+            return f"only {names[0]} is allowed"
+        if len(names) == 2:
+            return f"{names[0]} and {names[1]} are allowed"
+        return "all colors are allowed"
+
+    def __str__(self) -> str:
+        return self.encode()

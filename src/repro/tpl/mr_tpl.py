@@ -1,0 +1,232 @@
+"""The Mr.TPL router: the complete flow of paper Fig. 2.
+
+The router combines the substrates of this repository:
+
+1. build the routing grid (and optionally GR guides),
+2. route nets sequentially; every net is grown as a tree with
+   **color-state searching** (Algorithm 2, :mod:`repro.tpl.search`) and the
+   verSet/segSet **backtrace** (Algorithm 3, :mod:`repro.tpl.backtrace`),
+   coloring the routed vertices as it goes,
+3. detect color conflicts over the whole layout,
+4. if conflicts remain and the iteration budget allows, rip up the nets
+   involved, bump the history cost at the conflict locations, and reroute.
+
+The output is a colored :class:`~repro.grid.RoutingSolution` that the shared
+evaluation code scores exactly like the baselines' outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.design import Design, Net
+from repro.dr.cost import CostModel
+from repro.geometry import GridPoint
+from repro.gr import GlobalRouter, GuideSet
+from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.tpl.backtrace import Backtracer, commit_colored_path
+from repro.tpl.color_state import ColorState
+from repro.tpl.conflict import ConflictChecker, ConflictReport
+from repro.tpl.refine import ColorRefiner
+from repro.tpl.search import ColorStateSearch
+from repro.utils import Timer, get_logger
+
+_LOG = get_logger("tpl.mr_tpl")
+
+
+class MrTPLRouter:
+    """Triple-patterning-aware multi-pin net detailed router (Mr.TPL)."""
+
+    name = "mr-tpl"
+
+    def __init__(
+        self,
+        design: Design,
+        grid: Optional[RoutingGrid] = None,
+        guides: Optional[GuideSet] = None,
+        use_global_router: bool = True,
+        max_iterations: Optional[int] = None,
+        refine_colors: bool = False,
+    ) -> None:
+        self.design = design
+        self.grid = grid if grid is not None else RoutingGrid(design)
+        if guides is None and use_global_router:
+            guides = GlobalRouter(design).route()
+        self.guides = guides
+        self.cost_model = CostModel(self.grid, guides)
+        self.search_engine = ColorStateSearch(self.grid, self.cost_model)
+        self.backtracer = Backtracer(self.grid, self.cost_model)
+        self.conflict_checker = ConflictChecker(design, self.grid)
+        self.refine_colors = refine_colors
+        self.max_iterations = (
+            max_iterations
+            if max_iterations is not None
+            else design.tech.rules.max_ripup_iterations
+        )
+
+    # ------------------------------------------------------------------
+    # Full flow (Fig. 2, left column)
+    # ------------------------------------------------------------------
+
+    def run(self) -> RoutingSolution:
+        """Route and color every net, then negotiate color conflicts."""
+        timer = Timer()
+        timer.start()
+        solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
+        for net in self.schedule_nets():
+            solution.add_route(self.route_net(net))
+
+        iterations = 0
+        best_snapshot: Optional[Dict[str, NetRoute]] = None
+        best_defects: Optional[tuple] = None
+        for iteration in range(self.max_iterations):
+            report = self.conflict_checker.check(solution)
+            offenders = report.nets_involved()
+            offenders.update(route.net_name for route in solution.failed_nets())
+            defects = (len(solution.failed_nets()), report.conflict_count)
+            if best_defects is None or defects < best_defects:
+                best_defects = defects
+                best_snapshot = dict(solution.routes)
+            if not offenders:
+                break
+            iterations = iteration + 1
+            _LOG.info(
+                "iteration %d: %d conflicts, ripping up %d nets",
+                iterations,
+                report.conflict_count,
+                len(offenders),
+            )
+            self._rip_up_and_update_history(offenders, report, solution)
+            for net_name in sorted(offenders):
+                net = self.design.net_by_name(net_name)
+                solution.add_route(self.route_net(net))
+
+        # Rip-up and reroute can oscillate on hard instances; keep the best
+        # iteration rather than blindly returning the last one.
+        final_report = self.conflict_checker.check(solution)
+        final_defects = (len(solution.failed_nets()), final_report.conflict_count)
+        if best_defects is not None and best_defects < final_defects and best_snapshot is not None:
+            solution.routes = best_snapshot
+
+        if self.refine_colors:
+            ColorRefiner(self.design, self.grid).refine(solution)
+
+        for route in solution.routes.values():
+            route.recount_stitches()
+        solution.iterations = iterations
+        solution.runtime_seconds = timer.stop()
+        return solution
+
+    def schedule_nets(self) -> List[Net]:
+        """Return the routing order (small, pin-heavy nets first)."""
+        return sorted(
+            self.design.routable_nets(),
+            key=lambda net: (net.half_perimeter_wirelength(), -net.num_pins, net.name),
+        )
+
+    # ------------------------------------------------------------------
+    # Single-net routing (Fig. 2 centre and right columns, Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def route_net(self, net: Net) -> NetRoute:
+        """Route one multi-pin net with color-state searching.
+
+        Follows Algorithm 1: seed the queue with the vertices covered by the
+        first pin at color state ``111``, repeatedly search until an
+        unreached pin is found, backtrace to color the path, and keep the
+        colored path vertices as sources for the next search until every pin
+        is routed.
+        """
+        route = NetRoute(net_name=net.name)
+        pin_groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
+        if any(not group for group in pin_groups):
+            route.routed = False
+            route.failure_reason = "pin without reachable access vertex"
+            return route
+
+        tree_colors: Dict[GridPoint, int] = {}
+        tree_vertices: Set[GridPoint] = set(pin_groups[0])
+        route.vertices.update(tree_vertices)
+        unreached = list(range(1, len(pin_groups)))
+
+        while unreached:
+            sources = self._source_states(tree_vertices, tree_colors)
+            targets: Dict[GridPoint, int] = {}
+            for index in unreached:
+                for vertex in pin_groups[index]:
+                    if vertex not in tree_vertices:
+                        targets.setdefault(vertex, index)
+            if not targets:
+                # Remaining pins are already covered by the routed tree.
+                unreached.clear()
+                break
+            search = self.search_engine.search(sources, set(targets), net.name)
+            if not search.found:
+                route.routed = False
+                route.failure_reason = "color-state search exhausted without reaching a pin"
+                break
+            colored_path = self.backtracer.backtrace(search, net.name, tree_colors)
+            commit_colored_path(colored_path, route, self.grid)
+            tree_colors.update(colored_path.colors())
+
+            reached_pin = targets[search.reached]
+            unreached.remove(reached_pin)
+            tree_vertices.update(colored_path.vertices)
+            tree_vertices.update(pin_groups[reached_pin])
+            route.vertices.update(pin_groups[reached_pin])
+            for vertex in pin_groups[reached_pin]:
+                self.grid.occupy(vertex, net.name)
+
+        if route.routed:
+            for vertex in tree_vertices:
+                self.grid.occupy(vertex, net.name)
+            route.recount_stitches()
+        return route
+
+    # ------------------------------------------------------------------
+    # Rip-up & history update (Fig. 2 "Rip Up & Update History Cost")
+    # ------------------------------------------------------------------
+
+    def _rip_up_and_update_history(
+        self,
+        offenders: Set[str],
+        report: ConflictReport,
+        solution: RoutingSolution,
+    ) -> None:
+        for location in report.conflict_locations():
+            self.grid.add_history(location, 1.0)
+        for net_name in offenders:
+            self.grid.release_net(net_name)
+            route = solution.routes.get(net_name)
+            if route is not None:
+                for vertex in route.vertices:
+                    self.grid.add_history(vertex, 0.25)
+            solution.routes.pop(net_name, None)
+
+    # ------------------------------------------------------------------
+
+    def _source_states(
+        self,
+        tree_vertices: Set[GridPoint],
+        tree_colors: Dict[GridPoint, int],
+    ) -> Dict[GridPoint, ColorState]:
+        """Return search sources: tree vertices with their committed color states.
+
+        Fresh (pin-only) vertices start fully flexible at ``111``; vertices
+        that already carry routed metal of this net are constrained to the
+        committed mask so that attaching a different mask is charged as a
+        stitch by the search.
+        """
+        sources: Dict[GridPoint, ColorState] = {}
+        for vertex in tree_vertices:
+            color = tree_colors.get(vertex)
+            sources[vertex] = (
+                ColorState.single(color) if color is not None else ColorState.all()
+            )
+        return sources
+
+    # ------------------------------------------------------------------
+
+    def conflict_report(self, solution: RoutingSolution) -> ConflictReport:
+        """Return the conflict report of *solution* on this router's grid."""
+        return self.conflict_checker.check(solution)

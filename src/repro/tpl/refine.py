@@ -1,0 +1,167 @@
+"""Post-routing color refinement.
+
+The paper's flow ends every routing pass by "color[ing] the routing grid on
+routed paths" and then iterating rip-up and reroute on the remaining
+conflicts.  Rerouting is expensive, and many late conflicts are purely
+*coloring* artifacts: by the time the last nets commit, earlier nets could
+legally switch one of their segments to a now-free mask and dissolve the
+conflict without moving any wire.
+
+:class:`ColorRefiner` implements that cheap final step as a greedy
+feature-recoloring loop (an engineering extension on top of the paper's
+flow; it is disabled by passing ``refine_colors=False`` to
+:class:`~repro.tpl.mr_tpl.MrTPLRouter`, and the ablation bench
+``bench_ablation_refine`` quantifies its effect).  It never changes
+geometry: only the mask of whole same-color connected features is switched,
+and only when doing so strictly reduces ``conflicts * conflict_weight +
+stitches * stitch_weight``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.design import Design
+from repro.geometry import GridPoint
+from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.tpl.color_state import ALL_COLORS
+from repro.utils import get_logger
+
+_LOG = get_logger("tpl.refine")
+
+
+class ColorRefiner:
+    """Greedy recoloring of routed features to remove residual conflicts."""
+
+    def __init__(
+        self,
+        design: Design,
+        grid: RoutingGrid,
+        conflict_weight: float = 10.0,
+        stitch_weight: float = 1.0,
+        max_passes: int = 3,
+    ) -> None:
+        self.design = design
+        self.grid = grid
+        self.rules = grid.rules
+        self.conflict_weight = conflict_weight
+        self.stitch_weight = stitch_weight
+        self.max_passes = max_passes
+
+    # ------------------------------------------------------------------
+
+    def refine(self, solution: RoutingSolution) -> int:
+        """Recolor features of *solution* in place; return the number of changes."""
+        changes = 0
+        for _pass in range(self.max_passes):
+            pass_changes = self._refine_once(solution)
+            changes += pass_changes
+            if pass_changes == 0:
+                break
+        if changes:
+            for route in solution.routes.values():
+                route.recount_stitches()
+        return changes
+
+    # ------------------------------------------------------------------
+
+    def _refine_once(self, solution: RoutingSolution) -> int:
+        colored: Dict[GridPoint, List[Tuple[str, int]]] = defaultdict(list)
+        for route in solution.routes.values():
+            for vertex, color in route.vertex_colors.items():
+                colored[vertex].append((route.net_name, color))
+        for obstacle in self.design.colored_obstacles():
+            dcolor = self.rules.color_spacing_on(obstacle.layer)
+            region = obstacle.rect.expanded(dcolor + self.grid.pitch)
+            for vertex in self.grid.vertices_covering(obstacle.layer, region):
+                if self.grid.vertex_rect(vertex).distance_to(obstacle.rect) < dcolor:
+                    colored[vertex].append((f"__fixed__{obstacle.name}", obstacle.color))
+
+        offsets_by_layer = {
+            layer: self.grid._pressure_offsets(layer) for layer in range(self.grid.num_layers)
+        }
+
+        changes = 0
+        for route in solution.routes.values():
+            if not route.vertex_colors:
+                continue
+            for feature in self._features_of(route):
+                best_color, best_cost, current_cost = self._best_color(
+                    route, feature, colored, offsets_by_layer
+                )
+                if best_color is None or best_cost >= current_cost:
+                    continue
+                current = route.vertex_colors[next(iter(feature))]
+                for vertex in feature:
+                    colored[vertex] = [
+                        (net, best_color if net == route.net_name and color == current else color)
+                        for net, color in colored[vertex]
+                    ]
+                    route.set_color(vertex, best_color)
+                    self.grid.set_vertex_color(vertex, route.net_name, best_color)
+                changes += 1
+        return changes
+
+    # ------------------------------------------------------------------
+
+    def _features_of(self, route: NetRoute) -> List[Set[GridPoint]]:
+        """Return same-layer, same-color connected vertex groups of *route*."""
+        adjacency = route.adjacency()
+        seen: Set[GridPoint] = set()
+        features: List[Set[GridPoint]] = []
+        for vertex, color in route.vertex_colors.items():
+            if vertex in seen:
+                continue
+            group: Set[GridPoint] = set()
+            stack = [vertex]
+            while stack:
+                current = stack.pop()
+                if current in group:
+                    continue
+                group.add(current)
+                for neighbor in adjacency.get(current, ()):
+                    if neighbor in group or neighbor in seen:
+                        continue
+                    if neighbor.layer != current.layer:
+                        continue
+                    if route.vertex_colors.get(neighbor) == color:
+                        stack.append(neighbor)
+            seen.update(group)
+            features.append(group)
+        return features
+
+    def _best_color(
+        self,
+        route: NetRoute,
+        feature: Set[GridPoint],
+        colored: Dict[GridPoint, List[Tuple[str, int]]],
+        offsets_by_layer: Dict[int, List[Tuple[int, int]]],
+    ) -> Tuple[Optional[int], float, float]:
+        """Return ``(best alternative color, its cost, current cost)`` for *feature*."""
+        anchor = next(iter(feature))
+        current_color = route.vertex_colors[anchor]
+        adjacency = route.adjacency()
+        costs = {color: 0.0 for color in ALL_COLORS}
+        for vertex in feature:
+            # Conflict pressure from other nets' / fixed colored metal nearby.
+            for dcol, drow in offsets_by_layer[vertex.layer]:
+                neighbor = GridPoint(vertex.layer, vertex.col + dcol, vertex.row + drow)
+                for net_name, color in colored.get(neighbor, ()):
+                    if net_name == route.net_name:
+                        continue
+                    costs[color] += self.conflict_weight
+            # Stitches against the net's own adjacent metal outside the feature.
+            for neighbor in adjacency.get(vertex, ()):
+                if neighbor in feature or neighbor.layer != vertex.layer:
+                    continue
+                neighbor_color = route.vertex_colors.get(neighbor)
+                if neighbor_color is None:
+                    continue
+                for color in ALL_COLORS:
+                    if color != neighbor_color:
+                        costs[color] += self.stitch_weight
+        current_cost = costs[current_color]
+        alternatives = [(cost, color) for color, cost in costs.items() if color != current_color]
+        best_cost, best_color = min(alternatives)
+        return best_color, best_cost, current_cost

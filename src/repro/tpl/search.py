@@ -1,0 +1,192 @@
+"""Color-state searching (paper Algorithm 2).
+
+The search is a multi-source Dijkstra over the routing grid where every
+label additionally carries a :class:`~repro.tpl.color_state.ColorState`.
+For every expansion direction the cost of each of the three masks is
+evaluated (traditional cost + color conflict cost + a stitch cost when the
+mask is not in the current vertex's color state and the move is planar);
+the minimum over masks becomes the edge cost and the set of masks achieving
+that minimum becomes the neighbour's color state.  Keeping the full set --
+rather than committing to one mask -- is the paper's key idea: it widens the
+solution space so the backtrace can later pick whichever mask avoids
+conflicts best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.dr.cost import CostModel, TargetBounds
+from repro.geometry import GridPoint
+from repro.grid import ALL_DIRECTIONS, Direction, RoutingGrid
+from repro.tpl.color_state import ALL_COLORS, ColorState
+from repro.utils import UpdatablePriorityQueue
+
+#: Costs within this relative tolerance of the minimum keep their mask in the
+#: color state; an exact equality test would make the state collapse to a
+#: single color on any floating-point noise.
+_COST_TOLERANCE = 1e-9
+
+
+@dataclass
+class VertexLabel:
+    """Search label of one grid vertex."""
+
+    cost: float
+    color_state: ColorState
+    parent: Optional[GridPoint] = None
+    parent_direction: Optional[Direction] = None
+
+
+@dataclass
+class ColorSearchResult:
+    """Outcome of one color-state search."""
+
+    reached: Optional[GridPoint]
+    labels: Dict[GridPoint, VertexLabel] = field(default_factory=dict)
+    expansions: int = 0
+
+    @property
+    def found(self) -> bool:
+        """Return ``True`` when an unreached pin was found."""
+        return self.reached is not None
+
+    def path_to_source(self) -> List[GridPoint]:
+        """Return the vertex path from the reached pin back to a source.
+
+        Ordered destination-first (the order the backtrace of Algorithm 3
+        walks it).  Raises ``ValueError`` on a failed search.
+        """
+        if self.reached is None:
+            raise ValueError("cannot backtrace a failed color-state search")
+        path: List[GridPoint] = []
+        cursor: Optional[GridPoint] = self.reached
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.labels[cursor].parent
+        return path
+
+    def color_state_of(self, vertex: GridPoint) -> ColorState:
+        """Return the color state assigned to *vertex* during the search."""
+        return self.labels[vertex].color_state
+
+
+class ColorStateSearch:
+    """The color-state searching engine of Algorithm 2."""
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        cost_model: CostModel,
+        max_expansions: int = 2_000_000,
+    ) -> None:
+        self.grid = grid
+        self.cost_model = cost_model
+        self.rules = grid.rules
+        self.max_expansions = max_expansions
+
+    def search(
+        self,
+        sources: Mapping[GridPoint, ColorState],
+        targets: Set[GridPoint],
+        net_name: str,
+    ) -> ColorSearchResult:
+        """Search from *sources* to any vertex of *targets* for *net_name*.
+
+        Parameters
+        ----------
+        sources:
+            Seed vertices mapped to their initial color states.  Fresh pins
+            start at ``111`` (paper Alg. 1 line 6); vertices of the already
+            routed-and-colored tree start at their committed single color so
+            that joining them with a different mask is charged a stitch.
+        targets:
+            Access vertices of the still-unreached pins.
+        net_name:
+            The net being routed.
+        """
+        result = ColorSearchResult(reached=None)
+        if not targets:
+            return result
+        bounds = TargetBounds.from_targets(targets)
+        labels: Dict[GridPoint, VertexLabel] = {}
+        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
+
+        for vertex, state in sources.items():
+            if not self.grid.in_bounds(vertex) or self.grid.is_blocked(vertex):
+                continue
+            labels[vertex] = VertexLabel(cost=0.0, color_state=state)
+            queue.push(vertex, self.cost_model.heuristic_bounds(vertex, bounds))
+
+        expansions = 0
+        while queue:
+            vertex, _priority = queue.pop()
+            label = labels[vertex]
+            expansions += 1
+            if vertex in targets:
+                result.reached = vertex
+                break
+            if expansions > self.max_expansions:
+                break
+            for direction in ALL_DIRECTIONS:
+                neighbor = self.grid.neighbor(vertex, direction)
+                if neighbor is None or self.grid.is_blocked(neighbor):
+                    continue
+                step_cost, new_state = self._direction_cost(
+                    vertex, label.color_state, direction, neighbor, net_name
+                )
+                candidate = label.cost + step_cost
+                existing = labels.get(neighbor)
+                if existing is not None and candidate >= existing.cost - _COST_TOLERANCE:
+                    continue
+                labels[neighbor] = VertexLabel(
+                    cost=candidate,
+                    color_state=new_state,
+                    parent=vertex,
+                    parent_direction=direction,
+                )
+                priority = candidate + self.cost_model.heuristic_bounds(neighbor, bounds)
+                queue.push(neighbor, priority)
+
+        result.labels = labels
+        result.expansions = expansions
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _direction_cost(
+        self,
+        vertex: GridPoint,
+        state: ColorState,
+        direction: Direction,
+        neighbor: GridPoint,
+        net_name: str,
+    ) -> Tuple[float, ColorState]:
+        """Return ``(min cost, resulting color state)`` for one direction.
+
+        Implements Algorithm 2 lines 9-17: build the 3x2 cost array, add the
+        stitch cost for masks outside the current color state on planar
+        moves, and return the minimum cost together with the set of masks
+        achieving it.
+
+        Crossing to another layer (a via) resets the mask freedom: the new
+        layer's metal has no stitch relationship with the current one, so all
+        masks allowed by the neighbour's surroundings are candidates.
+        """
+        base = self.cost_model.weighted_traditional_cost(vertex, direction, neighbor, net_name)
+        color_costs = self.cost_model.color_costs(neighbor, net_name)
+        stitch_penalty = self.cost_model.stitch_cost()
+
+        per_color: List[Tuple[float, int]] = []
+        for color in ALL_COLORS:
+            cost = base + color_costs[color]
+            if not direction.is_via and not state.allows(color):
+                cost += stitch_penalty
+            per_color.append((cost, color))
+
+        min_cost = min(cost for cost, _color in per_color)
+        allowed = [
+            color for cost, color in per_color if cost <= min_cost + _COST_TOLERANCE
+        ]
+        return min_cost, ColorState.from_colors(allowed)

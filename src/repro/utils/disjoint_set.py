@@ -1,0 +1,90 @@
+"""Disjoint-set forest (union-find) with path compression and union by rank.
+
+Used for:
+
+* grouping routed wire shapes into connected metal components when counting
+  stitches (a stitch is a mask change *inside* one connected component),
+* tracking which pins of a multi-pin net have already been joined into the
+  growing routing tree,
+* decomposing conflict graphs into independent components before coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class DisjointSet:
+    """Union-find over arbitrary hashable elements.
+
+    Elements are created lazily on first use, so callers never need to
+    pre-register the universe.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._size: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as a singleton set if it is not yet present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._size[element] = 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path directly at the root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing *a* and *b*; return the new root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return ``True`` when *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def size_of(self, element: Hashable) -> int:
+        """Return the number of elements in *element*'s set."""
+        return self._size[self.find(element)]
+
+    def component_count(self) -> int:
+        """Return the number of disjoint sets."""
+        return sum(1 for node, parent in self._parent.items() if node == parent)
+
+    def components(self) -> Iterator[Set[Hashable]]:
+        """Yield every set as a Python :class:`set` of its members."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        yield from groups.values()
+
+    def members(self, element: Hashable) -> List[Hashable]:
+        """Return all elements in the same set as *element*."""
+        root = self.find(element)
+        return [e for e in self._parent if self.find(e) == root]

@@ -1,0 +1,48 @@
+"""Lightweight logging configuration for the routing library.
+
+All modules obtain loggers through :func:`get_logger` so a single call to
+:func:`set_verbosity` controls the whole library (examples and benchmark
+harnesses use it to switch between quiet table output and verbose traces).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a library logger.
+
+    ``get_logger("tpl.search")`` yields the logger ``repro.tpl.search``.
+    """
+    _configure_root()
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the library-wide log level (e.g. ``logging.INFO``)."""
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,126 @@
+"""An updatable (decrease-key) priority queue for maze routing searches.
+
+Dijkstra / A* style searches over the routing grid need a priority queue that
+supports decreasing the key of an element that is already enqueued: during
+color-state searching (paper Algorithm 2) the same vertex can be relaxed
+several times with progressively better costs and color states.
+
+The implementation uses the standard "lazy deletion" technique on top of
+:mod:`heapq`: every push creates a fresh heap entry, and stale entries are
+skipped on pop.  A monotonically increasing tie-breaking counter keeps the
+ordering deterministic, which matters for reproducible routing results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+
+class UpdatablePriorityQueue:
+    """Min-priority queue with ``O(log n)`` push/pop and key updates.
+
+    Items must be hashable.  Priorities may be any totally ordered value
+    (ints, floats, tuples).  Pushing an item that is already present updates
+    its priority (either direction); the old heap entry is lazily discarded.
+
+    Example
+    -------
+    >>> pq = UpdatablePriorityQueue()
+    >>> pq.push("a", 3.0)
+    >>> pq.push("b", 1.0)
+    >>> pq.push("a", 0.5)          # decrease key
+    >>> pq.pop()
+    ('a', 0.5)
+    >>> pq.pop()
+    ('b', 1.0)
+    """
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: List[List[Any]] = []
+        self._entries: Dict[Hashable, List[Any]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def push(self, item: Hashable, priority: Any) -> None:
+        """Insert *item* or update its priority if already present."""
+        if item in self._entries:
+            self._discard_entry(item)
+        entry = [priority, next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def push_if_better(self, item: Hashable, priority: Any) -> bool:
+        """Insert *item* only if it is new or *priority* improves on the
+        currently stored priority.  Returns ``True`` when the queue changed."""
+        current = self._entries.get(item)
+        if current is not None and current[0] <= priority:
+            return False
+        self.push(item, priority)
+        return True
+
+    def priority_of(self, item: Hashable) -> Optional[Any]:
+        """Return the current priority of *item*, or ``None`` if absent."""
+        entry = self._entries.get(item)
+        return None if entry is None else entry[0]
+
+    def pop(self) -> Tuple[Hashable, Any]:
+        """Remove and return ``(item, priority)`` with the smallest priority.
+
+        Raises :class:`KeyError` when the queue is empty.
+        """
+        while self._heap:
+            priority, _count, item = heapq.heappop(self._heap)
+            if item is not self._REMOVED and item in self._entries:
+                # The entry may be stale if the item was re-pushed; only the
+                # live entry (identity match) is authoritative.
+                live = self._entries[item]
+                if live[0] == priority and live[1] == _count:
+                    del self._entries[item]
+                    return item, priority
+        raise KeyError("pop from an empty priority queue")
+
+    def peek(self) -> Tuple[Hashable, Any]:
+        """Return, without removing, the smallest ``(item, priority)``."""
+        while self._heap:
+            priority, _count, item = self._heap[0]
+            if item is not self._REMOVED and item in self._entries:
+                live = self._entries[item]
+                if live[0] == priority and live[1] == _count:
+                    return item, priority
+            heapq.heappop(self._heap)
+        raise KeyError("peek at an empty priority queue")
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove *item* if present.  Returns ``True`` when it was removed."""
+        if item not in self._entries:
+            return False
+        self._discard_entry(item)
+        return True
+
+    def clear(self) -> None:
+        """Remove every element from the queue."""
+        self._heap.clear()
+        self._entries.clear()
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Iterate over live ``(item, priority)`` pairs in arbitrary order."""
+        for item, entry in self._entries.items():
+            yield item, entry[0]
+
+    # -- internal helpers --------------------------------------------------
+
+    def _discard_entry(self, item: Hashable) -> None:
+        entry = self._entries.pop(item)
+        entry[2] = self._REMOVED

@@ -1,0 +1,193 @@
+"""Tests for the DAC-2012 router baseline, 3-coloring, and the decomposer."""
+
+import pytest
+
+from repro.baselines import (
+    ColoringProblem,
+    Dac2012Router,
+    LayoutDecomposer,
+    color_component_exact,
+    color_component_greedy,
+    solve_coloring,
+)
+from repro.bench import SyntheticSpec, generate_design
+from repro.dr import DetailedRouter
+from repro.eval import evaluate_solution
+from repro.grid import RoutingGrid
+from repro.tpl import ConflictChecker, MrTPLRouter
+
+
+class TestColoring:
+    def test_triangle_is_three_colorable(self):
+        problem = ColoringProblem(conflict_edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assignment = solve_coloring(problem)
+        assert problem.count(assignment) == (0, 0)
+        assert len({assignment["a"], assignment["b"], assignment["c"]}) == 3
+
+    def test_k4_always_has_a_conflict(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [(x, y) for i, x in enumerate(nodes) for y in nodes[i + 1:]]
+        problem = ColoringProblem(conflict_edges=edges)
+        assignment = solve_coloring(problem)
+        conflicts, _stitches = problem.count(assignment)
+        assert conflicts == 1  # optimal for K4 with 3 masks
+
+    def test_fixed_colors_are_respected(self):
+        problem = ColoringProblem(
+            conflict_edges=[("a", "b")],
+            fixed_colors={"a": 2},
+        )
+        assignment = solve_coloring(problem)
+        assert assignment["a"] == 2 and assignment["b"] != 2
+
+    def test_stitch_edges_prefer_same_color(self):
+        problem = ColoringProblem(
+            conflict_edges=[],
+            stitch_edges=[("a", "b"), ("b", "c")],
+        )
+        assignment = solve_coloring(problem)
+        assert assignment["a"] == assignment["b"] == assignment["c"]
+
+    def test_conflict_outweighs_stitch(self):
+        # a-b conflict, a-b stitch candidate chain through c: the solver must
+        # accept the stitch rather than the conflict.
+        problem = ColoringProblem(
+            conflict_edges=[("a", "b")],
+            stitch_edges=[("a", "c"), ("c", "b")],
+        )
+        assignment = solve_coloring(problem)
+        conflicts, stitches = problem.count(assignment)
+        assert conflicts == 0 and stitches >= 1
+
+    def test_exact_matches_or_beats_greedy(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c")]
+        problem = ColoringProblem(conflict_edges=edges)
+        nodes = ["a", "b", "c", "d"]
+        exact = color_component_exact(problem, nodes)
+        greedy = color_component_greedy(problem, nodes)
+        assert problem.cost_of(exact) <= problem.cost_of(greedy)
+
+    def test_empty_problem(self):
+        assert solve_coloring(ColoringProblem()) == {}
+
+    def test_graph_marks_edge_kinds(self):
+        problem = ColoringProblem(
+            conflict_edges=[("a", "b")], stitch_edges=[("a", "b"), ("b", "c")]
+        )
+        graph = problem.graph()
+        assert graph.edges["a", "b"]["kind"] == "conflict"
+        assert graph.edges["b", "c"]["kind"] == "stitch"
+
+
+def small_spec(seed=13, nets=8):
+    return SyntheticSpec(
+        name="baseline-test", seed=seed, cols=20, rows=20, num_layers=3,
+        num_nets=nets, color_spacing=8, net_radius=8, obstacle_count=2,
+        colored_obstacle_fraction=0.5, row_spacing=3, cell_spacing=3,
+    )
+
+
+class TestDac2012Router:
+    def test_routes_and_colors_all_nets(self):
+        design = generate_design(small_spec())
+        grid = RoutingGrid(design)
+        router = Dac2012Router(design, grid=grid, use_global_router=False)
+        solution = router.run()
+        assert not solution.failed_nets()
+        result = evaluate_solution(design, grid, solution)
+        assert result.open_nets == 0
+        assert result.uncolored_vertices <= sum(
+            len(r.vertices) - len(r.vertex_colors) for r in solution.routes.values()
+        )
+
+    def test_connectivity_of_multi_pin_nets(self):
+        design = generate_design(small_spec(seed=17))
+        grid = RoutingGrid(design)
+        solution = Dac2012Router(design, grid=grid, use_global_router=False).run()
+        for net in design.routable_nets():
+            route = solution.route_of(net.name)
+            groups = [grid.pin_access_vertices(pin) for pin in net.pins]
+            assert route.connects_all(groups), net.name
+
+    def test_two_pin_topology_spans_pins(self):
+        design = generate_design(small_spec(seed=19))
+        router = Dac2012Router(design, use_global_router=False)
+        for net in design.multi_pin_nets():
+            pairs = router._two_pin_topology(net)
+            assert len(pairs) >= net.num_pins - 1
+            touched = {index for pair in pairs for index in pair}
+            assert touched == set(range(net.num_pins))
+
+
+class TestLayoutDecomposer:
+    def make_routed(self, seed=23):
+        design = generate_design(small_spec(seed=seed, nets=10))
+        grid = RoutingGrid(design)
+        solution = DetailedRouter(design, grid=grid).run()
+        return design, grid, solution
+
+    def test_decomposition_colors_every_routed_vertex(self):
+        design, grid, solution = self.make_routed()
+        result = LayoutDecomposer(design, grid).decompose(solution)
+        for route in result.solution.routes.values():
+            if not route.routed:
+                continue
+            for vertex in route.vertices:
+                assert vertex in route.vertex_colors
+
+    def test_input_solution_is_not_mutated(self):
+        design, grid, solution = self.make_routed(seed=29)
+        before = {
+            name: dict(route.vertex_colors) for name, route in solution.routes.items()
+        }
+        LayoutDecomposer(design, grid).decompose(solution)
+        after = {
+            name: dict(route.vertex_colors) for name, route in solution.routes.items()
+        }
+        assert before == after
+
+    def test_polygon_mode_produces_no_stitches(self):
+        design, grid, solution = self.make_routed(seed=31)
+        result = LayoutDecomposer(design, grid, stitch_candidates=False).decompose(solution)
+        assert result.stitches == 0
+
+    def test_runs_mode_has_at_least_as_many_units(self):
+        design, grid, solution = self.make_routed(seed=37)
+        runs = LayoutDecomposer(design, grid, stitch_candidates=True)
+        polygons = LayoutDecomposer(design, grid, stitch_candidates=False)
+        assert len(runs.extract_units(solution)) >= len(polygons.extract_units(solution))
+
+    def test_units_partition_routed_vertices(self):
+        design, grid, solution = self.make_routed(seed=41)
+        decomposer = LayoutDecomposer(design, grid)
+        units = decomposer.extract_units(solution)
+        per_net = {}
+        for unit in units:
+            per_net.setdefault(unit.net_name, []).extend(unit.vertices)
+        for route in solution.routes.values():
+            if not route.routed:
+                continue
+            assert sorted(per_net[route.net_name]) == sorted(route.vertices)
+
+    def test_conflict_report_uses_shared_checker(self):
+        design, grid, solution = self.make_routed(seed=43)
+        result = LayoutDecomposer(design, grid).decompose(solution)
+        recount = ConflictChecker(design, grid).check(result.solution).conflict_count
+        assert recount == result.conflicts
+
+
+class TestRouterComparison:
+    def test_mrtpl_beats_dac2012_on_stitches_and_conflicts(self):
+        spec = small_spec(seed=47, nets=12)
+        design_ours = generate_design(spec)
+        grid_ours = RoutingGrid(design_ours)
+        ours = MrTPLRouter(design_ours, grid=grid_ours, use_global_router=False).run()
+        ours_eval = evaluate_solution(design_ours, grid_ours, ours)
+
+        design_base = generate_design(spec)
+        grid_base = RoutingGrid(design_base)
+        base = Dac2012Router(design_base, grid=grid_base, use_global_router=False).run()
+        base_eval = evaluate_solution(design_base, grid_base, base)
+
+        assert ours_eval.conflicts <= base_eval.conflicts
+        assert ours_eval.stitches <= base_eval.stitches

@@ -1,0 +1,115 @@
+"""Tests for the 3-bit color state of paper Table I."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tpl import BLUE, GREEN, RED, ColorState
+
+states = st.integers(min_value=0, max_value=7).map(ColorState)
+
+
+class TestTableI:
+    def test_exhaustive_encoding(self):
+        expected = {
+            "000": "none color is allowed",
+            "100": "only red is allowed",
+            "010": "only green is allowed",
+            "001": "only blue is allowed",
+            "110": "red and green are allowed",
+            "101": "red and blue are allowed",
+            "011": "green and blue are allowed",
+            "111": "all colors are allowed",
+        }
+        for encoding, description in expected.items():
+            state = ColorState.from_string(encoding)
+            assert state.encode() == encoding
+            assert state.describe() == description
+
+    def test_bit_positions_match_paper(self):
+        assert ColorState.single(RED).encode() == "100"
+        assert ColorState.single(GREEN).encode() == "010"
+        assert ColorState.single(BLUE).encode() == "001"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ColorState(8)
+        with pytest.raises(ValueError):
+            ColorState.from_string("10")
+        with pytest.raises(ValueError):
+            ColorState.single(5)
+
+
+class TestQueries:
+    def test_allows_and_colors(self):
+        state = ColorState.of(RED, BLUE)
+        assert state.allows(RED) and state.allows(BLUE) and not state.allows(GREEN)
+        assert state.colors() == [RED, BLUE]
+        assert len(state) == 2 and state.count == 2
+
+    def test_single_color(self):
+        assert ColorState.single(GREEN).single_color() == GREEN
+        with pytest.raises(ValueError):
+            ColorState.of(RED, GREEN).single_color()
+
+    def test_flags(self):
+        assert ColorState.none().is_empty
+        assert ColorState.all().is_full
+        assert ColorState.single(BLUE).is_single
+        assert not ColorState.none()
+        assert ColorState.all()
+
+    def test_preferred_color(self):
+        assert ColorState.all().preferred_color() == RED
+        assert ColorState.all().preferred_color([5.0, 1.0, 3.0]) == GREEN
+        assert ColorState.of(GREEN, BLUE).preferred_color([0.0, 2.0, 2.0]) == GREEN
+        with pytest.raises(ValueError):
+            ColorState.none().preferred_color()
+
+
+class TestAlgebra:
+    def test_intersection_union(self):
+        a, b = ColorState.of(RED, GREEN), ColorState.of(GREEN, BLUE)
+        assert a.intersection(b) == ColorState.single(GREEN)
+        assert a.union(b) == ColorState.all()
+
+    def test_has_common(self):
+        assert ColorState.of(RED).has_common(ColorState.of(RED, BLUE))
+        assert not ColorState.of(RED).has_common(ColorState.of(GREEN, BLUE))
+        assert not ColorState.none().has_common(ColorState.all())
+
+    def test_without_and_with(self):
+        assert ColorState.all().without(GREEN) == ColorState.of(RED, BLUE)
+        assert ColorState.none().with_color(BLUE) == ColorState.single(BLUE)
+
+    def test_complement(self):
+        assert ColorState.of(RED).complement() == ColorState.of(GREEN, BLUE)
+        assert ColorState.all().complement() == ColorState.none()
+
+    @given(states, states)
+    def test_intersection_is_commutative_and_subset(self, a, b):
+        common = a.intersection(b)
+        assert common == b.intersection(a)
+        for color in common.colors():
+            assert a.allows(color) and b.allows(color)
+        assert common.count <= min(a.count, b.count)
+
+    @given(states, states)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        for color in a.colors() + b.colors():
+            assert union.allows(color)
+
+    @given(states)
+    def test_complement_involution(self, state):
+        assert state.complement().complement() == state
+        assert state.union(state.complement()) == ColorState.all()
+        assert state.intersection(state.complement()) == ColorState.none()
+
+    @given(states, states)
+    def test_has_common_matches_intersection(self, a, b):
+        assert a.has_common(b) == (not a.intersection(b).is_empty)
+
+    @given(states)
+    def test_encode_roundtrip(self, state):
+        assert ColorState.from_string(state.encode()) == state
+        assert ColorState.from_colors(state.colors()) == state

@@ -1,0 +1,212 @@
+"""Tests for the technology and design models."""
+
+import pytest
+
+from repro.design import CellInstance, CellMaster, Design, Net, Obstacle, Pin
+from repro.geometry import Orientation, Point, Rect
+from repro.tech import DesignRules, Layer, LayerDirection, TechStack, make_default_tech
+
+
+class TestLayer:
+    def test_direction_helpers(self):
+        layer = Layer(0, "Metal1", LayerDirection.HORIZONTAL, pitch=4, width=1, spacing=1)
+        assert layer.is_horizontal and not layer.is_vertical
+        assert LayerDirection.HORIZONTAL.other is LayerDirection.VERTICAL
+
+    def test_track_mapping(self):
+        layer = Layer(0, "Metal1", LayerDirection.HORIZONTAL, pitch=5, width=1, spacing=1, offset=2)
+        assert layer.track_coordinate(3) == 17
+        assert layer.nearest_track(18) == 3
+
+
+class TestDesignRules:
+    def test_color_spacing_per_layer_override(self):
+        rules = DesignRules(color_spacing=8, color_spacing_per_layer={2: 12})
+        assert rules.color_spacing_on(0) == 8
+        assert rules.color_spacing_on(2) == 12
+
+    def test_requires_different_mask(self):
+        rules = DesignRules(color_spacing=8)
+        assert rules.requires_different_mask(7)
+        assert not rules.requires_different_mask(8)
+
+    def test_spacing_violation(self):
+        rules = DesignRules(min_spacing=2)
+        assert rules.is_spacing_violation(1)
+        assert not rules.is_spacing_violation(2)
+
+    def test_scaled_copy(self):
+        rules = DesignRules()
+        tweaked = rules.scaled(beta=9.0)
+        assert tweaked.beta == 9.0 and rules.beta != 9.0
+
+
+class TestTechStack:
+    def test_make_default_tech_alternates_directions(self):
+        tech = make_default_tech(num_layers=4)
+        assert tech[0].is_horizontal and tech[1].is_vertical and tech[2].is_horizontal
+        assert tech.num_layers == 4 and len(list(tech)) == 4
+
+    def test_layer_lookup_and_neighbours(self):
+        tech = make_default_tech(num_layers=3)
+        metal2 = tech.layer_by_name("Metal2")
+        assert tech.above(metal2) is tech[2]
+        assert tech.below(tech[0]) is None
+        assert tech.above(tech[2]) is None
+        with pytest.raises(KeyError):
+            tech.layer_by_name("Metal9")
+
+    def test_tpl_layer_count(self):
+        tech = make_default_tech(num_layers=4, tpl_layer_count=2)
+        assert [layer.tpl for layer in tech] == [True, True, False, False]
+        assert len(tech.tpl_layers()) == 2
+
+    def test_rejects_bad_index_order(self):
+        layers = [
+            Layer(1, "A", LayerDirection.HORIZONTAL, 4, 1, 1),
+            Layer(0, "B", LayerDirection.VERTICAL, 4, 1, 1),
+        ]
+        with pytest.raises(ValueError):
+            TechStack(layers=layers)
+
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            make_default_tech(num_layers=1)
+
+
+class TestPinAndNet:
+    def test_pin_names(self):
+        port = Pin(name="clk")
+        instance_pin = Pin(name="A", instance_name="u1")
+        assert port.full_name == "clk" and port.is_port
+        assert instance_pin.full_name == "u1/A" and not instance_pin.is_port
+
+    def test_pin_geometry(self):
+        pin = Pin(name="A")
+        pin.add_shape(0, Rect(0, 0, 2, 2))
+        pin.add_shape(1, Rect(4, 4, 6, 6))
+        assert pin.layers() == [0, 1]
+        assert pin.bounding_box() == Rect(0, 0, 6, 6)
+        assert pin.covers(0, Point(1, 1)) and not pin.covers(1, Point(1, 1))
+
+    def test_empty_pin_bbox_raises(self):
+        with pytest.raises(ValueError):
+            Pin(name="empty").bounding_box()
+
+    def test_net_back_references(self):
+        pin = Pin(name="A")
+        pin.add_shape(0, Rect(0, 0, 2, 2))
+        net = Net(name="n1", pins=[pin])
+        assert pin.net_name == "n1"
+        extra = Pin(name="B")
+        extra.add_shape(0, Rect(10, 0, 12, 2))
+        net.add_pin(extra)
+        assert extra.net_name == "n1" and net.num_pins == 2
+
+    def test_net_classification_and_hpwl(self):
+        pins = []
+        for index, (x, y) in enumerate([(0, 0), (10, 0), (10, 20)]):
+            pin = Pin(name=f"p{index}")
+            pin.add_shape(0, Rect(x, y, x + 2, y + 2))
+            pins.append(pin)
+        net = Net(name="n", pins=pins)
+        assert net.is_multi_pin and net.is_routable
+        assert net.half_perimeter_wirelength() == 12 + 22
+
+    def test_pin_lookup(self):
+        pin = Pin(name="A", instance_name="u1")
+        pin.add_shape(0, Rect(0, 0, 1, 1))
+        net = Net(name="n", pins=[pin])
+        assert net.pin_by_name("u1/A") is pin
+        with pytest.raises(KeyError):
+            net.pin_by_name("missing")
+
+
+class TestCells:
+    def make_master(self):
+        master = CellMaster(name="INV", width=8, height=8)
+        master.add_pin("A", layer=0, rect=Rect(0, 0, 2, 2))
+        master.add_pin("Z", layer=0, rect=Rect(6, 6, 8, 8))
+        master.add_obstruction(1, Rect(2, 2, 6, 6))
+        return master
+
+    def test_instance_footprint_and_pins(self):
+        master = self.make_master()
+        instance = CellInstance(name="u1", master=master, location=Point(100, 50))
+        assert instance.footprint() == Rect(100, 50, 108, 58)
+        pin = instance.make_pin("A")
+        assert pin.full_name == "u1/A"
+        assert pin.shapes[0].rect == Rect(100, 50, 102, 52)
+
+    def test_oriented_instance(self):
+        master = self.make_master()
+        instance = CellInstance(
+            name="u2", master=master, location=Point(0, 0), orientation=Orientation.S
+        )
+        pin = instance.make_pin("A")
+        assert pin.shapes[0].rect == Rect(6, 6, 8, 8)
+
+    def test_obstruction_shapes(self):
+        master = self.make_master()
+        instance = CellInstance(name="u3", master=master, location=Point(10, 10))
+        shapes = instance.obstruction_shapes()
+        assert shapes[0].layer == 1 and shapes[0].rect == Rect(12, 12, 16, 16)
+
+    def test_unknown_pin(self):
+        with pytest.raises(KeyError):
+            self.make_master().pin_by_name("Q")
+
+
+def make_design():
+    tech = make_default_tech(num_layers=3, color_spacing=8)
+    design = Design(name="unit", tech=tech, die_area=Rect(0, 0, 100, 100))
+    pin_a = Pin(name="a")
+    pin_a.add_shape(0, Rect(4, 4, 6, 6))
+    pin_b = Pin(name="b")
+    pin_b.add_shape(0, Rect(40, 40, 42, 42))
+    design.add_net(Net(name="n1", pins=[pin_a, pin_b]))
+    design.add_obstacle(Obstacle(layer=1, rect=Rect(20, 20, 30, 30), name="blk"))
+    design.add_obstacle(Obstacle(layer=0, rect=Rect(60, 60, 70, 62), name="fixed", color=1))
+    return design
+
+
+class TestDesign:
+    def test_statistics(self):
+        design = make_design()
+        stats = design.statistics()
+        assert stats["nets"] == 1 and stats["routable_nets"] == 1
+        assert stats["pins"] == 2 and stats["obstacles"] == 2
+
+    def test_validate_clean(self):
+        assert make_design().validate() == []
+
+    def test_validate_catches_problems(self):
+        design = make_design()
+        bad_pin = Pin(name="bad")
+        bad_pin.add_shape(7, Rect(0, 0, 2, 2))
+        design.add_net(Net(name="n1", pins=[bad_pin]))  # duplicate name + bad layer
+        out_pin = Pin(name="out")
+        out_pin.add_shape(0, Rect(400, 400, 402, 402))
+        design.add_net(Net(name="n2", pins=[out_pin]))
+        problems = design.validate()
+        assert any("unknown layer" in p for p in problems)
+        assert any("appears 2 times" in p for p in problems)
+        assert any("outside the die" in p for p in problems)
+
+    def test_duplicate_registration_rejected(self):
+        design = make_design()
+        master = CellMaster(name="M", width=4, height=4)
+        design.add_master(master)
+        with pytest.raises(ValueError):
+            design.add_master(CellMaster(name="M", width=4, height=4))
+
+    def test_colored_obstacles_and_blockages(self):
+        design = make_design()
+        assert [o.name for o in design.colored_obstacles()] == ["fixed"]
+        assert len(design.blockage_shapes()) == 2
+
+    def test_net_by_name(self):
+        design = make_design()
+        assert design.net_by_name("n1").name == "n1"
+        with pytest.raises(KeyError):
+            design.net_by_name("nope")
