@@ -21,22 +21,118 @@ with Mr.TPL so the Table II comparison is apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.design import Design, Net
 from repro.dr.cost import CostModel, TargetBounds
+from repro.dr.maze import make_traditional_expand
 from repro.geometry import GridPoint, Point
 from repro.gr import GlobalRouter, GuideSet
 from repro.gr.steiner import rectilinear_mst
-from repro.grid import ALL_DIRECTIONS, NetRoute, RoutingGrid, RoutingSolution
+from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.search import SearchCore
 from repro.tpl.color_state import ALL_COLORS
 from repro.tpl.conflict import ConflictChecker
-from repro.utils import Timer, UpdatablePriorityQueue, get_logger
+from repro.utils import Timer, get_logger
 
 _LOG = get_logger("baselines.dac2012")
 
 #: A search state on the mask-expanded graph: (grid vertex, mask).
 MaskedVertex = Tuple[GridPoint, int]
+
+
+class MaskExpandedSearch:
+    """2-pin search on the mask-expanded graph (3 mask planes per vertex).
+
+    A thin adapter over the shared :class:`repro.search.SearchCore`: nodes
+    are ``vertex_index * 3 + mask``; every expansion offers the two in-place
+    mask switches (a stitch on the expanded graph) followed by the six grid
+    moves keeping the mask (each charged the mask's color conflict cost at
+    the destination).
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        cost_model: CostModel,
+        max_expansions: int = 6_000_000,
+    ) -> None:
+        self.grid = grid
+        self.cost_model = cost_model
+        self.max_expansions = max_expansions
+        self.core = SearchCore(grid, cost_model, max_expansions)
+
+    def search(
+        self,
+        sources: List[MaskedVertex],
+        targets: Set[GridPoint],
+        net_name: str,
+    ) -> Optional[List[MaskedVertex]]:
+        """Search from *sources* to any vertex of *targets* (any mask).
+
+        Returns the ``(vertex, mask)`` path ordered source-first, or ``None``
+        when the search exhausts.
+        """
+        if not targets:
+            return None
+        grid = self.grid
+        bounds = TargetBounds.from_targets(targets)
+        index_of = grid.index_of
+        seeds: List[Tuple[int, int]] = []
+        for vertex, color in sources:
+            seeds.append((index_of(vertex) * 3 + color, 0))
+        target_nodes = {
+            index_of(t) * 3 + color
+            for t in targets
+            if grid.in_bounds(t)
+            for color in ALL_COLORS
+        }
+
+        net_id = grid.net_id(net_name)
+        expand = self._make_expand(net_name, net_id)
+        self.core.max_expansions = self.max_expansions
+        core = self.core.run(
+            seeds, target_nodes, expand, bounds=bounds, node_stride=3
+        )
+        if not core.found:
+            return None
+        nodes = core.node_path()
+        nodes.reverse()
+        vertex_of = grid.vertex_of
+        return [(vertex_of(node // 3), node % 3) for node in nodes]
+
+    def _make_expand(
+        self, net_name: str, net_id: int
+    ) -> Callable[[int, float, int], List[Tuple[int, float, int]]]:
+        grid = self.grid
+        cost_model = self.cost_model
+        traditional = make_traditional_expand(grid, cost_model, net_name, net_id)
+        pressure = grid.pressure_buffer()
+        net_pressure_get = grid.net_pressure_overlay().get
+        overlay_base = net_id * grid.num_vertices
+        gamma = grid.rules.gamma
+        stitch_penalty = cost_model.stitch_cost()
+
+        def expand(node: int, g: float, _aux: int) -> List[Tuple[int, float, int]]:
+            vertex, color = divmod(node, 3)
+            vertex_base = 3 * vertex
+            out: List[Tuple[int, float, int]] = []
+            # Mask change in place: a stitch on the expanded graph.
+            for other_color in ALL_COLORS:
+                if other_color != color:
+                    out.append((vertex_base + other_color, g + stitch_penalty, 0))
+            # Planar and via moves keeping the mask, charged the mask's
+            # color conflict cost at the destination.
+            for succ, moved_cost, _zero in traditional(vertex, g, 0):
+                own = net_pressure_get(overlay_base + succ)
+                if own is None:
+                    conflict = gamma * pressure[3 * succ + color]
+                else:
+                    conflict = gamma * max(pressure[3 * succ + color] - own[color], 0.0)
+                out.append((succ * 3 + color, moved_cost + conflict, 0))
+            return out
+
+        return expand
 
 
 class Dac2012Router:
@@ -51,6 +147,7 @@ class Dac2012Router:
         guides: Optional[GuideSet] = None,
         use_global_router: bool = True,
         max_iterations: Optional[int] = None,
+        engine: str = "flat",
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -65,6 +162,18 @@ class Dac2012Router:
             else design.tech.rules.max_ripup_iterations
         )
         self.max_expansions = 6_000_000
+        if engine == "flat":
+            self.two_pin_engine = MaskExpandedSearch(
+                self.grid, self.cost_model, self.max_expansions
+            )
+        elif engine == "legacy":
+            from repro.search.legacy import LegacyMaskExpandedSearch
+
+            self.two_pin_engine = LegacyMaskExpandedSearch(
+                self.grid, self.cost_model, self.max_expansions
+            )
+        else:
+            raise ValueError(f"unknown search engine {engine!r}; expected 'flat' or 'legacy'")
 
     # ------------------------------------------------------------------
 
@@ -84,6 +193,9 @@ class Dac2012Router:
             if not offenders:
                 break
             iterations = iteration + 1
+            # Same negotiation dynamics as the host routers: fade stale
+            # history before this iteration's conflicts add fresh evidence.
+            self.grid.decay_history(self.grid.rules.history_decay)
             for location in report.conflict_locations():
                 self.grid.add_history(location, 1.0)
             for net_name in offenders:
@@ -161,77 +273,19 @@ class Dac2012Router:
         the defining limitation of the 2-pin formulation.
         """
         net_name = route.net_name
-        targets = set(target_group)
-        bounds = TargetBounds.from_targets(targets)
-        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
-        costs: Dict[MaskedVertex, float] = {}
-        parents: Dict[MaskedVertex, Optional[MaskedVertex]] = {}
-
+        sources: List[MaskedVertex] = []
         for vertex in source_group:
             if self.grid.is_blocked(vertex):
                 continue
             committed = route.vertex_colors.get(vertex)
             colors = [committed] if committed is not None else list(ALL_COLORS)
             for color in colors:
-                state: MaskedVertex = (vertex, color)
-                costs[state] = 0.0
-                parents[state] = None
-                queue.push(state, self.cost_model.heuristic_bounds(vertex, bounds))
+                sources.append((vertex, color))
 
-        reached: Optional[MaskedVertex] = None
-        expansions = 0
-        stitch_penalty = self.cost_model.stitch_cost()
-        while queue:
-            state, _priority = queue.pop()
-            vertex, color = state
-            cost_here = costs[state]
-            expansions += 1
-            if vertex in targets:
-                reached = state
-                break
-            if expansions > self.max_expansions:
-                break
-            # Mask change in place: a stitch on the expanded graph.
-            for other_color in ALL_COLORS:
-                if other_color == color:
-                    continue
-                switched: MaskedVertex = (vertex, other_color)
-                candidate = cost_here + stitch_penalty
-                if candidate < costs.get(switched, float("inf")) - 1e-12:
-                    costs[switched] = candidate
-                    parents[switched] = state
-                    queue.push(
-                        switched,
-                        candidate + self.cost_model.heuristic_bounds(vertex, bounds),
-                    )
-            # Planar and via moves keeping the mask.
-            for direction in ALL_DIRECTIONS:
-                neighbor = self.grid.neighbor(vertex, direction)
-                if neighbor is None or self.grid.is_blocked(neighbor):
-                    continue
-                step = self.cost_model.weighted_traditional_cost(
-                    vertex, direction, neighbor, net_name
-                )
-                step += self.cost_model.color_costs(neighbor, net_name)[color]
-                moved: MaskedVertex = (neighbor, color)
-                candidate = cost_here + step
-                if candidate < costs.get(moved, float("inf")) - 1e-12:
-                    costs[moved] = candidate
-                    parents[moved] = state
-                    queue.push(
-                        moved,
-                        candidate + self.cost_model.heuristic_bounds(neighbor, bounds),
-                    )
-
-        if reached is None:
+        self.two_pin_engine.max_expansions = self.max_expansions
+        path = self.two_pin_engine.search(sources, set(target_group), net_name)
+        if path is None:
             return False
-
-        path: List[MaskedVertex] = []
-        cursor: Optional[MaskedVertex] = reached
-        while cursor is not None:
-            path.append(cursor)
-            cursor = parents[cursor]
-        path.reverse()
 
         previous_vertex: Optional[GridPoint] = None
         for vertex, color in path:

@@ -1,4 +1,7 @@
-"""Hand-crafted micro layouts mirroring the paper's figures.
+"""Hand-crafted micro layouts mirroring the paper's figures, plus the
+search-engine micro-benchmarks.
+
+Micro layouts:
 
 * :func:`fig1_dense_cluster` -- four closely spaced nets whose patterns
   cannot all receive different masks once routed without care: the scenario
@@ -9,11 +12,23 @@
 * :func:`fig3_walkthrough_design` -- the Fig. 3 walk-through: a 4-pin net
   with two fixed obstacles on mask 2 and mask 3 forcing the color state of
   the routed path to narrow from ``111`` to ``101`` to ``100``.
+
+Engine micro-benchmarks:
+
+:func:`run_engine_benchmarks` routes synthetic ISPD-like suite cases through
+each router twice -- once with the frozen legacy ``GridPoint``-dict search
+engines (:mod:`repro.search.legacy`) and once with the flat-index
+:class:`repro.search.SearchCore` adapters -- verifying the two produce
+bit-identical solutions and reporting the wall-clock speedup.  ``python -m
+repro.bench.micro`` writes the results as a ``BENCH_*.json`` perf baseline
+so CI and future PRs can track regressions.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import json
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.design import Design, Net, Obstacle, Pin
 from repro.geometry import Point, Rect
@@ -116,3 +131,142 @@ def micro_cases() -> List[Tuple[str, Design]]:
         ("fig1_multi_pin_net", fig1_multi_pin_net()),
         ("fig3_walkthrough", fig3_walkthrough_design()),
     ]
+
+
+# ----------------------------------------------------------------------
+# Search-engine micro-benchmarks (legacy GridPoint dicts vs flat index)
+# ----------------------------------------------------------------------
+
+def solution_fingerprint(solution) -> Dict[str, tuple]:
+    """Return a comparable, order-independent digest of a routing solution."""
+    return {
+        name: (
+            tuple(sorted(route.vertices)),
+            tuple(sorted(route.vertex_colors.items())),
+            tuple(sorted(route.edges)),
+            tuple(sorted((s.a, s.b) for s in route.stitches)),
+            route.routed,
+        )
+        for name, route in solution.routes.items()
+    }
+
+
+def solution_metrics(solution) -> Dict[str, float]:
+    """Return the metric dict the benchmark records per routed solution."""
+    return {
+        "wirelength": solution.total_wirelength(),
+        "vias": solution.total_vias(),
+        "stitches": solution.total_stitches(),
+        "failed_nets": len(solution.failed_nets()),
+        "iterations": solution.iterations,
+    }
+
+
+def run_engine_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: float = 0.5,
+    routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
+) -> Dict[str, object]:
+    """Benchmark the flat-index engines against the legacy reference.
+
+    For every suite case and router, the same design is routed once per
+    engine generation; the run asserts the two solutions are identical
+    (vertices, colors, edges, stitches) and records both wall-clock times.
+    Returns the result document that :func:`main` serialises to JSON.
+    """
+    # Imported here: repro.bench must stay importable without the router
+    # stack (and the legacy module must never burden production imports).
+    from repro.baselines.dac2012 import Dac2012Router
+    from repro.bench.suites import suite_case
+    from repro.dr.router import DetailedRouter
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    router_classes = {
+        "maze": DetailedRouter,
+        "color-state": MrTPLRouter,
+        "dac2012": Dac2012Router,
+    }
+    results: List[Dict[str, object]] = []
+    for number in cases:
+        for router_key in routers:
+            router_class = router_classes[router_key]
+            timings: Dict[str, float] = {}
+            outcome: Dict[str, object] = {}
+            for engine in ("legacy", "flat"):
+                design = suite_case(suite, number, scale).build()
+                router = router_class(design, engine=engine)
+                start = time.perf_counter()
+                solution = router.run()
+                timings[engine] = time.perf_counter() - start
+                outcome[engine] = (
+                    solution_fingerprint(solution),
+                    solution_metrics(solution),
+                )
+            legacy_digest, legacy_metrics = outcome["legacy"]
+            flat_digest, flat_metrics = outcome["flat"]
+            results.append(
+                {
+                    "suite": suite,
+                    "case": number,
+                    "router": router_key,
+                    "legacy_seconds": round(timings["legacy"], 4),
+                    "flat_seconds": round(timings["flat"], 4),
+                    "speedup": round(timings["legacy"] / max(timings["flat"], 1e-9), 3),
+                    "identical_solutions": legacy_digest == flat_digest
+                    and legacy_metrics == flat_metrics,
+                    "metrics": flat_metrics,
+                }
+            )
+    speedups = [entry["speedup"] for entry in results]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(speedups), 1)
+    return {
+        "benchmark": "search-engine flat-index vs legacy",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_solutions"] for entry in results),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run the engine benchmarks and write a JSON baseline."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=run_engine_benchmarks.__doc__)
+    parser.add_argument("--suite", default="ispd18", choices=("ispd18", "ispd19"))
+    parser.add_argument("--cases", default="1,2,3", help="comma-separated case numbers")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--smoke", action="store_true", help="single small case (CI smoke mode)"
+    )
+    parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    cases = tuple(int(token) for token in args.cases.split(",") if token.strip())
+    scale = args.scale
+    if args.smoke:
+        cases, scale = (1,), 0.5
+    if not cases:
+        parser.error("--cases selected no case numbers")
+    report = run_engine_benchmarks(suite=args.suite, cases=cases, scale=scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for entry in report["results"]:
+        print(
+            f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
+            f"legacy={entry['legacy_seconds']:.3f}s flat={entry['flat_seconds']:.3f}s "
+            f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']}"
+        )
+    print(f"geomean speedup: {report['geomean_speedup']:.2f}x -> {args.out}")
+    return 0 if report["all_identical"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke run
+    raise SystemExit(main())

@@ -5,16 +5,27 @@ every negotiation-based detailed router applies: accumulated history cost,
 soft occupancy (short) cost, and the out-of-guide penalty from the ISPD
 contest cost model.  The stitch and color terms are layered on top by the
 TPL-aware routers; the plain router uses this model unchanged.
+
+The model exposes two equivalent query surfaces:
+
+* the legacy :class:`~repro.geometry.GridPoint` methods, kept for tests,
+  evaluation and the reference search engines, and
+* flat-index variants (``*_index``) used by :class:`repro.search.SearchCore`
+  adapters, backed by a precomputed per-layer base-cost table and a per-net
+  out-of-guide memo so the search hot path performs no geometry work.
+
+Both surfaces share one arithmetic path (the GridPoint methods convert and
+delegate), so legacy and flat-index searches produce bit-identical costs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.geometry import GridPoint
 from repro.gr.guide import GuideSet
-from repro.grid import Direction, RoutingGrid
+from repro.grid import ALL_DIRECTIONS, DIRECTION_INDEX, Direction, RoutingGrid
 
 
 @dataclass(frozen=True)
@@ -64,6 +75,85 @@ class CostModel:
         self.grid = grid
         self.rules = grid.rules
         self.guides = guides
+        self._base_cost_table: Optional[List[List[float]]] = None
+        # Per-net memo of the out-of-guide penalty per flat index.  Guides
+        # are immutable once built, so entries never invalidate.
+        self._guide_memos: Dict[str, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Flat-index query surface (search hot path)
+    # ------------------------------------------------------------------
+
+    def base_cost_table(self) -> List[List[float]]:
+        """Return ``table[layer][direction_index] -> Cost_trad`` base cost.
+
+        Mirrors :meth:`RoutingGrid.base_edge_cost` for every layer and all
+        six :data:`~repro.grid.ALL_DIRECTIONS` slots; built once, lazily.
+        """
+        if self._base_cost_table is None:
+            table: List[List[float]] = []
+            for layer in self.grid.tech.layers[: self.grid.num_layers]:
+                row: List[float] = []
+                for direction in ALL_DIRECTIONS:
+                    if direction.is_via:
+                        row.append(self.rules.via_cost)
+                    else:
+                        preferred = (
+                            layer.is_horizontal and direction.is_horizontal
+                            or layer.is_vertical and direction.is_vertical
+                        )
+                        row.append(1.0 if preferred else self.rules.wrong_way_penalty)
+                table.append(row)
+            self._base_cost_table = table
+        return self._base_cost_table
+
+    def guide_memo(self, net_name: str) -> Dict[int, float]:
+        """Return the mutable per-net ``index -> out-of-guide penalty`` memo.
+
+        Search adapters fill it lazily while expanding; entries persist
+        across the searches of one net (and across rip-up & reroute, since
+        the guide region of a net never changes).
+        """
+        memo = self._guide_memos.get(net_name)
+        if memo is None:
+            memo = {}
+            self._guide_memos[net_name] = memo
+        return memo
+
+    def out_of_guide_cost_index(self, index: int, net_name: str) -> float:
+        """Compute (uncached) the out-of-guide penalty at flat *index*."""
+        if self.guides is None:
+            return 0.0
+        vertex = self.grid.vertex_of(index)
+        point = self.grid.physical_point(vertex)
+        if self.guides.covers_point(net_name, vertex.layer, point):
+            return 0.0
+        return self.rules.out_of_guide_penalty
+
+    def step_cost_index(
+        self, layer: int, direction_index: int, neighbor_index: int,
+        net_name: str, net_id: int,
+    ) -> float:
+        """Return ``alpha * Cost_trad`` of one step in flat-index space.
+
+        The reference implementation of the arithmetic the search adapters
+        inline: ``alpha * ((base + congestion) + guide)``, with the addition
+        order kept identical everywhere so results are bit-reproducible.
+        """
+        base = self.base_cost_table()[layer][direction_index]
+        congestion = self.grid.congestion_cost_index(neighbor_index, net_id)
+        memo = self.guide_memo(net_name)
+        guide = memo.get(neighbor_index)
+        if guide is None:
+            guide = self.out_of_guide_cost_index(neighbor_index, net_name)
+            memo[neighbor_index] = guide
+        cost = base + congestion
+        cost = cost + guide
+        return self.rules.alpha * cost
+
+    # ------------------------------------------------------------------
+    # GridPoint query surface (legacy engines, tests, evaluation)
+    # ------------------------------------------------------------------
 
     def traditional_cost(
         self,
@@ -91,7 +181,19 @@ class CostModel:
         net_name: str,
     ) -> float:
         """Return ``alpha * Cost_trad`` (the Eq. 1 weighting applied)."""
-        return self.rules.alpha * self.traditional_cost(vertex, direction, neighbor, net_name)
+        if not self.grid.in_bounds(neighbor):
+            # Out-of-grid destination: no flat index exists, fall back to the
+            # pure-GridPoint arithmetic (same result, no buffer reads).
+            return self.rules.alpha * self.traditional_cost(
+                vertex, direction, neighbor, net_name
+            )
+        return self.step_cost_index(
+            vertex.layer,
+            DIRECTION_INDEX[direction],
+            self.grid.index_of(neighbor),
+            net_name,
+            self.grid.net_id_if_known(net_name),
+        )
 
     def out_of_guide_cost(self, vertex: GridPoint, net_name: str) -> float:
         """Return the penalty for *vertex* lying outside the net's guide."""
@@ -109,6 +211,10 @@ class CostModel:
     def color_costs(self, vertex: GridPoint, net_name: str) -> list:
         """Return ``gamma * Cost_color`` for each of the three masks at *vertex*."""
         return [self.rules.gamma * c for c in self.grid.color_costs(vertex, net_name)]
+
+    def color_costs_index(self, index: int, net_id: int) -> List[float]:
+        """Flat-index variant of :meth:`color_costs`."""
+        return [self.rules.gamma * c for c in self.grid.color_costs_index(index, net_id)]
 
     def is_usable(self, vertex: GridPoint) -> bool:
         """Return ``True`` when *vertex* is not hard-blocked."""

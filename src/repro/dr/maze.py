@@ -5,32 +5,90 @@ starts from all vertices already in the tree (cost 0) and stops at the first
 access vertex of a still-unreached pin.  This is the standard multi-source
 Dijkstra formulation that Algorithm 1 of the paper also follows -- the
 Mr.TPL variant in :mod:`repro.tpl.search` adds the color-state dimension.
+
+:class:`MazeRouter` is a thin adapter over the shared
+:class:`repro.search.SearchCore` engine: vertices are converted to flat grid
+indices at the API boundary, the hot loop reads the grid's flat state
+buffers, and :class:`GridPoint` objects are materialised only for the
+backtraced path (and lazily for the compatibility ``parents`` / ``costs``
+views).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dr.cost import CostModel, TargetBounds
 from repro.geometry import GridPoint
-from repro.grid import ALL_DIRECTIONS, Direction, RoutingGrid
-from repro.utils import UpdatablePriorityQueue
+from repro.grid import NUM_DIRECTIONS, RoutingGrid
+from repro.search import CoreResult, SearchCore
 
 
-@dataclass
 class SearchResult:
-    """Outcome of one maze search."""
+    """Outcome of one maze search.
 
-    reached: Optional[GridPoint]
-    parents: Dict[GridPoint, Optional[GridPoint]] = field(default_factory=dict)
-    costs: Dict[GridPoint, float] = field(default_factory=dict)
-    expansions: int = 0
+    Constructed either from a :class:`~repro.search.CoreResult` (the flat
+    engine) or from explicit ``GridPoint``-keyed dicts (the legacy reference
+    engine); the public surface is identical either way, and the GridPoint
+    views are materialised lazily so the fast path never pays for them.
+    """
+
+    def __init__(
+        self,
+        reached: Optional[GridPoint] = None,
+        parents: Optional[Dict[GridPoint, Optional[GridPoint]]] = None,
+        costs: Optional[Dict[GridPoint, float]] = None,
+        expansions: int = 0,
+        core: Optional[CoreResult] = None,
+        grid: Optional[RoutingGrid] = None,
+    ) -> None:
+        self._core = core
+        self._grid = grid
+        self._reached = reached
+        self._parents = parents
+        self._costs = costs
+        self.expansions = core.expansions if core is not None else expansions
+
+    @property
+    def reached(self) -> Optional[GridPoint]:
+        """Return the target vertex the search stopped at, if any."""
+        if self._reached is None and self._core is not None and self._core.found:
+            self._reached = self._grid.vertex_of(self._core.reached)
+        return self._reached
 
     @property
     def found(self) -> bool:
         """Return ``True`` when a target vertex was reached."""
-        return self.reached is not None
+        if self._core is not None:
+            return self._core.found
+        return self._reached is not None
+
+    @property
+    def parents(self) -> Dict[GridPoint, Optional[GridPoint]]:
+        """Return the predecessor map (GridPoint view, built on demand)."""
+        if self._parents is None:
+            if self._core is None:
+                self._parents = {}
+            else:
+                vertex_of = self._grid.vertex_of
+                self._parents = {
+                    vertex_of(node): (vertex_of(pred) if pred >= 0 else None)
+                    for node, pred in self._core.parent.items()
+                }
+        return self._parents
+
+    @property
+    def costs(self) -> Dict[GridPoint, float]:
+        """Return the best-cost map (GridPoint view, built on demand)."""
+        if self._costs is None:
+            if self._core is None:
+                self._costs = {}
+            else:
+                vertex_of = self._grid.vertex_of
+                self._costs = {
+                    vertex_of(node): value for node, value in self._core.cost.items()
+                }
+        return self._costs
 
     def backtrace(self) -> List[GridPoint]:
         """Return the path from a source (cost 0) to the reached vertex.
@@ -38,13 +96,20 @@ class SearchResult:
         The path is ordered source-first.  Raises ``ValueError`` when the
         search failed.
         """
-        if self.reached is None:
+        if self._core is not None:
+            if not self._core.found:
+                raise ValueError("cannot backtrace a failed search")
+            nodes = self._core.node_path()
+            nodes.reverse()
+            vertex_of = self._grid.vertex_of
+            return [vertex_of(node) for node in nodes]
+        if self._reached is None:
             raise ValueError("cannot backtrace a failed search")
         path: List[GridPoint] = []
-        cursor: Optional[GridPoint] = self.reached
+        cursor: Optional[GridPoint] = self._reached
         while cursor is not None:
             path.append(cursor)
-            cursor = self.parents.get(cursor)
+            cursor = (self._parents or {}).get(cursor)
         path.reverse()
         return path
 
@@ -56,6 +121,7 @@ class MazeRouter:
         self.grid = grid
         self.cost_model = cost_model
         self.max_expansions = max_expansions
+        self.core = SearchCore(grid, cost_model, max_expansions)
 
     def search(
         self,
@@ -79,46 +145,83 @@ class MazeRouter:
             Target vertices covered by another net's metal are still accepted
             when ``True``; the negotiation loop resolves the resulting short.
         """
-        result = SearchResult(reached=None)
         if not targets:
-            return result
+            return SearchResult()
+        grid = self.grid
         bounds = TargetBounds.from_targets(targets)
-        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
-        costs: Dict[GridPoint, float] = {}
-        parents: Dict[GridPoint, Optional[GridPoint]] = {}
+        index_of = grid.index_of
+        seeds: List[Tuple[int, int]] = []
         for source in sources:
-            if not self.grid.in_bounds(source):
+            if not grid.in_bounds(source) or grid.is_blocked(source):
                 continue
-            if self.grid.is_blocked(source):
+            seeds.append((index_of(source), 0))
+        target_nodes = {index_of(t) for t in targets if grid.in_bounds(t)}
+
+        net_id = grid.net_id(net_name)
+        accept: Optional[Callable[[int], bool]] = None
+        if not allow_occupied_targets:
+            is_other = grid.is_occupied_by_other_index
+
+            def accept(node: int) -> bool:
+                return not is_other(node, net_id)
+
+        expand = make_traditional_expand(grid, self.cost_model, net_name, net_id)
+        self.core.max_expansions = self.max_expansions
+        core = self.core.run(seeds, target_nodes, expand, bounds=bounds, accept=accept)
+        return SearchResult(core=core, grid=grid)
+
+
+def make_traditional_expand(
+    grid: RoutingGrid,
+    cost_model: CostModel,
+    net_name: str,
+    net_id: int,
+) -> Callable[[int, float, int], List[Tuple[int, float, int]]]:
+    """Return the ``Cost_trad`` expansion callback over flat indices.
+
+    One step costs ``alpha * ((base + congestion) + guide)`` exactly as
+    :meth:`CostModel.step_cost_index` computes it (same operation order, so
+    flat and legacy searches agree bitwise); the loop body reads only the
+    grid's flat buffers.  Shared by the maze adapter and (with the color
+    terms layered on top) the color-state / DAC-2012 adapters' structure.
+    """
+    neighbor_table = grid.neighbor_table()
+    blocked = grid.blocked_buffer()
+    history = grid.history_buffer()
+    owner = grid.owner_buffer()
+    base_costs = cost_model.base_cost_table()
+    rules = grid.rules
+    alpha = rules.alpha
+    history_weight = rules.history_weight
+    occupancy_penalty = rules.occupancy_penalty
+    plane = grid.plane_size
+    has_guides = cost_model.guides is not None
+    guide_memo = cost_model.guide_memo(net_name) if has_guides else {}
+    memo_get = guide_memo.get
+    uncached_guide = cost_model.out_of_guide_cost_index
+
+    def expand(node: int, g: float, _aux: int) -> List[Tuple[int, float, int]]:
+        base_row = base_costs[node // plane]
+        slot = node * NUM_DIRECTIONS
+        out: List[Tuple[int, float, int]] = []
+        for direction in range(NUM_DIRECTIONS):
+            succ = neighbor_table[slot + direction]
+            if succ < 0 or blocked[succ]:
                 continue
-            costs[source] = 0.0
-            parents[source] = None
-            queue.push(source, self.cost_model.heuristic_bounds(source, bounds))
-        expansions = 0
-        while queue:
-            vertex, _priority = queue.pop()
-            cost_here = costs[vertex]
-            expansions += 1
-            if vertex in targets:
-                if allow_occupied_targets or not self.grid.is_occupied_by_other(vertex, net_name):
-                    result.reached = vertex
-                    break
-            if expansions > self.max_expansions:
-                break
-            for direction in ALL_DIRECTIONS:
-                neighbor = self.grid.neighbor(vertex, direction)
-                if neighbor is None or self.grid.is_blocked(neighbor):
-                    continue
-                step = self.cost_model.weighted_traditional_cost(
-                    vertex, direction, neighbor, net_name
-                )
-                candidate = cost_here + step
-                if candidate < costs.get(neighbor, float("inf")) - 1e-12:
-                    costs[neighbor] = candidate
-                    parents[neighbor] = vertex
-                    priority = candidate + self.cost_model.heuristic_bounds(neighbor, bounds)
-                    queue.push(neighbor, priority)
-        result.parents = parents
-        result.costs = costs
-        result.expansions = expansions
-        return result
+            congestion = history_weight * history[succ]
+            holder = owner[succ]
+            if holder != 0 and holder != net_id:
+                congestion += occupancy_penalty
+            step = base_row[direction] + congestion
+            if has_guides:
+                penalty = memo_get(succ)
+                if penalty is None:
+                    penalty = uncached_guide(succ, net_name)
+                    guide_memo[succ] = penalty
+                step = step + penalty
+            else:
+                step = step + 0.0
+            out.append((succ, g + alpha * step, 0))
+        return out
+
+    return expand

@@ -8,7 +8,16 @@ reroute.  A coarser GCell grid supports the global router that produces the
 routing guides Mr.TPL uses to bound its color-cost region.
 """
 
-from repro.grid.routing_grid import Direction, RoutingGrid, PLANAR_DIRECTIONS, ALL_DIRECTIONS
+from repro.grid.routing_grid import (
+    ALL_DIRECTIONS,
+    DIRECTION_INDEX,
+    FIRST_VIA_DIRECTION,
+    INDEX_DIRECTION,
+    NUM_DIRECTIONS,
+    Direction,
+    PLANAR_DIRECTIONS,
+    RoutingGrid,
+)
 from repro.grid.route import NetRoute, RoutingSolution, Stitch
 from repro.grid.gcell import GCellGrid
 
@@ -17,6 +26,10 @@ __all__ = [
     "RoutingGrid",
     "PLANAR_DIRECTIONS",
     "ALL_DIRECTIONS",
+    "DIRECTION_INDEX",
+    "INDEX_DIRECTION",
+    "NUM_DIRECTIONS",
+    "FIRST_VIA_DIRECTION",
     "NetRoute",
     "RoutingSolution",
     "Stitch",

@@ -16,11 +16,29 @@ The grid also stores the mutable routing state shared between nets:
 All routers (the plain detailed router, the Mr.TPL color-state router, and
 the DAC-2012 baseline) operate on this one structure so their comparisons
 run on identical inputs.
+
+Flat vertex indexing
+--------------------
+
+The grid's native addressing scheme is the **flat index**: every vertex maps
+to ``index = (layer * num_cols + col) * num_rows + row`` (see
+:meth:`RoutingGrid.index_of` / :meth:`RoutingGrid.vertex_of`).  All mutable
+per-vertex state lives in dense ``array``/``bytearray`` buffers indexed by
+that integer, so the search engines' hot path is O(1) array reads with no
+:class:`~repro.geometry.GridPoint` allocation and no dict hashing.  A
+precomputed neighbour table (:meth:`RoutingGrid.neighbor_table`) stores, for
+every vertex, its six neighbour indices in :data:`ALL_DIRECTIONS` order
+(``-1`` for out-of-bounds).  The legacy ``GridPoint``-based API is preserved
+on top as thin shims converting at the boundary.
+
+Two deliberately sparse side tables remain dicts: the rare multi-owner
+occupancy case (a short, negotiated away by rip-up & reroute) and the
+per-net color-pressure overlay (non-zero only near a net's own metal).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from array import array
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -84,8 +102,22 @@ PLANAR_DIRECTIONS: Tuple[Direction, ...] = (
     Direction.SOUTH,
 )
 
-#: All six search directions.
+#: All six search directions.  The neighbour-table direction slots follow
+#: this order, so ``Direction`` and small-int direction indices interconvert
+#: through :data:`DIRECTION_INDEX` / :data:`INDEX_DIRECTION`.
 ALL_DIRECTIONS: Tuple[Direction, ...] = PLANAR_DIRECTIONS + (Direction.UP, Direction.DOWN)
+
+#: Number of neighbour slots per vertex in the flat neighbour table.
+NUM_DIRECTIONS = 6
+
+#: ``Direction`` -> neighbour-table slot (0..5).
+DIRECTION_INDEX: Dict[Direction, int] = {d: i for i, d in enumerate(ALL_DIRECTIONS)}
+
+#: Neighbour-table slot (0..5) -> ``Direction``.
+INDEX_DIRECTION: Tuple[Direction, ...] = ALL_DIRECTIONS
+
+#: Slots >= this index are via (layer-changing) moves.
+FIRST_VIA_DIRECTION = 4
 
 
 @dataclass(frozen=True)
@@ -123,15 +155,47 @@ class RoutingGrid:
         self.num_layers = self.tech.num_layers
         self.num_cols = max(2, die.width // self.pitch + 1)
         self.num_rows = max(2, die.height // self.pitch + 1)
+        #: Vertices per layer plane (``num_cols * num_rows``).
+        self.plane_size = self.num_cols * self.num_rows
+        num_vertices = self.num_layers * self.plane_size
 
-        # Hard blockages per vertex.
-        self._blocked: Set[GridPoint] = set()
-        # Net occupancy: vertex -> set of net names whose metal covers it.
-        self._occupancy: Dict[GridPoint, Set[str]] = defaultdict(set)
-        # Final mask color of routed metal: (vertex) -> color in {0,1,2}.
-        self._vertex_color: Dict[GridPoint, int] = {}
+        # --- Flat per-vertex state buffers (indexed by the flat index) ---
+        # Hard blockages: 1 byte per vertex.
+        self._blocked_buf = bytearray(num_vertices)
+        # Single-owner occupancy: 0 = free, >0 = net id, -1 = multi-owner
+        # (owners in the `_multi_owners` side table).
+        self._owner_buf = array("i", [0]) * num_vertices
+        # Final mask color of routed metal: 0 = uncolored, else color + 1.
+        self._color_buf = bytearray(num_vertices)
         # History cost from rip-up & reroute negotiation.
-        self._history: Dict[GridPoint, float] = defaultdict(float)
+        self._history_buf = array("d", [0.0]) * num_vertices
+        # Incremental color pressure, 3 doubles per vertex: for every vertex,
+        # how much conflict cost each mask would currently incur there
+        # (aggregated over all colored metal within Dcolor).
+        self._pressure_buf = array("d", [0.0, 0.0, 0.0]) * num_vertices
+
+        # --- Sparse side tables ---
+        # Net-name interning: ids start at 1 (0 means "free" in _owner_buf).
+        self._net_ids: Dict[str, int] = {}
+        self._net_names: List[str] = [""]
+        # Rare multi-owner (short) case: index -> set of net ids.
+        self._multi_owners: Dict[int, Set[int]] = {}
+        # Reverse occupancy index so release_net is O(|net|), not O(|grid|).
+        self._net_occupied: Dict[int, Set[int]] = {}
+        # Indices with (potentially) non-zero history, for O(touched) decay.
+        self._history_touched: Set[int] = set()
+        # Per-net pressure overlay, keyed by ``net_id * num_vertices + index``
+        # so the hot-path lookup hashes one int.  Allows excluding a net's own
+        # contribution when it is the one being routed.
+        self._net_pressure: Dict[int, List[float]] = {}
+        # Per-net colored vertices: net id -> {index: color}.
+        self._net_colored_vertices: Dict[int, Dict[int, int]] = {}
+        self._pressure_offsets_cache: Dict[int, List[Tuple[int, int, int]]] = {}
+
+        # Precomputed neighbour table, built lazily on first use (grids are
+        # also constructed by code that never searches them).
+        self._neighbor_table: Optional[array] = None
+
         # Colored metal shapes (routed wires and pre-colored obstacles) for
         # color-distance queries, one spatial index per layer.
         self._colored_shapes: List[SpatialIndex[ColoredShape]] = [
@@ -141,22 +205,33 @@ class RoutingGrid:
         self._blockage_shapes: List[SpatialIndex[str]] = [
             SpatialIndex(bucket_size=max(self.pitch * 8, 16)) for _ in range(self.num_layers)
         ]
-        # Incremental color pressure: for every vertex, how much conflict cost
-        # each mask would currently incur there (aggregated over all colored
-        # metal within Dcolor).  A per-net overlay allows excluding a net's own
-        # contribution when it is the one being routed.  This replaces
-        # repeated spatial queries on the router's hottest path.
-        self._color_pressure: Dict[GridPoint, List[float]] = {}
-        self._net_pressure: Dict[Tuple[str, GridPoint], List[float]] = {}
-        self._net_colored_vertices: Dict[str, List[Tuple[GridPoint, int]]] = defaultdict(list)
-        self._pressure_offsets_cache: Dict[int, List[Tuple[int, int]]] = {}
 
         self._apply_design_blockages()
         self._register_fixed_colors()
 
     # ------------------------------------------------------------------
-    # Geometry mapping
+    # Flat vertex indexing
     # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Return the total vertex count."""
+        return self.num_layers * self.plane_size
+
+    def index_of(self, vertex: GridPoint) -> int:
+        """Return the flat index of an **in-bounds** *vertex*.
+
+        The mapping is ``(layer * num_cols + col) * num_rows + row``; callers
+        holding possibly out-of-bounds vertices must check :meth:`in_bounds`
+        first (the GridPoint compatibility shims do).
+        """
+        return (vertex.layer * self.num_cols + vertex.col) * self.num_rows + vertex.row
+
+    def vertex_of(self, index: int) -> GridPoint:
+        """Return the :class:`GridPoint` addressed by flat *index*."""
+        layer, rem = divmod(index, self.plane_size)
+        col, row = divmod(rem, self.num_rows)
+        return GridPoint(layer, col, row)
 
     def in_bounds(self, vertex: GridPoint) -> bool:
         """Return ``True`` when *vertex* lies inside the grid."""
@@ -165,6 +240,70 @@ class RoutingGrid:
             and 0 <= vertex.col < self.num_cols
             and 0 <= vertex.row < self.num_rows
         )
+
+    def neighbor_table(self) -> array:
+        """Return the precomputed flat neighbour table.
+
+        Entry ``index * 6 + d`` holds the neighbour index of vertex *index*
+        in direction ``ALL_DIRECTIONS[d]``, or ``-1`` when that move leaves
+        the grid.  Built once, lazily, in O(6 V).
+        """
+        if self._neighbor_table is None:
+            self._neighbor_table = self._build_neighbor_table()
+        return self._neighbor_table
+
+    def _build_neighbor_table(self) -> array:
+        layers, cols, rows = self.num_layers, self.num_cols, self.num_rows
+        plane = self.plane_size
+        table = [-1] * (NUM_DIRECTIONS * self.num_vertices)
+        index = 0
+        for layer in range(layers):
+            up_ok = layer + 1 < layers
+            down_ok = layer > 0
+            for col in range(cols):
+                east_ok = col + 1 < cols
+                west_ok = col > 0
+                for row in range(rows):
+                    base = NUM_DIRECTIONS * index
+                    if east_ok:
+                        table[base] = index + rows
+                    if west_ok:
+                        table[base + 1] = index - rows
+                    if row + 1 < rows:
+                        table[base + 2] = index + 1
+                    if row > 0:
+                        table[base + 3] = index - 1
+                    if up_ok:
+                        table[base + 4] = index + plane
+                    if down_ok:
+                        table[base + 5] = index - plane
+                    index += 1
+        return array("i", table)
+
+    # ------------------------------------------------------------------
+    # Net-name interning
+    # ------------------------------------------------------------------
+
+    def net_id(self, net_name: str) -> int:
+        """Return (creating if needed) the interned id of *net_name* (>= 1)."""
+        net_id = self._net_ids.get(net_name)
+        if net_id is None:
+            net_id = len(self._net_names)
+            self._net_ids[net_name] = net_id
+            self._net_names.append(net_name)
+        return net_id
+
+    def net_id_if_known(self, net_name: str) -> int:
+        """Return the interned id of *net_name*, or ``0`` when never seen."""
+        return self._net_ids.get(net_name, 0)
+
+    def net_name_of(self, net_id: int) -> str:
+        """Return the net name of interned id *net_id*."""
+        return self._net_names[net_id]
+
+    # ------------------------------------------------------------------
+    # Geometry mapping
+    # ------------------------------------------------------------------
 
     def physical_point(self, vertex: GridPoint) -> Point:
         """Return the DBU coordinate of *vertex*."""
@@ -230,11 +369,6 @@ class RoutingGrid:
                 for row in range(self.num_rows):
                     yield GridPoint(layer, col, row)
 
-    @property
-    def num_vertices(self) -> int:
-        """Return the total vertex count."""
-        return self.num_layers * self.num_cols * self.num_rows
-
     # ------------------------------------------------------------------
     # Neighbourhood and base edge costs
     # ------------------------------------------------------------------
@@ -274,9 +408,19 @@ class RoutingGrid:
 
     def congestion_cost(self, vertex: GridPoint, net_name: str) -> float:
         """Return history + occupancy cost of placing *net_name* metal at *vertex*."""
-        cost = self.rules.history_weight * self._history.get(vertex, 0.0)
-        owners = self._occupancy.get(vertex)
-        if owners and any(owner != net_name for owner in owners):
+        if not self.in_bounds(vertex):
+            return 0.0
+        return self.congestion_cost_index(
+            self.index_of(vertex), self.net_id_if_known(net_name)
+        )
+
+    def congestion_cost_index(self, index: int, net_id: int) -> float:
+        """Index/net-id variant of :meth:`congestion_cost` (hot path)."""
+        cost = self.rules.history_weight * self._history_buf[index]
+        owner = self._owner_buf[index]
+        if owner != 0 and owner != net_id:
+            # Either a different single owner, or the multi-owner sentinel
+            # (at least two distinct nets, so at least one is foreign).
             cost += self.rules.occupancy_penalty
         return cost
 
@@ -286,23 +430,36 @@ class RoutingGrid:
 
     def block_vertex(self, vertex: GridPoint) -> None:
         """Mark a single vertex as unusable."""
-        self._blocked.add(vertex)
+        if self.in_bounds(vertex):
+            self._blocked_buf[self.index_of(vertex)] = 1
 
     def block_rect(self, layer: int, rect: Rect, name: str = "blockage") -> int:
         """Block every vertex covered by *rect* on *layer*; return the count."""
         vertices = self.vertices_covering(layer, rect)
         for vertex in vertices:
-            self._blocked.add(vertex)
+            self._blocked_buf[self.index_of(vertex)] = 1
         self._blockage_shapes[layer].insert(rect, name)
         return len(vertices)
 
     def is_blocked(self, vertex: GridPoint) -> bool:
         """Return ``True`` when *vertex* is covered by a hard blockage."""
-        return vertex in self._blocked
+        return self.in_bounds(vertex) and bool(self._blocked_buf[self.index_of(vertex)])
+
+    def is_blocked_index(self, index: int) -> bool:
+        """Index variant of :meth:`is_blocked`."""
+        return bool(self._blocked_buf[index])
+
+    def blocked_buffer(self) -> bytearray:
+        """Return the live blockage buffer (read-only use by search engines)."""
+        return self._blocked_buf
 
     def blocked_vertices(self) -> Set[GridPoint]:
         """Return a copy of the blocked vertex set."""
-        return set(self._blocked)
+        return {
+            self.vertex_of(index)
+            for index, flag in enumerate(self._blocked_buf)
+            if flag
+        }
 
     def _apply_design_blockages(self) -> None:
         for shape in self.design.blockage_shapes():
@@ -326,12 +483,14 @@ class RoutingGrid:
     # Incremental color pressure
     # ------------------------------------------------------------------
 
-    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int]]:
-        """Return the ``(dcol, drow)`` offsets whose vertices interact at Dcolor.
+    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int, int]]:
+        """Return ``(dcol, drow, flat_delta)`` offsets interacting at Dcolor.
 
         Two vertices interact when the spacing between their metal rectangles
         is below the layer's color spacing; the offsets are precomputed once
-        per layer so color-pressure updates are O(neighbourhood).
+        per layer so color-pressure updates are O(neighbourhood).  The flat
+        delta (``dcol * num_rows + drow``) spares the update loop a
+        re-encode.
         """
         cached = self._pressure_offsets_cache.get(layer)
         if cached is not None:
@@ -339,7 +498,7 @@ class RoutingGrid:
         dcolor = self.rules.color_spacing_on(layer)
         half = max(self.rules.wire_width // 2, 0)
         reach = max(1, -(-(dcolor + 2 * half) // self.pitch))
-        offsets: List[Tuple[int, int]] = []
+        offsets: List[Tuple[int, int, int]] = []
         base = Rect(-half, -half, half, half)
         for dcol in range(-reach, reach + 1):
             for drow in range(-reach, reach + 1):
@@ -350,46 +509,50 @@ class RoutingGrid:
                     drow * self.pitch + half,
                 )
                 if base.distance_to(other) < dcolor:
-                    offsets.append((dcol, drow))
+                    offsets.append((dcol, drow, dcol * self.num_rows + drow))
         self._pressure_offsets_cache[layer] = offsets
         return offsets
 
-    def _add_vertex_pressure(
-        self, vertex: GridPoint, net_name: str, color: int, sign: float
+    def _add_vertex_pressure_index(
+        self, index: int, net_id: int, color: int, sign: float
     ) -> None:
         """Add (or remove, with ``sign=-1``) the pressure of one colored vertex."""
-        if not self.tech.layers[vertex.layer].tpl:
+        layer, rem = divmod(index, self.plane_size)
+        if not self.tech.layers[layer].tpl:
             return
+        col, row = divmod(rem, self.num_rows)
+        cols, rows = self.num_cols, self.num_rows
         amount = sign * self.rules.conflict_cost
-        for dcol, drow in self._pressure_offsets(vertex.layer):
-            col = vertex.col + dcol
-            row = vertex.row + drow
-            if not (0 <= col < self.num_cols and 0 <= row < self.num_rows):
+        pressure = self._pressure_buf
+        net_pressure = self._net_pressure
+        key_base = net_id * self.num_vertices
+        for dcol, drow, delta in self._pressure_offsets(layer):
+            target_col = col + dcol
+            target_row = row + drow
+            if not (0 <= target_col < cols and 0 <= target_row < rows):
                 continue
-            target = GridPoint(vertex.layer, col, row)
-            aggregate = self._color_pressure.get(target)
-            if aggregate is None:
-                aggregate = [0.0, 0.0, 0.0]
-                self._color_pressure[target] = aggregate
-            aggregate[color] += amount
-            key = (net_name, target)
-            own = self._net_pressure.get(key)
+            target = index + delta
+            pressure[3 * target + color] += amount
+            key = key_base + target
+            own = net_pressure.get(key)
             if own is None:
                 own = [0.0, 0.0, 0.0]
-                self._net_pressure[key] = own
+                net_pressure[key] = own
             own[color] += amount
 
     def _add_rect_pressure(self, layer: int, rect: Rect, net_name: str, color: int) -> None:
         """Spread the pressure of a colored rectangle (fixed obstacle) on *layer*."""
         if not (0 <= color <= 2) or not self.tech.layers[layer].tpl:
             return
+        net_id = self.net_id(net_name)
+        key_base = net_id * self.num_vertices
         dcolor = self.rules.color_spacing_on(layer)
         region = rect.expanded(dcolor + self.pitch)
         for vertex in self.vertices_covering(layer, region):
             if self.vertex_rect(vertex).distance_to(rect) < dcolor:
-                aggregate = self._color_pressure.setdefault(vertex, [0.0, 0.0, 0.0])
-                aggregate[color] += self.rules.conflict_cost
-                own = self._net_pressure.setdefault((net_name, vertex), [0.0, 0.0, 0.0])
+                index = self.index_of(vertex)
+                self._pressure_buf[3 * index + color] += self.rules.conflict_cost
+                own = self._net_pressure.setdefault(key_base + index, [0.0, 0.0, 0.0])
                 own[color] += self.rules.conflict_cost
 
     # ------------------------------------------------------------------
@@ -397,43 +560,108 @@ class RoutingGrid:
     # ------------------------------------------------------------------
 
     def occupy(self, vertex: GridPoint, net_name: str) -> None:
-        """Record that *net_name* has metal at *vertex*."""
-        self._occupancy[vertex].add(net_name)
+        """Record that *net_name* has metal at *vertex* (out-of-bounds ignored)."""
+        if self.in_bounds(vertex):
+            self.occupy_index(self.index_of(vertex), self.net_id(net_name))
+
+    def occupy_index(self, index: int, net_id: int) -> None:
+        """Index/net-id variant of :meth:`occupy`."""
+        owner = self._owner_buf[index]
+        if owner == 0:
+            self._owner_buf[index] = net_id
+        elif owner == net_id:
+            pass
+        elif owner == -1:
+            self._multi_owners[index].add(net_id)
+        else:
+            self._multi_owners[index] = {owner, net_id}
+            self._owner_buf[index] = -1
+        occupied = self._net_occupied.get(net_id)
+        if occupied is None:
+            occupied = set()
+            self._net_occupied[net_id] = occupied
+        occupied.add(index)
 
     def release_net(self, net_name: str) -> int:
         """Remove all occupancy, colors and colored shapes of *net_name*.
 
         Returns the number of vertices released.  Used by rip-up & reroute.
+        O(|net's metal|) thanks to the per-net reverse occupancy index.
         """
+        net_id = self.net_id_if_known(net_name)
+        if net_id == 0:
+            return 0
         released = 0
-        for vertex, owners in list(self._occupancy.items()):
-            if net_name in owners:
-                owners.discard(net_name)
-                released += 1
-                if not owners:
-                    del self._occupancy[vertex]
-                self._vertex_color.pop(vertex, None)
-        for vertex, color in self._net_colored_vertices.pop(net_name, []):
-            self._add_vertex_pressure(vertex, net_name, color, sign=-1.0)
+        for index in sorted(self._net_occupied.pop(net_id, ())):
+            owner = self._owner_buf[index]
+            if owner == net_id:
+                self._owner_buf[index] = 0
+            elif owner == -1:
+                owners = self._multi_owners[index]
+                owners.discard(net_id)
+                if len(owners) == 1:
+                    self._owner_buf[index] = owners.pop()
+                    del self._multi_owners[index]
+            else:
+                continue
+            released += 1
+            self._color_buf[index] = 0
+        for index, color in self._net_colored_vertices.pop(net_id, {}).items():
+            self._add_vertex_pressure_index(index, net_id, color, sign=-1.0)
         for layer_index in range(self.num_layers):
-            index = self._colored_shapes[layer_index]
-            stale = [item for _rect, item in index.items() if item.net_name == net_name]
+            spatial = self._colored_shapes[layer_index]
+            stale = [item for _rect, item in spatial.items() if item.net_name == net_name]
             for item in stale:
-                index.remove_item(item)
+                spatial.remove_item(item)
         return released
 
     def occupants(self, vertex: GridPoint) -> Set[str]:
         """Return the set of net names with metal at *vertex*."""
-        return set(self._occupancy.get(vertex, ()))
+        if not self.in_bounds(vertex):
+            return set()
+        owner = self._owner_buf[self.index_of(vertex)]
+        if owner == 0:
+            return set()
+        if owner == -1:
+            ids = self._multi_owners[self.index_of(vertex)]
+            return {self._net_names[net_id] for net_id in ids}
+        return {self._net_names[owner]}
 
     def is_occupied_by_other(self, vertex: GridPoint, net_name: str) -> bool:
         """Return ``True`` when a different net already has metal at *vertex*."""
-        owners = self._occupancy.get(vertex)
-        return bool(owners) and any(owner != net_name for owner in owners)
+        if not self.in_bounds(vertex):
+            return False
+        return self.is_occupied_by_other_index(
+            self.index_of(vertex), self.net_id_if_known(net_name)
+        )
+
+    def is_occupied_by_other_index(self, index: int, net_id: int) -> bool:
+        """Index/net-id variant of :meth:`is_occupied_by_other`."""
+        owner = self._owner_buf[index]
+        # A multi-owner vertex holds >= 2 distinct nets, so some owner is
+        # always foreign; a single owner is foreign unless it is net_id.
+        return owner != 0 and owner != net_id
+
+    def owner_buffer(self) -> array:
+        """Return the live occupancy-owner buffer (read-only use by engines).
+
+        ``0`` = free, ``> 0`` = single owner net id, ``-1`` = multi-owner
+        (consult :meth:`occupants` for the names).
+        """
+        return self._owner_buf
 
     def occupied_vertices(self) -> Dict[GridPoint, Set[str]]:
         """Return a copy of the occupancy map."""
-        return {vertex: set(owners) for vertex, owners in self._occupancy.items()}
+        result: Dict[GridPoint, Set[str]] = {}
+        for index, owner in enumerate(self._owner_buf):
+            if owner == 0:
+                continue
+            if owner == -1:
+                names = {self._net_names[i] for i in self._multi_owners[index]}
+            else:
+                names = {self._net_names[owner]}
+            result[self.vertex_of(index)] = names
+        return result
 
     # ------------------------------------------------------------------
     # Colors (TPL masks) on routed metal
@@ -448,17 +676,22 @@ class RoutingGrid:
         """
         if not 0 <= color <= 2:
             raise ValueError(f"TPL mask color must be 0, 1 or 2, got {color}")
-        registered = dict(self._net_colored_vertices.get(net_name, ()))
-        previous = registered.get(vertex)
+        if not self.in_bounds(vertex):
+            return
+        index = self.index_of(vertex)
+        net_id = self.net_id(net_name)
+        registered = self._net_colored_vertices.get(net_id)
+        if registered is None:
+            registered = {}
+            self._net_colored_vertices[net_id] = registered
+        previous = registered.get(index)
         if previous == color:
-            self._vertex_color[vertex] = color
+            self._color_buf[index] = color + 1
             return
         if previous is not None:
-            self._add_vertex_pressure(vertex, net_name, previous, sign=-1.0)
-            self._net_colored_vertices[net_name] = [
-                (v, c) for v, c in self._net_colored_vertices[net_name] if v != vertex
-            ]
-        self._vertex_color[vertex] = color
+            self._add_vertex_pressure_index(index, net_id, previous, sign=-1.0)
+            del registered[index]
+        self._color_buf[index] = color + 1
         shape = ColoredShape(
             net_name=net_name,
             color=color,
@@ -466,12 +699,20 @@ class RoutingGrid:
             layer=vertex.layer,
         )
         self._colored_shapes[vertex.layer].insert(shape.rect, shape)
-        self._net_colored_vertices[net_name].append((vertex, color))
-        self._add_vertex_pressure(vertex, net_name, color, sign=1.0)
+        registered[index] = color
+        self._add_vertex_pressure_index(index, net_id, color, sign=1.0)
 
     def vertex_color(self, vertex: GridPoint) -> Optional[int]:
         """Return the mask color of routed metal at *vertex*, if any."""
-        return self._vertex_color.get(vertex)
+        if not self.in_bounds(vertex):
+            return None
+        stored = self._color_buf[self.index_of(vertex)]
+        return None if stored == 0 else stored - 1
+
+    def vertex_color_index(self, index: int) -> Optional[int]:
+        """Index variant of :meth:`vertex_color`."""
+        stored = self._color_buf[index]
+        return None if stored == 0 else stored - 1
 
     def colored_shapes_near(
         self, layer: int, rect: Rect, distance: int
@@ -495,16 +736,39 @@ class RoutingGrid:
         """Return the color cost for each of the three masks at *vertex*.
 
         The value is served from the incrementally maintained color-pressure
-        map (updated on :meth:`set_vertex_color` / :meth:`release_net`), with
-        the querying net's own contribution subtracted out.
+        buffer (updated on :meth:`set_vertex_color` / :meth:`release_net`),
+        with the querying net's own contribution subtracted out.
         """
-        aggregate = self._color_pressure.get(vertex)
-        if aggregate is None:
+        if not self.in_bounds(vertex):
             return [0.0, 0.0, 0.0]
-        own = self._net_pressure.get((net_name, vertex))
+        return self.color_costs_index(
+            self.index_of(vertex), self.net_id_if_known(net_name)
+        )
+
+    def color_costs_index(self, index: int, net_id: int) -> List[float]:
+        """Index/net-id variant of :meth:`color_costs` (hot path)."""
+        base = 3 * index
+        pressure = self._pressure_buf
+        own = self._net_pressure.get(net_id * self.num_vertices + index)
         if own is None:
-            return list(aggregate)
-        return [max(aggregate[i] - own[i], 0.0) for i in range(3)]
+            return [pressure[base], pressure[base + 1], pressure[base + 2]]
+        return [
+            max(pressure[base] - own[0], 0.0),
+            max(pressure[base + 1] - own[1], 0.0),
+            max(pressure[base + 2] - own[2], 0.0),
+        ]
+
+    def pressure_buffer(self) -> array:
+        """Return the live color-pressure buffer (3 doubles per vertex)."""
+        return self._pressure_buf
+
+    def net_pressure_overlay(self) -> Dict[int, List[float]]:
+        """Return the per-net pressure overlay keyed ``net_id * V + index``.
+
+        Read-only use by search engines; maintained by
+        :meth:`set_vertex_color` / :meth:`release_net`.
+        """
+        return self._net_pressure
 
     # ------------------------------------------------------------------
     # History cost (negotiated congestion)
@@ -512,18 +776,42 @@ class RoutingGrid:
 
     def add_history(self, vertex: GridPoint, amount: float = 1.0) -> None:
         """Increase the history cost at *vertex* (rip-up & reroute feedback)."""
-        self._history[vertex] += amount
+        if self.in_bounds(vertex):
+            self.add_history_index(self.index_of(vertex), amount)
+
+    def add_history_index(self, index: int, amount: float = 1.0) -> None:
+        """Index variant of :meth:`add_history`."""
+        self._history_buf[index] += amount
+        self._history_touched.add(index)
 
     def history(self, vertex: GridPoint) -> float:
         """Return the accumulated history cost at *vertex*."""
-        return self._history.get(vertex, 0.0)
+        if not self.in_bounds(vertex):
+            return 0.0
+        return self._history_buf[self.index_of(vertex)]
 
-    def decay_history(self, factor: float = 0.9) -> None:
-        """Multiply every history entry by *factor* (PathFinder-style decay)."""
-        for vertex in list(self._history):
-            self._history[vertex] *= factor
-            if self._history[vertex] < 1e-9:
-                del self._history[vertex]
+    def history_buffer(self) -> array:
+        """Return the live history buffer (read-only use by search engines)."""
+        return self._history_buf
+
+    def decay_history(self, factor: Optional[float] = None) -> None:
+        """Multiply every history entry by *factor* (PathFinder-style decay).
+
+        When *factor* is ``None`` the :attr:`DesignRules.history_decay`
+        factor applies -- the value the rip-up-and-reroute loops pass.
+        """
+        if factor is None:
+            factor = self.rules.history_decay
+        history = self._history_buf
+        dead: List[int] = []
+        for index in self._history_touched:
+            value = history[index] * factor
+            if value < 1e-9:
+                history[index] = 0.0
+                dead.append(index)
+            else:
+                history[index] = value
+        self._history_touched.difference_update(dead)
 
     # ------------------------------------------------------------------
     # Bulk state management
@@ -531,22 +819,26 @@ class RoutingGrid:
 
     def reset_routing_state(self) -> None:
         """Drop all routing results (occupancy, colors, history) but keep blockages."""
-        self._occupancy.clear()
-        self._vertex_color.clear()
-        self._history.clear()
-        self._color_pressure.clear()
+        num_vertices = self.num_vertices
+        self._owner_buf = array("i", [0]) * num_vertices
+        self._color_buf = bytearray(num_vertices)
+        self._history_buf = array("d", [0.0]) * num_vertices
+        self._pressure_buf = array("d", [0.0, 0.0, 0.0]) * num_vertices
+        self._multi_owners.clear()
+        self._net_occupied.clear()
+        self._history_touched.clear()
         self._net_pressure.clear()
         self._net_colored_vertices.clear()
         for layer_index in range(self.num_layers):
-            index = self._colored_shapes[layer_index]
+            spatial = self._colored_shapes[layer_index]
             fixed = [
                 (rect, item)
-                for rect, item in index.items()
+                for rect, item in spatial.items()
                 if item.net_name.startswith("__fixed__")
             ]
-            index.clear()
+            spatial.clear()
             for rect, item in fixed:
-                index.insert(rect, item)
+                spatial.insert(rect, item)
         # Re-seed the pressure of the fixed, pre-colored obstacles.
         for obstacle in self.design.colored_obstacles():
             if 0 <= obstacle.layer < self.num_layers:
@@ -559,10 +851,13 @@ class RoutingGrid:
 
     def snapshot_statistics(self) -> Dict[str, int]:
         """Return grid occupancy statistics (used by reports and tests)."""
+        history = self._history_buf
         return {
             "vertices": self.num_vertices,
-            "blocked": len(self._blocked),
-            "occupied": len(self._occupancy),
-            "colored": len(self._vertex_color),
-            "history_entries": len(self._history),
+            "blocked": sum(self._blocked_buf),
+            "occupied": sum(1 for owner in self._owner_buf if owner != 0),
+            "colored": sum(1 for stored in self._color_buf if stored),
+            "history_entries": sum(
+                1 for index in self._history_touched if history[index] != 0.0
+            ),
         }

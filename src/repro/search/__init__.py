@@ -1,0 +1,20 @@
+"""Shared search-engine substrate for all routers.
+
+:class:`SearchCore` is the one Dijkstra/A* loop behind the plain maze
+router, the Mr.TPL color-state search and the DAC-2012 mask-expanded
+baseline; the router-specific modules are thin adapters supplying an
+expansion callback over flat grid indices.
+
+:mod:`repro.search.legacy` keeps frozen ``GridPoint``-dict reference
+implementations of the three searches (the seed architecture) for parity
+testing and the engine micro-benchmarks; production routers never use them.
+"""
+
+from repro.search.core import IMPROVE_EPS, TIE_EPS, CoreResult, SearchCore
+
+__all__ = [
+    "SearchCore",
+    "CoreResult",
+    "IMPROVE_EPS",
+    "TIE_EPS",
+]

@@ -1,0 +1,236 @@
+"""The shared best-first search engine over flat vertex indices.
+
+All three routers in this repository run the same algorithm -- multi-source
+Dijkstra/A* over the routing grid -- and differ only in their *label*:
+
+* the plain maze router labels a vertex with a cost,
+* color-state searching (paper Alg. 2) adds a 3-bit
+  :class:`~repro.tpl.color_state.ColorState` merged on equal-cost revisits,
+* the DAC-2012 baseline searches the mask-expanded graph, i.e. its node
+  space is ``vertex_index * 3 + mask`` with extra in-place mask-switch
+  edges.
+
+:class:`SearchCore` owns the one queue/relaxation loop all of them share.
+Nodes are plain ints (flat grid indices, optionally mask-expanded with a
+*stride*), labels are ``(cost, aux)`` where ``aux`` is an engine-specific
+small int (a color-state bitmask, or 0 when unused).  Engines supply an
+``expand(node, cost, aux)`` callback producing successor labels; the core
+handles seeding, the A* bounding-box heuristic, deterministic tie-breaking,
+stale-entry skipping, equal-cost aux merging with re-expansion, target
+acceptance and backtracing.
+
+The loop uses :mod:`heapq` with lazy deletion and a monotone push counter,
+which reproduces the pop order of the repo's ``UpdatablePriorityQueue``
+(entries replaced on a strict improvement sort by the new, larger counter;
+ties between distinct nodes resolve by push order) -- so the reference
+engines in :mod:`repro.search.legacy` yield bit-identical results.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily to keep this module dependency-free
+    from repro.dr.cost import CostModel, TargetBounds
+    from repro.grid import RoutingGrid
+
+#: Default strict-improvement epsilon (matches the seed maze router).
+IMPROVE_EPS = 1e-12
+
+#: Default equal-cost tolerance for aux (color-state) merging; matches the
+#: seed color-state search's ``_COST_TOLERANCE``.
+TIE_EPS = 1e-9
+
+
+class CoreResult:
+    """Raw outcome of one :meth:`SearchCore.run` call (int-node space)."""
+
+    __slots__ = ("reached", "cost", "aux", "parent", "expansions")
+
+    def __init__(
+        self,
+        reached: int,
+        cost: Dict[int, float],
+        aux: Dict[int, int],
+        parent: Dict[int, int],
+        expansions: int,
+    ) -> None:
+        self.reached = reached  #: reached node, or -1 when the search failed
+        self.cost = cost        #: node -> best cost
+        self.aux = aux          #: node -> aux bits (engine-specific)
+        self.parent = parent    #: node -> predecessor node (-1 for seeds)
+        self.expansions = expansions
+
+    @property
+    def found(self) -> bool:
+        """Return ``True`` when a target node was reached."""
+        return self.reached >= 0
+
+    def node_path(self, node: Optional[int] = None) -> List[int]:
+        """Return the node path from *node* (default: reached) back to a seed.
+
+        Ordered destination-first, the order Algorithm 3's backtrace walks.
+        Raises :class:`ValueError` on a failed search.
+        """
+        if node is None:
+            node = self.reached
+        if node < 0:
+            raise ValueError("cannot backtrace a failed search")
+        path: List[int] = []
+        cursor = node
+        while cursor >= 0:
+            path.append(cursor)
+            cursor = self.parent[cursor]
+        return path
+
+
+class SearchCore:
+    """Shared Dijkstra/A* engine over int nodes with pluggable relaxation.
+
+    Parameters
+    ----------
+    grid:
+        The routing grid; supplies dimensions for the inline heuristic.
+    cost_model:
+        Used only for the rules (alpha / via cost) of the A* lower bound;
+        edge costs are entirely the ``expand`` callback's business.
+    max_expansions:
+        Expansion budget per :meth:`run` call.
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        cost_model: CostModel,
+        max_expansions: int = 2_000_000,
+    ) -> None:
+        self.grid = grid
+        self.cost_model = cost_model
+        self.max_expansions = max_expansions
+
+    def run(
+        self,
+        seeds: Iterable[Tuple[int, int]],
+        targets: "set[int]",
+        expand: Callable[[int, float, int], Iterable[Tuple[int, float, int]]],
+        bounds: Optional[TargetBounds] = None,
+        node_stride: int = 1,
+        merge_aux: bool = False,
+        improve_eps: float = IMPROVE_EPS,
+        tie_eps: float = TIE_EPS,
+        accept: Optional[Callable[[int], bool]] = None,
+    ) -> CoreResult:
+        """Run one multi-source search.
+
+        Parameters
+        ----------
+        seeds:
+            ``(node, aux)`` pairs, each starting at cost 0, in deterministic
+            order (the order fixes tie-breaking).
+        targets:
+            Node set whose first accepted pop ends the search.
+        expand:
+            ``expand(node, cost, aux)`` yielding ``(successor, new_cost,
+            new_aux)`` tuples; successors must be valid (in-bounds,
+            unblocked) nodes.
+        bounds:
+            Target bounding box for the admissible A* lower bound (grid
+            coordinates); ``None`` disables the heuristic.
+        node_stride:
+            Nodes per grid vertex (1, or 3 on the mask-expanded graph);
+            ``node // node_stride`` must be the flat vertex index.
+        merge_aux:
+            When ``True``, a revisit within *tie_eps* of the stored cost
+            OR-merges the aux bits instead of being discarded, and the node
+            is re-expanded if the merge widened its bits after it had
+            already been expanded (Alg. 2's color-state union).
+        improve_eps:
+            A revisit must undercut the stored cost by more than this to
+            replace the label.
+        accept:
+            Optional extra predicate a popped target must satisfy (e.g. the
+            maze router's occupied-target rule).
+        """
+        grid = self.grid
+        rules = grid.rules
+        alpha = rules.alpha
+        via_cost = rules.via_cost
+        rows = grid.num_rows
+        plane = grid.plane_size
+
+        if bounds is not None:
+            min_layer, max_layer = bounds.min_layer, bounds.max_layer
+            min_col, max_col = bounds.min_col, bounds.max_col
+            min_row, max_row = bounds.min_row, bounds.max_row
+
+            def heur(node: int) -> float:
+                vertex = node // node_stride if node_stride != 1 else node
+                layer, rem = divmod(vertex, plane)
+                col, row = divmod(rem, rows)
+                dcol = max(min_col - col, 0, col - max_col)
+                drow = max(min_row - row, 0, row - max_row)
+                dlayer = max(min_layer - layer, 0, layer - max_layer)
+                return alpha * (float(dcol + drow) + float(dlayer) * via_cost)
+        else:
+            def heur(_node: int) -> float:
+                return 0.0
+
+        heap: List[Tuple[float, int, int, float]] = []  # (f, counter, node, g)
+        counter = 0
+        cost: Dict[int, float] = {}
+        aux: Dict[int, int] = {}
+        parent: Dict[int, int] = {}
+        expanded: Dict[int, Tuple[float, int]] = {}
+
+        for node, node_aux in seeds:
+            cost[node] = 0.0
+            aux[node] = node_aux
+            parent[node] = -1
+            heappush(heap, (heur(node), counter, node, 0.0))
+            counter += 1
+
+        expansions = 0
+        reached = -1
+        max_expansions = self.max_expansions
+        while heap:
+            _f, _cnt, node, g_pushed = heappop(heap)
+            g_cur = cost[node]
+            if g_pushed - g_cur > improve_eps:
+                continue  # stale entry superseded by a strict improvement
+            a_cur = aux[node]
+            label = (g_cur, a_cur)
+            if expanded.get(node) == label:
+                continue  # already expanded with this exact label
+            expanded[node] = label
+            expansions += 1
+            if node in targets and (accept is None or accept(node)):
+                reached = node
+                break
+            if expansions > max_expansions:
+                break
+            for succ, g_new, a_new in expand(node, g_cur, a_cur):
+                g_old = cost.get(succ)
+                if g_old is None or g_new < g_old - improve_eps:
+                    cost[succ] = g_new
+                    aux[succ] = a_new
+                    parent[succ] = node
+                    heappush(heap, (g_new + heur(succ), counter, succ, g_new))
+                    counter += 1
+                elif (
+                    merge_aux
+                    and g_new <= g_old + tie_eps
+                    and (a_new | aux[succ]) != aux[succ]
+                ):
+                    # Equal-cost revisit with extra mask freedom: widen the
+                    # stored color state (paper Alg. 2 merge) keeping the
+                    # established cost and parent.  If the successor was
+                    # already expanded with the narrower state, queue it
+                    # again so the widening propagates downstream; a pending
+                    # queue entry will pick the merged state up at pop time.
+                    aux[succ] |= a_new
+                    if succ in expanded:
+                        heappush(heap, (g_old + heur(succ), counter, succ, g_old))
+                        counter += 1
+
+        return CoreResult(reached, cost, aux, parent, expansions)

@@ -66,6 +66,11 @@ class DesignRules:
     #: Cost added per unit of accumulated history (negotiated congestion).
     history_weight: float = 1.5
 
+    #: PathFinder-style multiplicative decay applied to every history entry
+    #: once per rip-up-and-reroute iteration, so stale congestion evidence
+    #: fades instead of pinning nets to detours forever.
+    history_decay: float = 0.9
+
     #: Cost of using a vertex already occupied by another net (soft short);
     #: kept finite so rip-up & reroute can negotiate, as in PathFinder/Dr.CU,
     #: but high enough that a short is never preferred over a color conflict.

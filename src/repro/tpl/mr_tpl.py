@@ -47,6 +47,7 @@ class MrTPLRouter:
         use_global_router: bool = True,
         max_iterations: Optional[int] = None,
         refine_colors: bool = False,
+        engine: str = "flat",
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -54,7 +55,14 @@ class MrTPLRouter:
             guides = GlobalRouter(design).route()
         self.guides = guides
         self.cost_model = CostModel(self.grid, guides)
-        self.search_engine = ColorStateSearch(self.grid, self.cost_model)
+        if engine == "flat":
+            self.search_engine = ColorStateSearch(self.grid, self.cost_model)
+        elif engine == "legacy":
+            from repro.search.legacy import LegacyColorStateSearch
+
+            self.search_engine = LegacyColorStateSearch(self.grid, self.cost_model)
+        else:
+            raise ValueError(f"unknown search engine {engine!r}; expected 'flat' or 'legacy'")
         self.backtracer = Backtracer(self.grid, self.cost_model)
         self.conflict_checker = ConflictChecker(design, self.grid)
         self.refine_colors = refine_colors
@@ -96,6 +104,9 @@ class MrTPLRouter:
                 report.conflict_count,
                 len(offenders),
             )
+            # PathFinder-style negotiation: fade stale congestion evidence
+            # before this iteration's rip-up adds fresh history.
+            self.grid.decay_history(self.grid.rules.history_decay)
             self._rip_up_and_update_history(offenders, report, solution)
             for net_name in sorted(offenders):
                 net = self.design.net_by_name(net_name)

@@ -136,7 +136,7 @@ class ColorRefiner:
         route: NetRoute,
         feature: Set[GridPoint],
         colored: Dict[GridPoint, List[Tuple[str, int]]],
-        offsets_by_layer: Dict[int, List[Tuple[int, int]]],
+        offsets_by_layer: Dict[int, List[Tuple[int, int, int]]],
     ) -> Tuple[Optional[int], float, float]:
         """Return ``(best alternative color, its cost, current cost)`` for *feature*."""
         anchor = next(iter(feature))
@@ -145,7 +145,7 @@ class ColorRefiner:
         costs = {color: 0.0 for color in ALL_COLORS}
         for vertex in feature:
             # Conflict pressure from other nets' / fixed colored metal nearby.
-            for dcol, drow in offsets_by_layer[vertex.layer]:
+            for dcol, drow, _delta in offsets_by_layer[vertex.layer]:
                 neighbor = GridPoint(vertex.layer, vertex.col + dcol, vertex.row + drow)
                 for net_name, color in colored.get(neighbor, ()):
                     if net_name == route.net_name:

@@ -10,18 +10,31 @@ that minimum becomes the neighbour's color state.  Keeping the full set --
 rather than committing to one mask -- is the paper's key idea: it widens the
 solution space so the backtrace can later pick whichever mask avoids
 conflicts best.
+
+Two implementation notes:
+
+* :class:`ColorStateSearch` is a thin adapter over the shared
+  :class:`repro.search.SearchCore`: the color state travels as the 3-bit
+  ``aux`` integer of the core's labels, and all grid state is read from the
+  flat index buffers.
+* A re-visit of a vertex at **equal** cost whose color state holds masks the
+  stored state lacks *merges* the two states (bitwise OR) instead of being
+  discarded, and the vertex is re-expanded if needed -- so the backtrace
+  keeps the full mask freedom of every cost-optimal predecessor path.  (The
+  seed implementation dropped such revisits, silently narrowing Alg. 2's
+  state space.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.dr.cost import CostModel, TargetBounds
 from repro.geometry import GridPoint
-from repro.grid import ALL_DIRECTIONS, Direction, RoutingGrid
-from repro.tpl.color_state import ALL_COLORS, ColorState
-from repro.utils import UpdatablePriorityQueue
+from repro.grid import INDEX_DIRECTION, NUM_DIRECTIONS, Direction, RoutingGrid
+from repro.search import CoreResult, SearchCore
+from repro.tpl.color_state import ColorState
 
 #: Costs within this relative tolerance of the minimum keep their mask in the
 #: color state; an exact equality test would make the state collapse to a
@@ -39,18 +52,75 @@ class VertexLabel:
     parent_direction: Optional[Direction] = None
 
 
-@dataclass
-class ColorSearchResult:
-    """Outcome of one color-state search."""
+def _direction_between(parent: GridPoint, child: GridPoint) -> Optional[Direction]:
+    """Return the direction stepping ``parent -> child``, if adjacent."""
+    delta = (child.layer - parent.layer, child.col - parent.col, child.row - parent.row)
+    for direction in INDEX_DIRECTION:
+        if direction.delta == delta:
+            return direction
+    return None
 
-    reached: Optional[GridPoint]
-    labels: Dict[GridPoint, VertexLabel] = field(default_factory=dict)
-    expansions: int = 0
+
+class ColorSearchResult:
+    """Outcome of one color-state search.
+
+    Wraps either a :class:`~repro.search.CoreResult` (flat engine) or
+    explicit ``GridPoint``-keyed labels (legacy reference engine); the
+    ``labels`` view is materialised lazily.
+    """
+
+    def __init__(
+        self,
+        reached: Optional[GridPoint] = None,
+        labels: Optional[Dict[GridPoint, VertexLabel]] = None,
+        expansions: int = 0,
+        core: Optional[CoreResult] = None,
+        grid: Optional[RoutingGrid] = None,
+    ) -> None:
+        self._core = core
+        self._grid = grid
+        self._reached = reached
+        self._labels = labels
+        self.expansions = core.expansions if core is not None else expansions
+
+    @property
+    def reached(self) -> Optional[GridPoint]:
+        """Return the unreached-pin vertex the search stopped at, if any."""
+        if self._reached is None and self._core is not None and self._core.found:
+            self._reached = self._grid.vertex_of(self._core.reached)
+        return self._reached
 
     @property
     def found(self) -> bool:
         """Return ``True`` when an unreached pin was found."""
-        return self.reached is not None
+        if self._core is not None:
+            return self._core.found
+        return self._reached is not None
+
+    @property
+    def labels(self) -> Dict[GridPoint, VertexLabel]:
+        """Return the full label map (GridPoint view, built on demand)."""
+        if self._labels is None:
+            if self._core is None:
+                self._labels = {}
+                return self._labels
+            core, grid = self._core, self._grid
+            vertex_of = grid.vertex_of
+            labels: Dict[GridPoint, VertexLabel] = {}
+            for node, cost in core.cost.items():
+                vertex = vertex_of(node)
+                pred = core.parent.get(node, -1)
+                parent = vertex_of(pred) if pred >= 0 else None
+                labels[vertex] = VertexLabel(
+                    cost=cost,
+                    color_state=ColorState(core.aux[node]),
+                    parent=parent,
+                    parent_direction=(
+                        _direction_between(parent, vertex) if parent is not None else None
+                    ),
+                )
+            self._labels = labels
+        return self._labels
 
     def path_to_source(self) -> List[GridPoint]:
         """Return the vertex path from the reached pin back to a source.
@@ -58,18 +128,25 @@ class ColorSearchResult:
         Ordered destination-first (the order the backtrace of Algorithm 3
         walks it).  Raises ``ValueError`` on a failed search.
         """
-        if self.reached is None:
+        if self._core is not None:
+            if not self._core.found:
+                raise ValueError("cannot backtrace a failed color-state search")
+            vertex_of = self._grid.vertex_of
+            return [vertex_of(node) for node in self._core.node_path()]
+        if self._reached is None:
             raise ValueError("cannot backtrace a failed color-state search")
         path: List[GridPoint] = []
-        cursor: Optional[GridPoint] = self.reached
+        cursor: Optional[GridPoint] = self._reached
         while cursor is not None:
             path.append(cursor)
-            cursor = self.labels[cursor].parent
+            cursor = self._labels[cursor].parent
         return path
 
     def color_state_of(self, vertex: GridPoint) -> ColorState:
         """Return the color state assigned to *vertex* during the search."""
-        return self.labels[vertex].color_state
+        if self._core is not None:
+            return ColorState(self._core.aux[self._grid.index_of(vertex)])
+        return self._labels[vertex].color_state
 
 
 class ColorStateSearch:
@@ -85,6 +162,7 @@ class ColorStateSearch:
         self.cost_model = cost_model
         self.rules = grid.rules
         self.max_expansions = max_expansions
+        self.core = SearchCore(grid, cost_model, max_expansions)
 
     def search(
         self,
@@ -106,87 +184,122 @@ class ColorStateSearch:
         net_name:
             The net being routed.
         """
-        result = ColorSearchResult(reached=None)
         if not targets:
-            return result
+            return ColorSearchResult()
+        grid = self.grid
         bounds = TargetBounds.from_targets(targets)
-        labels: Dict[GridPoint, VertexLabel] = {}
-        queue: UpdatablePriorityQueue = UpdatablePriorityQueue()
-
+        index_of = grid.index_of
+        seeds: List[Tuple[int, int]] = []
         for vertex, state in sources.items():
-            if not self.grid.in_bounds(vertex) or self.grid.is_blocked(vertex):
+            if not grid.in_bounds(vertex) or grid.is_blocked(vertex):
                 continue
-            labels[vertex] = VertexLabel(cost=0.0, color_state=state)
-            queue.push(vertex, self.cost_model.heuristic_bounds(vertex, bounds))
+            seeds.append((index_of(vertex), state.bits))
+        target_nodes = {index_of(t) for t in targets if grid.in_bounds(t)}
 
-        expansions = 0
-        while queue:
-            vertex, _priority = queue.pop()
-            label = labels[vertex]
-            expansions += 1
-            if vertex in targets:
-                result.reached = vertex
-                break
-            if expansions > self.max_expansions:
-                break
-            for direction in ALL_DIRECTIONS:
-                neighbor = self.grid.neighbor(vertex, direction)
-                if neighbor is None or self.grid.is_blocked(neighbor):
-                    continue
-                step_cost, new_state = self._direction_cost(
-                    vertex, label.color_state, direction, neighbor, net_name
-                )
-                candidate = label.cost + step_cost
-                existing = labels.get(neighbor)
-                if existing is not None and candidate >= existing.cost - _COST_TOLERANCE:
-                    continue
-                labels[neighbor] = VertexLabel(
-                    cost=candidate,
-                    color_state=new_state,
-                    parent=vertex,
-                    parent_direction=direction,
-                )
-                priority = candidate + self.cost_model.heuristic_bounds(neighbor, bounds)
-                queue.push(neighbor, priority)
+        net_id = grid.net_id(net_name)
+        expand = make_color_state_expand(grid, self.cost_model, net_name, net_id)
+        self.core.max_expansions = self.max_expansions
+        core = self.core.run(
+            seeds,
+            target_nodes,
+            expand,
+            bounds=bounds,
+            merge_aux=True,
+            improve_eps=_COST_TOLERANCE,
+            tie_eps=_COST_TOLERANCE,
+        )
+        return ColorSearchResult(core=core, grid=grid)
 
-        result.labels = labels
-        result.expansions = expansions
-        return result
 
-    # ------------------------------------------------------------------
+def make_color_state_expand(
+    grid: RoutingGrid,
+    cost_model: CostModel,
+    net_name: str,
+    net_id: int,
+) -> Callable[[int, float, int], List[Tuple[int, float, int]]]:
+    """Return the Alg. 2 expansion callback over flat indices.
 
-    def _direction_cost(
-        self,
-        vertex: GridPoint,
-        state: ColorState,
-        direction: Direction,
-        neighbor: GridPoint,
-        net_name: str,
-    ) -> Tuple[float, ColorState]:
-        """Return ``(min cost, resulting color state)`` for one direction.
+    Implements Algorithm 2 lines 9-17 per direction: the 3x1 per-mask cost
+    (weighted traditional cost + color conflict cost + stitch cost for masks
+    outside the current state on planar moves), the minimum of which becomes
+    the edge cost while the set of masks achieving it (within
+    ``_COST_TOLERANCE``) becomes the successor's color-state bits.
 
-        Implements Algorithm 2 lines 9-17: build the 3x2 cost array, add the
-        stitch cost for masks outside the current color state on planar
-        moves, and return the minimum cost together with the set of masks
-        achieving it.
+    Crossing to another layer (a via) resets the mask freedom: the new
+    layer's metal has no stitch relationship with the current one, so all
+    masks allowed by the neighbour's surroundings are candidates.
+    """
+    neighbor_table = grid.neighbor_table()
+    blocked = grid.blocked_buffer()
+    history = grid.history_buffer()
+    owner = grid.owner_buffer()
+    pressure = grid.pressure_buffer()
+    net_pressure_get = grid.net_pressure_overlay().get
+    overlay_base = net_id * grid.num_vertices
+    base_costs = cost_model.base_cost_table()
+    rules = grid.rules
+    alpha = rules.alpha
+    gamma = rules.gamma
+    history_weight = rules.history_weight
+    occupancy_penalty = rules.occupancy_penalty
+    stitch_penalty = cost_model.stitch_cost()
+    plane = grid.plane_size
+    has_guides = cost_model.guides is not None
+    guide_memo = cost_model.guide_memo(net_name) if has_guides else {}
+    memo_get = guide_memo.get
+    uncached_guide = cost_model.out_of_guide_cost_index
+    tolerance = _COST_TOLERANCE
 
-        Crossing to another layer (a via) resets the mask freedom: the new
-        layer's metal has no stitch relationship with the current one, so all
-        masks allowed by the neighbour's surroundings are candidates.
-        """
-        base = self.cost_model.weighted_traditional_cost(vertex, direction, neighbor, net_name)
-        color_costs = self.cost_model.color_costs(neighbor, net_name)
-        stitch_penalty = self.cost_model.stitch_cost()
+    def expand(node: int, g: float, bits: int) -> List[Tuple[int, float, int]]:
+        base_row = base_costs[node // plane]
+        slot = node * NUM_DIRECTIONS
+        out: List[Tuple[int, float, int]] = []
+        for direction in range(NUM_DIRECTIONS):
+            succ = neighbor_table[slot + direction]
+            if succ < 0 or blocked[succ]:
+                continue
+            congestion = history_weight * history[succ]
+            holder = owner[succ]
+            if holder != 0 and holder != net_id:
+                congestion += occupancy_penalty
+            step = base_row[direction] + congestion
+            if has_guides:
+                penalty = memo_get(succ)
+                if penalty is None:
+                    penalty = uncached_guide(succ, net_name)
+                    guide_memo[succ] = penalty
+                step = step + penalty
+            else:
+                step = step + 0.0
+            base_step = alpha * step
 
-        per_color: List[Tuple[float, int]] = []
-        for color in ALL_COLORS:
-            cost = base + color_costs[color]
-            if not direction.is_via and not state.allows(color):
-                cost += stitch_penalty
-            per_color.append((cost, color))
+            pressure_slot = 3 * succ
+            own = net_pressure_get(overlay_base + succ)
+            if own is None:
+                cost_red = base_step + gamma * pressure[pressure_slot]
+                cost_green = base_step + gamma * pressure[pressure_slot + 1]
+                cost_blue = base_step + gamma * pressure[pressure_slot + 2]
+            else:
+                cost_red = base_step + gamma * max(pressure[pressure_slot] - own[0], 0.0)
+                cost_green = base_step + gamma * max(pressure[pressure_slot + 1] - own[1], 0.0)
+                cost_blue = base_step + gamma * max(pressure[pressure_slot + 2] - own[2], 0.0)
+            if direction < 4:  # planar move: stitch for masks outside the state
+                if not bits & 0b100:
+                    cost_red += stitch_penalty
+                if not bits & 0b010:
+                    cost_green += stitch_penalty
+                if not bits & 0b001:
+                    cost_blue += stitch_penalty
+            minimum = cost_red if cost_red <= cost_green else cost_green
+            if cost_blue < minimum:
+                minimum = cost_blue
+            limit = minimum + tolerance
+            new_bits = (
+                (0b100 if cost_red <= limit else 0)
+                | (0b010 if cost_green <= limit else 0)
+                | (0b001 if cost_blue <= limit else 0)
+            )
+            out.append((succ, g + minimum, new_bits))
+        return out
 
-        min_cost = min(cost for cost, _color in per_color)
-        allowed = [
-            color for cost, color in per_color if cost <= min_cost + _COST_TOLERANCE
-        ]
-        return min_cost, ColorState.from_colors(allowed)
+    return expand
