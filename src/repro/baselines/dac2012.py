@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.check import IncrementalConflictChecker
 from repro.design import Design, Net
 from repro.dr.cost import CostModel, TargetBounds
 from repro.dr.maze import make_traditional_expand
@@ -155,7 +156,10 @@ class Dac2012Router:
             guides = GlobalRouter(design).route()
         self.guides = guides
         self.cost_model = CostModel(self.grid, guides)
+        # Full re-scan checker kept as the reference oracle; the rip-up loop
+        # consumes the incremental tallies like the host routers do.
         self.conflict_checker = ConflictChecker(design, self.grid)
+        self.incremental_conflicts = IncrementalConflictChecker(design, self.grid)
         self.max_iterations = (
             max_iterations
             if max_iterations is not None
@@ -187,7 +191,7 @@ class Dac2012Router:
 
         iterations = 0
         for iteration in range(self.max_iterations):
-            report = self.conflict_checker.check(solution)
+            report = self.incremental_conflicts.check(solution)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
             if not offenders:

@@ -19,9 +19,15 @@ Engine micro-benchmarks:
 each router twice -- once with the frozen legacy ``GridPoint``-dict search
 engines (:mod:`repro.search.legacy`) and once with the flat-index
 :class:`repro.search.SearchCore` adapters -- verifying the two produce
-bit-identical solutions and reporting the wall-clock speedup.  ``python -m
-repro.bench.micro`` writes the results as a ``BENCH_*.json`` perf baseline
-so CI and future PRs can track regressions.
+bit-identical solutions and reporting the wall-clock speedup.
+
+:func:`run_incremental_check_benchmarks` (``--incremental``) replays the
+rip-up loop's check workload and times the :mod:`repro.check` delta tallies
+against the full-scan ``DRCChecker``/``ConflictChecker`` oracle, asserting
+identical reports (baseline: ``BENCH_incremental_check.json``).
+
+``python -m repro.bench.micro`` writes either result set as a
+``BENCH_*.json`` perf baseline so CI and future PRs can track regressions.
 """
 
 from __future__ import annotations
@@ -234,8 +240,137 @@ def run_engine_benchmarks(
     }
 
 
+# ----------------------------------------------------------------------
+# Incremental-check micro-benchmark (delta tallies vs full re-scan)
+# ----------------------------------------------------------------------
+
+def _drc_digest(grouped) -> Dict[str, tuple]:
+    return {
+        kind: tuple(sorted((v.kind, v.nets) for v in violations))
+        for kind, violations in grouped.items()
+    }
+
+
+def _conflict_digest(report) -> tuple:
+    return (
+        tuple(
+            sorted(
+                (c.kind, tuple(sorted((c.net_a, c.net_b))), c.layer)
+                for c in report.conflicts
+            )
+        ),
+        report.uncolored_vertices,
+    )
+
+
+def run_incremental_check_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: float = 0.5,
+    rounds: int = 16,
+) -> Dict[str, object]:
+    """Benchmark incremental checking against the full re-scan oracle.
+
+    For every suite case the design is routed once with Mr.TPL, then
+    *rounds* rip-up/reroute mutations replay the negotiation loop's check
+    workload.  After each mutation both check paths run on the identical
+    solution -- the full-scan ``DRCChecker`` + ``ConflictChecker`` and the
+    delta-driven ``repro.check`` counterparts -- asserting equal reports and
+    accumulating each path's wall-clock.  Returns the result document that
+    :func:`main` serialises to JSON.
+    """
+    from repro.bench.suites import suite_case
+    from repro.check import IncrementalConflictChecker, IncrementalDRCChecker
+    from repro.dr.drc import DRCChecker
+    from repro.tpl.conflict import ConflictChecker
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    results: List[Dict[str, object]] = []
+    for number in cases:
+        design = suite_case(suite, number, scale).build()
+        from repro.grid import RoutingGrid
+
+        grid = RoutingGrid(design)
+        router = MrTPLRouter(design, grid=grid, use_global_router=False)
+        solution = router.run()
+
+        full_drc = DRCChecker(design, grid)
+        full_conflicts = ConflictChecker(design, grid)
+        inc_drc = IncrementalDRCChecker(design, grid)
+        inc_conflicts = IncrementalConflictChecker(design, grid)
+        inc_drc.refresh(solution)  # initial build happens once, outside timing
+        inc_conflicts.refresh(solution)
+
+        net_names = sorted(
+            route.net_name for route in solution.routes.values() if route.routed
+        )
+        if not net_names:
+            results.append(
+                {
+                    "suite": suite,
+                    "case": number,
+                    "rounds": 0,
+                    "full_seconds": 0.0,
+                    "incremental_seconds": 0.0,
+                    "speedup": 1.0,
+                    "identical_reports": True,
+                    "note": "no routed nets; mutation loop skipped",
+                }
+            )
+            continue
+        full_seconds = 0.0
+        incremental_seconds = 0.0
+        identical = True
+        for round_number in range(rounds):
+            name = net_names[round_number % len(net_names)]
+            grid.release_net(name)
+            solution.routes.pop(name, None)
+            solution.add_route(router.route_net(design.net_by_name(name)))
+
+            start = time.perf_counter()
+            inc_grouped = inc_drc.check(solution)
+            inc_report = inc_conflicts.check(solution)
+            incremental_seconds += time.perf_counter() - start
+
+            start = time.perf_counter()
+            full_grouped = full_drc.check(solution)
+            full_report = full_conflicts.check(solution)
+            full_seconds += time.perf_counter() - start
+
+            identical = (
+                identical
+                and _drc_digest(inc_grouped) == _drc_digest(full_grouped)
+                and _conflict_digest(inc_report) == _conflict_digest(full_report)
+            )
+        results.append(
+            {
+                "suite": suite,
+                "case": number,
+                "rounds": rounds,
+                "full_seconds": round(full_seconds, 4),
+                "incremental_seconds": round(incremental_seconds, 4),
+                "speedup": round(full_seconds / max(incremental_seconds, 1e-9), 3),
+                "identical_reports": identical,
+            }
+        )
+    speedups = [entry["speedup"] for entry in results]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(speedups), 1)
+    return {
+        "benchmark": "incremental check vs full re-scan (rip-up loop workload)",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_reports"] for entry in results),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: run the engine benchmarks and write a JSON baseline."""
+    """CLI entry point: run the micro-benchmarks and write a JSON baseline."""
     import argparse
 
     parser = argparse.ArgumentParser(description=run_engine_benchmarks.__doc__)
@@ -244,6 +379,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument(
         "--smoke", action="store_true", help="single small case (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="benchmark incremental checking against the full re-scan instead "
+        "of the search engines",
     )
     parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
     args = parser.parse_args(argv)
@@ -254,16 +395,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         cases, scale = (1,), 0.5
     if not cases:
         parser.error("--cases selected no case numbers")
-    report = run_engine_benchmarks(suite=args.suite, cases=cases, scale=scale)
+    if args.incremental:
+        report = run_incremental_check_benchmarks(
+            suite=args.suite, cases=cases, scale=scale
+        )
+    else:
+        report = run_engine_benchmarks(suite=args.suite, cases=cases, scale=scale)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for entry in report["results"]:
-        print(
-            f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
-            f"legacy={entry['legacy_seconds']:.3f}s flat={entry['flat_seconds']:.3f}s "
-            f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']}"
-        )
+        if args.incremental:
+            print(
+                f"{entry['suite']} case{entry['case']:>2} rounds={entry['rounds']} "
+                f"full={entry['full_seconds']:.3f}s "
+                f"incremental={entry['incremental_seconds']:.3f}s "
+                f"speedup={entry['speedup']:.2f}x identical={entry['identical_reports']}"
+            )
+        else:
+            print(
+                f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
+                f"legacy={entry['legacy_seconds']:.3f}s flat={entry['flat_seconds']:.3f}s "
+                f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']}"
+            )
     print(f"geomean speedup: {report['geomean_speedup']:.2f}x -> {args.out}")
     return 0 if report["all_identical"] else 1
 

@@ -1,0 +1,120 @@
+"""Dirty-region tracking over :class:`~repro.grid.RoutingGrid` deltas.
+
+Every rip-up-and-reroute iteration only touches a handful of nets, yet the
+full-scan checkers re-walk the whole solution.  The tracker subscribes to
+the grid's per-net occupancy/color delta hooks (commit/release, both O(|net|)
+thanks to the per-net reverse occupancy index) and accumulates
+
+* the set of **dirty nets** -- nets whose metal or masks changed since the
+  tracker was last drained, and
+* the set of **raw dirty flat indices** -- every vertex index touched by a
+  commit, release or recolor,
+
+which :meth:`DirtyRegionTracker.expanded_indices` grows by an interaction
+radius (``Dcolor`` for color conflicts, ``min_spacing`` for DRC) into the
+flat-index dirty *region*: the only vertices whose check verdicts can have
+changed.  The incremental checkers in this package drain one tracker each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.grid import RoutingGrid
+
+
+def interaction_offsets(grid: RoutingGrid, radius: int) -> List[Tuple[int, int, int]]:
+    """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
+
+    Thin alias of :meth:`RoutingGrid.interaction_offsets`, the one
+    implementation of the interaction predicate shared by color-pressure
+    updates, the incremental checkers and the dirty-region expansion --
+    strictly-below-*radius* L-infinity rect gap, the same predicate the
+    full-scan checkers apply through :meth:`SpatialIndex.within`.
+    ``(0, 0, 0)`` is included; callers that must skip the vertex itself
+    filter it out.
+    """
+    return grid.interaction_offsets(radius)
+
+
+class DirtyRegionTracker:
+    """Accumulates per-net grid deltas into dirty-net and dirty-index sets.
+
+    Attach with ``DirtyRegionTracker(grid)`` (subscribes itself) and drain
+    with :meth:`consume` once per check refresh.  ``on_reset`` (emitted by
+    :meth:`RoutingGrid.reset_routing_state`) flips :attr:`needs_rebuild` so
+    consumers fall back to one full re-scan instead of trusting stale tallies.
+    """
+
+    def __init__(self, grid: RoutingGrid, subscribe: bool = True) -> None:
+        self.grid = grid
+        self._dirty_net_ids: Set[int] = set()
+        self._dirty_indices: Set[int] = set()
+        self.needs_rebuild = True
+        if subscribe:
+            grid.add_delta_listener(self)
+
+    # -- grid delta hooks ---------------------------------------------------
+
+    def on_occupy(self, net_id: int, index: int) -> None:
+        """Record a single-vertex occupancy commit of *net_id*."""
+        self._dirty_net_ids.add(net_id)
+        self._dirty_indices.add(index)
+
+    def on_release(self, net_id: int, indices: Set[int]) -> None:
+        """Record the release of every vertex *net_id* occupied or colored."""
+        self._dirty_net_ids.add(net_id)
+        self._dirty_indices.update(indices)
+
+    def on_color(self, net_id: int, index: int, color: int) -> None:
+        """Record a mask (re)assignment at *index*."""
+        self._dirty_net_ids.add(net_id)
+        self._dirty_indices.add(index)
+
+    def on_reset(self) -> None:
+        """Record a bulk grid reset: incremental state must be rebuilt."""
+        self.needs_rebuild = True
+        self._dirty_net_ids.clear()
+        self._dirty_indices.clear()
+
+    # -- queries ------------------------------------------------------------
+
+    def dirty_nets(self) -> Set[str]:
+        """Return the names of nets with pending deltas."""
+        return {self.grid.net_name_of(net_id) for net_id in self._dirty_net_ids}
+
+    def raw_indices(self) -> Set[int]:
+        """Return the raw (unexpanded) dirty flat-index set."""
+        return set(self._dirty_indices)
+
+    def expanded_indices(self, radius: int) -> Set[int]:
+        """Return the dirty region: raw indices grown by *radius* (same layer).
+
+        Only vertices inside this set can have gained or lost a violation or
+        conflict whose interaction distance is *radius*.
+        """
+        grid = self.grid
+        offsets = grid.interaction_offsets(radius)
+        cols, rows, plane = grid.num_cols, grid.num_rows, grid.plane_size
+        region: Set[int] = set()
+        for index in self._dirty_indices:
+            rem = index % plane
+            col, row = divmod(rem, rows)
+            for dcol, drow, delta in offsets:
+                if 0 <= col + dcol < cols and 0 <= row + drow < rows:
+                    region.add(index + delta)
+        return region
+
+    def consume(self) -> Tuple[Set[str], Set[int], bool]:
+        """Drain and return ``(dirty nets, raw dirty indices, needs_rebuild)``."""
+        nets = self.dirty_nets()
+        indices = self._dirty_indices
+        rebuild = self.needs_rebuild
+        self._dirty_net_ids = set()
+        self._dirty_indices = set()
+        self.needs_rebuild = False
+        return nets, indices, rebuild
+
+    def detach(self) -> None:
+        """Unsubscribe from the grid's delta hooks."""
+        self.grid.remove_delta_listener(self)

@@ -1,0 +1,263 @@
+"""Incremental counterpart of :class:`repro.tpl.conflict.ConflictChecker`.
+
+Conflicts are counted between features (maximal same-net, same-layer,
+same-mask connected runs).  A conflict between features of nets *A* and *B*
+depends only on the two nets' geometry and masks, so the cached per-pair
+conflict lists stay valid until one of the nets changes:
+
+* on :meth:`refresh`, nets dirtied by grid deltas (via the
+  :class:`~repro.check.dirty.DirtyRegionTracker`) or by route-object
+  replacement get their features re-extracted with the *same*
+  ``_net_features`` routine the full checker uses,
+* every cached pair involving a dirty net is dropped, and partners within
+  the interaction radius (``max(Dcolor, min_spacing)``, the dirty-region
+  expansion applied to the net's feature vertices) are re-classified with
+  the full checker's own ``_classify_pair`` / ``_obstacle_conflicts``
+  helpers, so kinds and thresholds cannot drift apart,
+* per-net obstacle-conflict and uncolored-vertex tallies are recomputed for
+  dirty nets only.
+
+The running tallies therefore match a fresh full scan on counts, kinds and
+net pairs (locations are anchored at the feature vertex nearest the
+partner), which ``tests/test_incremental_check.py`` asserts after every
+mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.dirty import DirtyRegionTracker, interaction_offsets
+from repro.design import Design
+from repro.geometry import Rect
+from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.tpl.conflict import ColorConflict, ConflictChecker, ConflictReport, Feature
+
+#: Canonical unordered net-pair key.
+NetPair = Tuple[str, str]
+
+
+class IncrementalConflictChecker:
+    """Incrementally maintained color-conflict tallies over a solution."""
+
+    def __init__(
+        self,
+        design: Design,
+        grid: RoutingGrid,
+        tracker: Optional[DirtyRegionTracker] = None,
+    ) -> None:
+        self.design = design
+        self.grid = grid
+        self.rules = grid.rules
+        self.oracle = ConflictChecker(design, grid)
+        self.tracker = tracker if tracker is not None else DirtyRegionTracker(grid)
+        self._reach_offsets: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._built = False
+        self._route_ids: Dict[str, int] = {}
+        # Per net: features plus their bounding boxes (pair prefilter).
+        self._features: Dict[str, List[Tuple[Feature, Rect]]] = {}
+        # Flat index -> names of nets with a feature vertex there.
+        self._occ: Dict[int, Set[str]] = {}
+        # Cached conflicts: per unordered net pair and per net vs obstacles.
+        self._pair_conflicts: Dict[NetPair, List[ColorConflict]] = {}
+        self._pairs_by_net: Dict[str, Set[NetPair]] = {}
+        self._obstacle_conflicts: Dict[str, List[ColorConflict]] = {}
+        self._uncolored: Dict[str, int] = {}
+
+    def _offsets_for(self, layer: int) -> List[Tuple[int, int, int]]:
+        offsets = self._reach_offsets.get(layer)
+        if offsets is None:
+            reach = max(self.rules.color_spacing_on(layer), self.rules.min_spacing)
+            offsets = interaction_offsets(self.grid, reach)
+            self._reach_offsets[layer] = offsets
+        return offsets
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self, solution: RoutingSolution) -> Set[str]:
+        """Re-validate dirty nets against *solution*; return the dirty set."""
+        tracked_nets, _raw, rebuild = self.tracker.consume()
+        if rebuild or not self._built:
+            self._reset_state()
+            self._built = True
+            dirty = set(solution.routes)
+        else:
+            dirty = set(tracked_nets)
+            for name, route in solution.routes.items():
+                if self._route_ids.get(name) != id(route):
+                    dirty.add(name)
+            for name in self._route_ids:
+                if name not in solution.routes:
+                    dirty.add(name)
+        dirty.discard("")
+        if not dirty:
+            return dirty
+
+        for name in dirty:
+            self._remove_net(name)
+        for name in dirty:
+            route = solution.routes.get(name)
+            if route is None:
+                self._route_ids.pop(name, None)
+            else:
+                self._route_ids[name] = id(route)
+                self._add_net(name, route)
+        for name in dirty:
+            if name in self._features:
+                self._scan_pairs(name)
+        return dirty
+
+    # -- per-net removal / addition ----------------------------------------
+
+    def _remove_net(self, name: str) -> None:
+        index_of = self.grid.index_of
+        for feature, _bbox in self._features.pop(name, ()):
+            for vertex in feature.vertices:
+                index = index_of(vertex)
+                nets = self._occ.get(index)
+                if nets is not None:
+                    nets.discard(name)
+                    if not nets:
+                        del self._occ[index]
+        for pair in self._pairs_by_net.pop(name, ()):
+            self._pair_conflicts.pop(pair, None)
+            partner = pair[1] if pair[0] == name else pair[0]
+            partner_pairs = self._pairs_by_net.get(partner)
+            if partner_pairs is not None:
+                partner_pairs.discard(pair)
+        self._obstacle_conflicts.pop(name, None)
+        self._uncolored.pop(name, None)
+
+    def _add_net(self, name: str, route: NetRoute) -> None:
+        features = self.oracle._net_features(route)
+        index_of = self.grid.index_of
+        vertex_rect = self.grid.vertex_rect
+        entries: List[Tuple[Feature, Rect]] = []
+        for feature in features:
+            bbox = Rect.bounding([vertex_rect(v) for v in feature.vertices])
+            entries.append((feature, bbox))
+            for vertex in feature.vertices:
+                self._occ.setdefault(index_of(vertex), set()).add(name)
+        self._features[name] = entries
+        if features:
+            obstacle = self.oracle._obstacle_conflicts(
+                [feature for feature, _bbox in entries]
+            )
+            if obstacle:
+                self._obstacle_conflicts[name] = obstacle
+        uncolored = self._count_uncolored(route)
+        if uncolored:
+            self._uncolored[name] = uncolored
+
+    def _count_uncolored(self, route: NetRoute) -> int:
+        if not route.routed:
+            return 0
+        layers = self.design.tech.layers
+        colors = route.vertex_colors
+        return sum(
+            1
+            for vertex in route.vertices
+            if vertex not in colors and layers[vertex.layer].tpl
+        )
+
+    # -- pair scanning ------------------------------------------------------
+
+    def _scan_pairs(self, name: str) -> None:
+        """Re-classify *name* against every net within its interaction radius.
+
+        Candidate partners are found by expanding the net's feature vertices
+        by the layer's reach (the same offsets the dirty-region expansion
+        uses) and reading the feature-occupancy mirror -- a net outside the
+        expanded region cannot conflict with *name*.
+        """
+        grid = self.grid
+        rows, cols, plane = grid.num_rows, grid.num_cols, grid.plane_size
+        index_of = grid.index_of
+        occ_get = self._occ.get
+        candidates: Set[str] = set()
+        for feature, _bbox in self._features.get(name, ()):
+            offsets = self._offsets_for(feature.layer)
+            for vertex in feature.vertices:
+                index = index_of(vertex)
+                col, row = divmod(index % plane, rows)
+                for dcol, drow, delta in offsets:
+                    if not (0 <= col + dcol < cols and 0 <= row + drow < rows):
+                        continue
+                    others = occ_get(index + delta)
+                    if others:
+                        candidates.update(others)
+        candidates.discard(name)
+        for partner in candidates:
+            pair = (name, partner) if name <= partner else (partner, name)
+            if pair in self._pair_conflicts:
+                continue  # the partner was dirty too and already rescanned
+            conflicts = self._classify_net_pair(name, partner)
+            self._pair_conflicts[pair] = conflicts
+            self._pairs_by_net.setdefault(name, set()).add(pair)
+            self._pairs_by_net.setdefault(partner, set()).add(pair)
+
+    def _classify_net_pair(self, name: str, partner: str) -> List[ColorConflict]:
+        conflicts: List[ColorConflict] = []
+        vertex_rect = self.grid.vertex_rect
+        partner_entries = self._features.get(partner, ())
+        for feature, bbox in self._features.get(name, ()):
+            dcolor = self.rules.color_spacing_on(feature.layer)
+            reach = max(dcolor, self.rules.min_spacing)
+            for other, other_bbox in partner_entries:
+                if other.layer != feature.layer:
+                    continue
+                # The bbox gap lower-bounds every vertex-pair gap, so pairs
+                # outside the reach can be skipped without exact distances.
+                if bbox.distance_to(other_bbox) >= reach:
+                    continue
+                # Anchor the conflict at the feature vertex nearest the
+                # partner so rip-up history lands where the metal clashes.
+                anchor = min(
+                    feature.vertices,
+                    key=lambda v: (vertex_rect(v).distance_to(other_bbox), v),
+                )
+                conflict = self.oracle._classify_pair(feature, other, anchor, dcolor)
+                if conflict is not None:
+                    conflicts.append(conflict)
+        return conflicts
+
+    # ------------------------------------------------------------------
+    # Reports (same shapes as the full checker)
+    # ------------------------------------------------------------------
+
+    def check(self, solution: RoutingSolution) -> ConflictReport:
+        """Refresh against *solution* and return the aggregated report."""
+        self.refresh(solution)
+        return self.report()
+
+    def report(self) -> ConflictReport:
+        """Return a :class:`ConflictReport` assembled from the running tallies."""
+        conflicts: List[ColorConflict] = []
+        for pair in sorted(self._pair_conflicts):
+            conflicts.extend(self._pair_conflicts[pair])
+        for name in sorted(self._obstacle_conflicts):
+            conflicts.extend(self._obstacle_conflicts[name])
+        return ConflictReport(
+            conflicts=conflicts,
+            uncolored_vertices=sum(self._uncolored.values()),
+        )
+
+    def conflict_count(self) -> int:
+        """Return the running conflict tally (after a refresh)."""
+        return sum(len(found) for found in self._pair_conflicts.values()) + sum(
+            len(found) for found in self._obstacle_conflicts.values()
+        )
+
+    def count(self, solution: RoutingSolution) -> int:
+        """Refresh against *solution* and return only the conflict count."""
+        self.refresh(solution)
+        return self.conflict_count()
+
+    def detach(self) -> None:
+        """Stop listening to grid deltas (the tallies freeze)."""
+        self.tracker.detach()

@@ -1,0 +1,289 @@
+"""Incremental counterpart of :class:`repro.dr.drc.DRCChecker`.
+
+The full checker re-walks the entire solution on every call; this one
+maintains running tallies (shorts, spacing violations, open nets, guide and
+direction statistics) and, on :meth:`refresh`, re-validates only the nets
+dirtied since the previous call.  Dirtiness comes from two sources:
+
+* the :class:`~repro.check.dirty.DirtyRegionTracker` draining the grid's
+  per-net occupancy/color delta hooks, and
+* route-object replacement in the :class:`~repro.grid.RoutingSolution`
+  (rip-up & reroute swaps ``NetRoute`` instances; snapshot restores swap
+  them back), detected by identity comparison.
+
+Violations between two *clean* nets cannot change -- shorts and spacing
+depend only on the two nets' geometry -- so invalidation is exact: every
+cached violation involving a dirty net is dropped and the dirty net's new
+metal is re-scanned against the maintained occupancy mirror inside its
+spacing radius (the per-vertex interaction offsets are the dirty-region
+expansion of :mod:`repro.check.dirty`, applied net by net).
+
+The full :class:`DRCChecker` remains the frozen reference oracle;
+``tests/test_incremental_check.py`` differentially proves both report the
+same violations after every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.dirty import DirtyRegionTracker, interaction_offsets
+from repro.design import Design
+from repro.dr.drc import DRCChecker, Violation
+from repro.geometry import GridPoint
+from repro.gr.guide import GuideSet
+from repro.grid import RoutingGrid, RoutingSolution
+
+#: Canonical spacing-pair key: ``(net_a, net_b, vertex_a, vertex_b)``.
+PairKey = Tuple[str, str, GridPoint, GridPoint]
+
+
+class IncrementalDRCChecker:
+    """Incrementally maintained design-rule tallies over a routing solution."""
+
+    def __init__(
+        self,
+        design: Design,
+        grid: RoutingGrid,
+        guides: Optional[GuideSet] = None,
+        tracker: Optional[DirtyRegionTracker] = None,
+    ) -> None:
+        self.design = design
+        self.grid = grid
+        self.guides = guides
+        self.rules = grid.rules
+        self.oracle = DRCChecker(design, grid, guides)
+        self.tracker = tracker if tracker is not None else DirtyRegionTracker(grid)
+        self._spacing_offsets = [
+            offset
+            for offset in interaction_offsets(grid, self.rules.min_spacing)
+            if offset != (0, 0, 0)  # exact overlap is a short, not spacing
+        ]
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._built = False
+        self._route_ids: Dict[str, int] = {}
+        # Per-net caches (all routes, including failed ones, mirror
+        # RoutingSolution.vertex_ownership()).
+        self._net_indices: Dict[str, List[int]] = {}
+        self._net_routed: Dict[str, bool] = {}
+        # Flat-index mirrors.
+        self._vertex_nets: Dict[int, Set[str]] = {}
+        self._spacing_occ: Dict[int, Set[str]] = {}
+        # Running tallies.
+        self._shorts: Dict[int, Violation] = {}
+        self._spacing: Dict[PairKey, Violation] = {}
+        self._spacing_by_net: Dict[str, Set[PairKey]] = {}
+        self._opens: Dict[str, Violation] = {}
+        self._out_of_guide: Dict[str, int] = {}
+        self._wrong_way: Dict[str, int] = {}
+        self._pin_groups: Dict[str, List[List[GridPoint]]] = {}
+        self._routable: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self, solution: RoutingSolution) -> Set[str]:
+        """Re-validate dirty nets against *solution*; return the dirty set."""
+        tracked_nets, raw_indices, rebuild = self.tracker.consume()
+        if rebuild or not self._built:
+            self._reset_state()
+            self._built = True
+            self._routable = {net.name: net for net in self.design.routable_nets()}
+            dirty = set(solution.routes) | set(self._routable)
+            raw_indices = set()
+        else:
+            dirty = set(tracked_nets)
+            for name, route in solution.routes.items():
+                if self._route_ids.get(name) != id(route):
+                    dirty.add(name)
+            for name in self._route_ids:
+                if name not in solution.routes:
+                    dirty.add(name)
+        dirty.discard("")
+        if not dirty:
+            return dirty
+
+        touched = set(raw_indices)
+        for name in dirty:
+            self._remove_net(name, touched)
+        # Register all dirty nets' metal before pair scanning so dirty-dirty
+        # spacing pairs are discovered from either side.
+        present: List[str] = []
+        for name in dirty:
+            route = solution.routes.get(name)
+            if route is None:
+                self._route_ids.pop(name, None)
+            else:
+                self._route_ids[name] = id(route)
+                self._add_net(name, route, touched)
+                present.append(name)
+        self._rescan_shorts(touched)
+        for name in present:
+            if self._net_routed.get(name):
+                self._scan_spacing(name)
+        for name in dirty:
+            if name in self._routable:
+                self._check_open(name, solution)
+        return dirty
+
+    # -- per-net removal / addition ----------------------------------------
+
+    def _remove_net(self, name: str, touched: Set[int]) -> None:
+        for index in self._net_indices.pop(name, ()):
+            touched.add(index)
+            nets = self._vertex_nets.get(index)
+            if nets is not None:
+                nets.discard(name)
+                if not nets:
+                    del self._vertex_nets[index]
+            if self._net_routed.get(name):
+                occ = self._spacing_occ.get(index)
+                if occ is not None:
+                    occ.discard(name)
+                    if not occ:
+                        del self._spacing_occ[index]
+        self._net_routed.pop(name, None)
+        for key in self._spacing_by_net.pop(name, ()):
+            self._spacing.pop(key, None)
+            partner = key[1] if key[0] == name else key[0]
+            partner_keys = self._spacing_by_net.get(partner)
+            if partner_keys is not None:
+                partner_keys.discard(key)
+        self._opens.pop(name, None)
+        self._out_of_guide.pop(name, None)
+        self._wrong_way.pop(name, None)
+
+    def _add_net(self, name: str, route, touched: Set[int]) -> None:
+        index_of = self.grid.index_of
+        indices = [index_of(vertex) for vertex in route.vertices]
+        self._net_indices[name] = indices
+        self._net_routed[name] = bool(route.routed)
+        for index in indices:
+            touched.add(index)
+            self._vertex_nets.setdefault(index, set()).add(name)
+        if route.routed:
+            for index in indices:
+                self._spacing_occ.setdefault(index, set()).add(name)
+            self._wrong_way[name] = self.oracle.route_wrong_way(route)
+            if self.guides is not None:
+                self._out_of_guide[name] = self.oracle.route_out_of_guide(route)
+
+    # -- shorts -------------------------------------------------------------
+
+    def _rescan_shorts(self, touched: Set[int]) -> None:
+        vertex_of = self.grid.vertex_of
+        for index in touched:
+            owners = self._vertex_nets.get(index, ())
+            if len(owners) > 1:
+                self._shorts[index] = Violation(
+                    kind="short",
+                    nets=tuple(sorted(owners)),
+                    location=vertex_of(index),
+                    detail=f"{len(owners)} nets overlap",
+                )
+            else:
+                self._shorts.pop(index, None)
+
+    # -- spacing ------------------------------------------------------------
+
+    def _scan_spacing(self, name: str) -> None:
+        if not self._spacing_offsets:
+            return
+        grid = self.grid
+        rows, cols, plane = grid.num_rows, grid.num_cols, grid.plane_size
+        vertex_of = grid.vertex_of
+        min_spacing = self.rules.min_spacing
+        occ_get = self._spacing_occ.get
+        for index in self._net_indices.get(name, ()):
+            col, row = divmod(index % plane, rows)
+            vertex: Optional[GridPoint] = None
+            for dcol, drow, delta in self._spacing_offsets:
+                if not (0 <= col + dcol < cols and 0 <= row + drow < rows):
+                    continue
+                others = occ_get(index + delta)
+                if not others:
+                    continue
+                if vertex is None:
+                    vertex = vertex_of(index)
+                other_vertex = vertex_of(index + delta)
+                for other in others:
+                    if other == name:
+                        continue
+                    key = DRCChecker._pair_key(name, vertex, other, other_vertex)
+                    if key in self._spacing:
+                        continue
+                    self._spacing[key] = Violation(
+                        kind="spacing",
+                        nets=tuple(sorted((name, other))),
+                        location=key[2],
+                        detail=f"below min spacing {min_spacing}",
+                    )
+                    self._spacing_by_net.setdefault(name, set()).add(key)
+                    self._spacing_by_net.setdefault(other, set()).add(key)
+
+    # -- opens / statistics -------------------------------------------------
+
+    def _check_open(self, name: str, solution: RoutingSolution) -> None:
+        route = solution.routes.get(name)
+        if route is None or not route.routed:
+            self._opens[name] = Violation(
+                kind="open", nets=(name,), location=GridPoint(0, 0, 0), detail="unrouted"
+            )
+            return
+        groups = self._pin_groups.get(name)
+        if groups is None:
+            net = self._routable[name]
+            groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
+            self._pin_groups[name] = groups
+        if route.connects_all(groups):
+            self._opens.pop(name, None)
+        else:
+            anchor = next(iter(route.vertices), GridPoint(0, 0, 0))
+            self._opens[name] = Violation(
+                kind="open",
+                nets=(name,),
+                location=anchor,
+                detail="routed metal does not connect every pin",
+            )
+
+    # ------------------------------------------------------------------
+    # Reports (same shapes as the full checker)
+    # ------------------------------------------------------------------
+
+    def check(self, solution: RoutingSolution) -> Dict[str, List[Violation]]:
+        """Refresh against *solution* and return violations grouped by kind."""
+        self.refresh(solution)
+        return {
+            "short": sorted(self._shorts.values(), key=_violation_order),
+            "spacing": sorted(self._spacing.values(), key=_violation_order),
+            "open": sorted(self._opens.values(), key=_violation_order),
+        }
+
+    def summary(self, solution: RoutingSolution) -> Dict[str, int]:
+        """Refresh against *solution* and return the running tallies."""
+        self.refresh(solution)
+        return {
+            "shorts": len(self._shorts),
+            "spacing": len(self._spacing),
+            "opens": len(self._opens),
+            "out_of_guide": sum(self._out_of_guide.values()),
+            "wrong_way": sum(self._wrong_way.values()),
+        }
+
+    def shorted_nets(self) -> Set[str]:
+        """Return every net currently involved in a short (after a refresh)."""
+        offenders: Set[str] = set()
+        for violation in self._shorts.values():
+            offenders.update(violation.nets)
+        return offenders
+
+    def detach(self) -> None:
+        """Stop listening to grid deltas (the tallies freeze)."""
+        self.tracker.detach()
+
+
+def _violation_order(violation: Violation) -> Tuple:
+    return (violation.nets, violation.location, violation.detail)

@@ -52,18 +52,7 @@ class DRCChecker:
 
     def find_shorts(self, solution: RoutingSolution) -> List[Violation]:
         """Return a violation for every vertex shared by two or more nets."""
-        violations: List[Violation] = []
-        for vertex, owners in solution.vertex_ownership().items():
-            if len(owners) > 1:
-                violations.append(
-                    Violation(
-                        kind="short",
-                        nets=tuple(sorted(owners)),
-                        location=vertex,
-                        detail=f"{len(owners)} nets overlap",
-                    )
-                )
-        return violations
+        return self._scan(solution)[0]
 
     def find_spacing_violations(self, solution: RoutingSolution) -> List[Violation]:
         """Return violations for different-net metal closer than ``min_spacing``.
@@ -73,18 +62,44 @@ class DRCChecker:
         is below the minimum spacing violate the rule.  Vertices of the same
         net never violate spacing against themselves.
         """
+        return self._scan(solution)[1]
+
+    def _scan(self, solution: RoutingSolution) -> Tuple[List[Violation], List[Violation]]:
+        """Compute shorts and spacing violations in one walk over the routes.
+
+        One traversal fills both the vertex-ownership map (shorts) and the
+        per-layer spatial index (spacing), so :meth:`check` / :meth:`summary`
+        pay a single pass instead of one per violation kind.
+        """
+        ownership: Dict[GridPoint, Set[str]] = {}
         min_spacing = self.rules.min_spacing
-        if min_spacing <= 0:
-            return []
-        violations: List[Violation] = []
         per_layer: Dict[int, SpatialIndex] = {
             layer: SpatialIndex(bucket_size=max(self.grid.pitch * 8, 16))
             for layer in range(self.grid.num_layers)
         }
-        for route in solution.routed_nets():
+        for route in solution.routes.values():
+            spacing_checked = route.routed and min_spacing > 0
             for vertex in route.vertices:
-                rect = self.grid.vertex_rect(vertex)
-                per_layer[vertex.layer].insert(rect, (route.net_name, vertex))
+                ownership.setdefault(vertex, set()).add(route.net_name)
+                if spacing_checked:
+                    rect = self.grid.vertex_rect(vertex)
+                    per_layer[vertex.layer].insert(rect, (route.net_name, vertex))
+
+        shorts: List[Violation] = []
+        for vertex, owners in ownership.items():
+            if len(owners) > 1:
+                shorts.append(
+                    Violation(
+                        kind="short",
+                        nets=tuple(sorted(owners)),
+                        location=vertex,
+                        detail=f"{len(owners)} nets overlap",
+                    )
+                )
+
+        spacing: List[Violation] = []
+        if min_spacing <= 0:
+            return shorts, spacing
         seen: Set[Tuple[str, str, GridPoint, GridPoint]] = set()
         for route in solution.routed_nets():
             for vertex in route.vertices:
@@ -100,7 +115,7 @@ class DRCChecker:
                     if key in seen:
                         continue
                     seen.add(key)
-                    violations.append(
+                    spacing.append(
                         Violation(
                             kind="spacing",
                             nets=tuple(sorted((route.net_name, other_net))),
@@ -108,7 +123,7 @@ class DRCChecker:
                             detail=f"below min spacing {min_spacing}",
                         )
                     )
-        return violations
+        return shorts, spacing
 
     def find_open_nets(self, solution: RoutingSolution) -> List[Violation]:
         """Return a violation per net that does not connect all of its pins."""
@@ -138,42 +153,65 @@ class DRCChecker:
         """Return the number of routed vertices falling outside their net's guide."""
         if self.guides is None:
             return 0
+        return sum(self.route_out_of_guide(route) for route in solution.routed_nets())
+
+    def route_out_of_guide(self, route: NetRoute) -> int:
+        """Return the out-of-guide vertex count of one route.
+
+        Per-route building block shared with the incremental checker so the
+        guide-coverage rule has exactly one implementation.
+        """
+        if self.guides is None:
+            return 0
         count = 0
-        for route in solution.routed_nets():
-            for vertex in route.vertices:
-                point = self.grid.physical_point(vertex)
-                if not self.guides.covers_point(route.net_name, vertex.layer, point):
-                    count += 1
+        for vertex in route.vertices:
+            point = self.grid.physical_point(vertex)
+            if not self.guides.covers_point(route.net_name, vertex.layer, point):
+                count += 1
         return count
 
     def wrong_way_edges(self, solution: RoutingSolution) -> int:
         """Return the number of planar edges routed against the preferred direction."""
+        return sum(self.route_wrong_way(route) for route in solution.routed_nets())
+
+    def route_wrong_way(self, route: NetRoute) -> int:
+        """Return the wrong-way edge count of one route (shared building block)."""
         count = 0
-        for route in solution.routed_nets():
-            for a, b in route.edges:
-                if a.layer != b.layer:
-                    continue
-                layer = self.design.tech.layers[a.layer]
-                horizontal_move = a.row == b.row
-                if layer.is_horizontal and not horizontal_move:
-                    count += 1
-                elif layer.is_vertical and horizontal_move:
-                    count += 1
+        layers = self.design.tech.layers
+        for a, b in route.edges:
+            if a.layer != b.layer:
+                continue
+            layer = layers[a.layer]
+            horizontal_move = a.row == b.row
+            if layer.is_horizontal and not horizontal_move:
+                count += 1
+            elif layer.is_vertical and horizontal_move:
+                count += 1
         return count
 
     # -- aggregate -----------------------------------------------------------------
 
     def check(self, solution: RoutingSolution) -> Dict[str, List[Violation]]:
-        """Run every check and return violations grouped by kind."""
+        """Run every check (one pass) and return violations grouped by kind."""
+        shorts, spacing = self._scan(solution)
         return {
-            "short": self.find_shorts(solution),
-            "spacing": self.find_spacing_violations(solution),
+            "short": shorts,
+            "spacing": spacing,
             "open": self.find_open_nets(solution),
         }
 
-    def summary(self, solution: RoutingSolution) -> Dict[str, int]:
-        """Return violation counts plus guide / direction statistics."""
-        grouped = self.check(solution)
+    def summary(
+        self,
+        solution: RoutingSolution,
+        grouped: Optional[Dict[str, List[Violation]]] = None,
+    ) -> Dict[str, int]:
+        """Return violation counts plus guide / direction statistics.
+
+        Pass a *grouped* result from a previous :meth:`check` of the same,
+        unmodified solution to reuse it instead of re-scanning.
+        """
+        if grouped is None:
+            grouped = self.check(solution)
         return {
             "shorts": len(grouped["short"]),
             "spacing": len(grouped["spacing"]),

@@ -190,11 +190,24 @@ class RoutingGrid:
         self._net_pressure: Dict[int, List[float]] = {}
         # Per-net colored vertices: net id -> {index: color}.
         self._net_colored_vertices: Dict[int, Dict[int, int]] = {}
-        self._pressure_offsets_cache: Dict[int, List[Tuple[int, int, int]]] = {}
+        # Interaction offsets precomputed per radius (pressure, checkers).
+        self._interaction_offsets_cache: Dict[int, List[Tuple[int, int, int]]] = {}
 
         # Precomputed neighbour table, built lazily on first use (grids are
         # also constructed by code that never searches them).
         self._neighbor_table: Optional[array] = None
+
+        # Delta listeners (repro.check.DirtyRegionTracker): notified of
+        # per-net occupancy / color commits and releases so incremental
+        # checkers can re-validate only the changed neighbourhood.  Bound
+        # hook methods are cached per event at subscribe time, so the hot
+        # paths pay one truthiness test plus direct calls -- no per-event
+        # attribute lookup.
+        self._delta_listeners: List[object] = []
+        self._occupy_hooks: List = []
+        self._release_hooks: List = []
+        self._color_hooks: List = []
+        self._reset_hooks: List = []
 
         # Colored metal shapes (routed wires and pre-colored obstacles) for
         # color-distance queries, one spatial index per layer.
@@ -279,6 +292,44 @@ class RoutingGrid:
                         table[base + 5] = index - plane
                     index += 1
         return array("i", table)
+
+    # ------------------------------------------------------------------
+    # Delta listeners (incremental checking hooks)
+    # ------------------------------------------------------------------
+
+    def add_delta_listener(self, listener: object) -> None:
+        """Subscribe *listener* to per-net occupancy/color delta events.
+
+        A listener may implement any subset of ``on_occupy(net_id, index)``,
+        ``on_release(net_id, indices)``, ``on_color(net_id, index, color)``
+        and ``on_reset()``; missing hooks are skipped.  Listeners must not
+        mutate the grid from inside a callback.
+        """
+        if listener not in self._delta_listeners:
+            self._delta_listeners.append(listener)
+            self._rebuild_delta_hooks()
+
+    def remove_delta_listener(self, listener: object) -> None:
+        """Unsubscribe *listener*; unknown listeners are ignored."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            return
+        self._rebuild_delta_hooks()
+
+    def _rebuild_delta_hooks(self) -> None:
+        self._occupy_hooks = self._bound_hooks("on_occupy")
+        self._release_hooks = self._bound_hooks("on_release")
+        self._color_hooks = self._bound_hooks("on_color")
+        self._reset_hooks = self._bound_hooks("on_reset")
+
+    def _bound_hooks(self, hook: str) -> List:
+        return [
+            callback
+            for listener in self._delta_listeners
+            for callback in (getattr(listener, hook, None),)
+            if callback is not None
+        ]
 
     # ------------------------------------------------------------------
     # Net-name interning
@@ -483,21 +534,23 @@ class RoutingGrid:
     # Incremental color pressure
     # ------------------------------------------------------------------
 
-    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int, int]]:
-        """Return ``(dcol, drow, flat_delta)`` offsets interacting at Dcolor.
+    def interaction_offsets(self, radius: int) -> List[Tuple[int, int, int]]:
+        """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
 
-        Two vertices interact when the spacing between their metal rectangles
-        is below the layer's color spacing; the offsets are precomputed once
-        per layer so color-pressure updates are O(neighbourhood).  The flat
-        delta (``dcol * num_rows + drow``) spares the update loop a
-        re-encode.
+        Two same-layer vertices interact when the spacing between their metal
+        rectangles (:meth:`Rect.distance_to`, the L-infinity gap) is strictly
+        below *radius* -- the predicate shared by color-pressure updates, the
+        spacing/conflict checkers and the dirty-region expansion of
+        :mod:`repro.check`.  ``(0, 0, 0)`` is included; callers that must
+        skip the vertex itself filter it out.  The flat delta
+        (``dcol * num_rows + drow``) spares the consumers a re-encode.
+        Precomputed once per radius.
         """
-        cached = self._pressure_offsets_cache.get(layer)
+        cached = self._interaction_offsets_cache.get(radius)
         if cached is not None:
             return cached
-        dcolor = self.rules.color_spacing_on(layer)
         half = max(self.rules.wire_width // 2, 0)
-        reach = max(1, -(-(dcolor + 2 * half) // self.pitch))
+        reach = max(1, -(-(radius + 2 * half) // self.pitch))
         offsets: List[Tuple[int, int, int]] = []
         base = Rect(-half, -half, half, half)
         for dcol in range(-reach, reach + 1):
@@ -508,10 +561,14 @@ class RoutingGrid:
                     dcol * self.pitch + half,
                     drow * self.pitch + half,
                 )
-                if base.distance_to(other) < dcolor:
+                if base.distance_to(other) < radius:
                     offsets.append((dcol, drow, dcol * self.num_rows + drow))
-        self._pressure_offsets_cache[layer] = offsets
+        self._interaction_offsets_cache[radius] = offsets
         return offsets
+
+    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int, int]]:
+        """Return the offsets interacting at *layer*'s color spacing ``Dcolor``."""
+        return self.interaction_offsets(self.rules.color_spacing_on(layer))
 
     def _add_vertex_pressure_index(
         self, index: int, net_id: int, color: int, sign: float
@@ -581,6 +638,9 @@ class RoutingGrid:
             occupied = set()
             self._net_occupied[net_id] = occupied
         occupied.add(index)
+        if self._occupy_hooks:
+            for callback in self._occupy_hooks:
+                callback(net_id, index)
 
     def release_net(self, net_name: str) -> int:
         """Remove all occupancy, colors and colored shapes of *net_name*.
@@ -592,7 +652,8 @@ class RoutingGrid:
         if net_id == 0:
             return 0
         released = 0
-        for index in sorted(self._net_occupied.pop(net_id, ())):
+        occupied_indices = sorted(self._net_occupied.pop(net_id, ()))
+        for index in occupied_indices:
             owner = self._owner_buf[index]
             if owner == net_id:
                 self._owner_buf[index] = 0
@@ -606,13 +667,19 @@ class RoutingGrid:
                 continue
             released += 1
             self._color_buf[index] = 0
-        for index, color in self._net_colored_vertices.pop(net_id, {}).items():
+        colored_vertices = self._net_colored_vertices.pop(net_id, {})
+        for index, color in colored_vertices.items():
             self._add_vertex_pressure_index(index, net_id, color, sign=-1.0)
         for layer_index in range(self.num_layers):
             spatial = self._colored_shapes[layer_index]
             stale = [item for _rect, item in spatial.items() if item.net_name == net_name]
             for item in stale:
                 spatial.remove_item(item)
+        if self._release_hooks and (occupied_indices or colored_vertices):
+            # The per-net reverse index makes the released delta O(|net|).
+            delta = set(occupied_indices) | set(colored_vertices)
+            for callback in self._release_hooks:
+                callback(net_id, delta)
         return released
 
     def occupants(self, vertex: GridPoint) -> Set[str]:
@@ -691,6 +758,16 @@ class RoutingGrid:
         if previous is not None:
             self._add_vertex_pressure_index(index, net_id, previous, sign=-1.0)
             del registered[index]
+            # Purge the old-mask shape, or color-distance queries would keep
+            # seeing phantom metal of the previous mask at this vertex.
+            self._colored_shapes[vertex.layer].remove_item(
+                ColoredShape(
+                    net_name=net_name,
+                    color=previous,
+                    rect=self.vertex_rect(vertex),
+                    layer=vertex.layer,
+                )
+            )
         self._color_buf[index] = color + 1
         shape = ColoredShape(
             net_name=net_name,
@@ -701,6 +778,9 @@ class RoutingGrid:
         self._colored_shapes[vertex.layer].insert(shape.rect, shape)
         registered[index] = color
         self._add_vertex_pressure_index(index, net_id, color, sign=1.0)
+        if self._color_hooks:
+            for callback in self._color_hooks:
+                callback(net_id, index, color)
 
     def vertex_color(self, vertex: GridPoint) -> Optional[int]:
         """Return the mask color of routed metal at *vertex*, if any."""
@@ -848,6 +928,8 @@ class RoutingGrid:
                     f"__fixed__{obstacle.name or id(obstacle)}",
                     obstacle.color,
                 )
+        for callback in self._reset_hooks:
+            callback()
 
     def snapshot_statistics(self) -> Dict[str, int]:
         """Return grid occupancy statistics (used by reports and tests)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.check import IncrementalConflictChecker
 from repro.design import Design, Net
 from repro.dr.cost import CostModel
 from repro.geometry import GridPoint
@@ -64,7 +65,10 @@ class MrTPLRouter:
         else:
             raise ValueError(f"unknown search engine {engine!r}; expected 'flat' or 'legacy'")
         self.backtracer = Backtracer(self.grid, self.cost_model)
+        # Full re-scan checker: the frozen reference oracle (final evaluation,
+        # differential tests).  The rip-up loop consumes the incremental one.
         self.conflict_checker = ConflictChecker(design, self.grid)
+        self.incremental_conflicts = IncrementalConflictChecker(design, self.grid)
         self.refine_colors = refine_colors
         self.max_iterations = (
             max_iterations
@@ -88,7 +92,7 @@ class MrTPLRouter:
         best_snapshot: Optional[Dict[str, NetRoute]] = None
         best_defects: Optional[tuple] = None
         for iteration in range(self.max_iterations):
-            report = self.conflict_checker.check(solution)
+            report = self.incremental_conflicts.check(solution)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
             defects = (len(solution.failed_nets()), report.conflict_count)
@@ -114,13 +118,15 @@ class MrTPLRouter:
 
         # Rip-up and reroute can oscillate on hard instances; keep the best
         # iteration rather than blindly returning the last one.
-        final_report = self.conflict_checker.check(solution)
+        final_report = self.incremental_conflicts.check(solution)
         final_defects = (len(solution.failed_nets()), final_report.conflict_count)
         if best_defects is not None and best_defects < final_defects and best_snapshot is not None:
             solution.routes = best_snapshot
 
         if self.refine_colors:
-            ColorRefiner(self.design, self.grid).refine(solution)
+            ColorRefiner(
+                self.design, self.grid, conflict_checker=self.incremental_conflicts
+            ).refine(solution)
 
         for route in solution.routes.values():
             route.recount_stitches()
@@ -239,5 +245,10 @@ class MrTPLRouter:
     # ------------------------------------------------------------------
 
     def conflict_report(self, solution: RoutingSolution) -> ConflictReport:
-        """Return the conflict report of *solution* on this router's grid."""
-        return self.conflict_checker.check(solution)
+        """Return the conflict report of *solution* on this router's grid.
+
+        Served from the incremental tallies (route-object identity detects
+        snapshot restores and external edits); the full-scan
+        :attr:`conflict_checker` remains available as the reference oracle.
+        """
+        return self.incremental_conflicts.check(solution)

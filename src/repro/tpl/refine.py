@@ -41,6 +41,7 @@ class ColorRefiner:
         conflict_weight: float = 10.0,
         stitch_weight: float = 1.0,
         max_passes: int = 3,
+        conflict_checker: Optional[object] = None,
     ) -> None:
         self.design = design
         self.grid = grid
@@ -48,6 +49,12 @@ class ColorRefiner:
         self.conflict_weight = conflict_weight
         self.stitch_weight = stitch_weight
         self.max_passes = max_passes
+        #: Optional incremental conflict checker
+        #: (:class:`repro.check.IncrementalConflictChecker`): its delta tally
+        #: detects the refiner's fixed point (no conflicts and no stitches,
+        #: so no recoloring can strictly improve the objective) without a
+        #: full conflict re-scan before every greedy pass.
+        self.conflict_checker = conflict_checker
 
     # ------------------------------------------------------------------
 
@@ -55,6 +62,8 @@ class ColorRefiner:
         """Recolor features of *solution* in place; return the number of changes."""
         changes = 0
         for _pass in range(self.max_passes):
+            if self._at_fixed_point(solution):
+                break
             pass_changes = self._refine_once(solution)
             changes += pass_changes
             if pass_changes == 0:
@@ -63,6 +72,22 @@ class ColorRefiner:
             for route in solution.routes.values():
                 route.recount_stitches()
         return changes
+
+    def _at_fixed_point(self, solution: RoutingSolution) -> bool:
+        """Return ``True`` when no recoloring can strictly improve the objective.
+
+        With zero conflicts every feature's same-mask pressure from other
+        nets is zero, and with zero stitches its own-net boundary cost is
+        zero, so every feature already sits at cost 0 and
+        :meth:`_refine_once` is guaranteed to change nothing.
+        """
+        if self.conflict_checker is None:
+            return False
+        if self.conflict_checker.count(solution):
+            return False
+        return all(
+            route.recount_stitches() == 0 for route in solution.routes.values()
+        )
 
     # ------------------------------------------------------------------
 

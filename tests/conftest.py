@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the repository test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--rng-rounds",
+        type=int,
+        default=40,
+        help=(
+            "Randomized mutation rounds per seed for the incremental-check "
+            "differential harness (CI nightly runs 200; per-push smoke keeps "
+            "the default)."
+        ),
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "rng_rounds" in metafunc.fixturenames:
+        metafunc.parametrize("rng_rounds", [metafunc.config.getoption("--rng-rounds")])

@@ -1,0 +1,254 @@
+"""Differential harness: incremental checkers vs the full-scan oracles.
+
+Randomized route / rip-up / reroute / recolor sequences (seeded through
+:class:`repro.utils.SeededRNG`) drive a shared grid + solution, and after
+*every* mutation the incremental tallies are compared against a fresh
+full-scan by the frozen reference checkers -- counts, kinds, and net pairs
+must match exactly.
+
+Run longer campaigns with ``pytest tests/test_incremental_check.py
+--rng-rounds=200`` (the CI nightly job does).
+"""
+
+import pytest
+
+from repro.bench import SyntheticSpec, generate_design
+from repro.check import DirtyRegionTracker, IncrementalConflictChecker, IncrementalDRCChecker
+from repro.check.dirty import interaction_offsets
+from repro.dr import DetailedRouter, DRCChecker
+from repro.geometry import GridPoint
+from repro.grid import RoutingGrid, RoutingSolution
+from repro.tpl import ConflictChecker, MrTPLRouter
+from repro.utils import SeededRNG
+
+
+# ----------------------------------------------------------------------
+# Digests: the comparable projection of a report (counts, kinds, net pairs)
+# ----------------------------------------------------------------------
+
+def drc_digest(grouped):
+    """Return the order-independent digest of a grouped violation dict."""
+    return {
+        kind: sorted((violation.kind, violation.nets) for violation in violations)
+        for kind, violations in grouped.items()
+    }
+
+
+def conflict_digest(report):
+    """Return the order-independent digest of a conflict report."""
+    conflicts = sorted(
+        (
+            conflict.kind,
+            tuple(sorted((conflict.net_a, conflict.net_b))),
+            conflict.layer,
+            conflict.color if conflict.kind == "same-mask" else -1,
+        )
+        for conflict in report.conflicts
+    )
+    return conflicts, report.uncolored_vertices
+
+
+def assert_matches_oracle(driver):
+    """Assert the incremental reports equal a fresh full scan, bit for bit."""
+    incremental = drc_digest(driver.inc_drc.check(driver.solution))
+    oracle = drc_digest(driver.full_drc.check(driver.solution))
+    assert incremental == oracle
+    assert driver.inc_drc.summary(driver.solution) == driver.full_drc.summary(
+        driver.solution
+    )
+    assert conflict_digest(driver.inc_conflicts.check(driver.solution)) == (
+        conflict_digest(driver.full_conflicts.check(driver.solution))
+    )
+
+
+# ----------------------------------------------------------------------
+# Mutation driver
+# ----------------------------------------------------------------------
+
+class MutationDriver:
+    """Applies randomized routing mutations to one shared grid + solution."""
+
+    def __init__(self, seed, num_nets=8, cols=14, rows=14, min_spacing=6):
+        spec = SyntheticSpec(
+            name=f"inc-check-{seed}",
+            seed=seed,
+            cols=cols,
+            rows=rows,
+            num_layers=3,
+            num_nets=num_nets,
+            color_spacing=10,
+            net_radius=8,
+            obstacle_count=2,
+            colored_obstacle_fraction=0.5,
+        )
+        self.design = generate_design(spec)
+        # Widen the hard spacing so neighbouring tracks violate it: the
+        # TPL-unaware maze router then produces real spacing violations for
+        # the differential comparison to chew on.
+        self.design.tech.rules.min_spacing = min_spacing
+        self.grid = RoutingGrid(self.design)
+        self.tpl_router = MrTPLRouter(
+            self.design, grid=self.grid, use_global_router=False, max_iterations=0
+        )
+        self.plain_router = DetailedRouter(self.design, grid=self.grid, max_iterations=0)
+        self.solution = RoutingSolution(design_name=self.design.name, router_name="harness")
+        self.net_names = [net.name for net in self.design.routable_nets()]
+
+        self.inc_drc = IncrementalDRCChecker(self.design, self.grid)
+        self.inc_conflicts = IncrementalConflictChecker(self.design, self.grid)
+        self.full_drc = DRCChecker(self.design, self.grid)
+        self.full_conflicts = ConflictChecker(self.design, self.grid)
+
+    def mutate(self, rng):
+        """Apply one random mutation; return a description for failure output."""
+        routed = sorted(self.solution.routes)
+        unrouted = [name for name in self.net_names if name not in self.solution.routes]
+        roll = rng.random()
+        if unrouted and (roll < 0.45 or not routed):
+            return self._route(rng.choice(unrouted), rng)
+        if roll < 0.65 and routed:
+            return self._rip_up(rng.choice(routed))
+        if roll < 0.85 and routed:
+            name = rng.choice(routed)
+            description = self._rip_up(name)
+            return description + "; " + self._route(name, rng)
+        if routed:
+            return self._recolor(rng.choice(routed), rng)
+        return self._route(rng.choice(unrouted), rng)
+
+    def _route(self, name, rng):
+        net = self.design.net_by_name(name)
+        router = self.tpl_router if rng.random() < 0.7 else self.plain_router
+        self.solution.add_route(router.route_net(net))
+        return f"route {name} via {router.name}"
+
+    def _rip_up(self, name):
+        self.grid.release_net(name)
+        route = self.solution.routes.pop(name)
+        for vertex in route.vertices:
+            self.grid.add_history(vertex, 0.25)
+        return f"ripup {name}"
+
+    def _recolor(self, name, rng):
+        route = self.solution.routes[name]
+        colored = sorted(route.vertex_colors)
+        if not colored:
+            return f"recolor {name} (no colors)"
+        vertex = rng.choice(colored)
+        color = (route.vertex_colors[vertex] + rng.randint(1, 2)) % 3
+        route.set_color(vertex, color)
+        self.grid.set_vertex_color(vertex, name, color)
+        return f"recolor {name} {vertex} -> {color}"
+
+
+# ----------------------------------------------------------------------
+# The differential tests
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [3, 17, 58])
+def test_randomized_mutations_match_full_scan(seed, rng_rounds):
+    driver = MutationDriver(seed)
+    rng = SeededRNG(seed * 7919)
+    assert_matches_oracle(driver)  # empty solution: opens for every net
+    history = []
+    for round_number in range(rng_rounds):
+        history.append(driver.mutate(rng))
+        if len(history) > 8:
+            history.pop(0)
+        try:
+            assert_matches_oracle(driver)
+        except AssertionError:
+            raise AssertionError(
+                f"seed {seed} diverged at round {round_number}; "
+                f"recent mutations: {history}"
+            )
+
+
+def test_full_router_flows_match_full_scan():
+    """After complete router runs the incremental tallies still equal a re-scan."""
+    spec = SyntheticSpec(
+        name="inc-flow", seed=11, cols=16, rows=16, num_layers=3, num_nets=8,
+        color_spacing=10, net_radius=8, obstacle_count=2,
+        colored_obstacle_fraction=0.5,
+    )
+    design = generate_design(spec)
+    grid = RoutingGrid(design)
+    inc_drc = IncrementalDRCChecker(design, grid)
+    inc_conflicts = IncrementalConflictChecker(design, grid)
+    solution = MrTPLRouter(design, grid=grid, use_global_router=False).run()
+    assert drc_digest(inc_drc.check(solution)) == drc_digest(
+        DRCChecker(design, grid).check(solution)
+    )
+    assert conflict_digest(inc_conflicts.check(solution)) == conflict_digest(
+        ConflictChecker(design, grid).check(solution)
+    )
+
+
+def test_grid_reset_forces_rebuild():
+    driver = MutationDriver(seed=5, num_nets=4)
+    rng = SeededRNG(99)
+    for _ in range(4):
+        driver.mutate(rng)
+    assert_matches_oracle(driver)
+    driver.grid.reset_routing_state()
+    driver.solution.routes.clear()
+    assert driver.inc_drc.tracker.needs_rebuild
+    assert driver.inc_conflicts.tracker.needs_rebuild
+    assert_matches_oracle(driver)
+
+
+# ----------------------------------------------------------------------
+# DirtyRegionTracker unit behaviour
+# ----------------------------------------------------------------------
+
+def make_tracked_grid():
+    spec = SyntheticSpec(name="tracker", seed=1, cols=10, rows=10, num_layers=2,
+                         num_nets=2, obstacle_count=0)
+    design = generate_design(spec)
+    grid = RoutingGrid(design)
+    tracker = DirtyRegionTracker(grid)
+    tracker.consume()  # drop the initial needs_rebuild flag
+    return grid, tracker
+
+
+def test_tracker_collects_occupancy_and_color_deltas():
+    grid, tracker = make_tracked_grid()
+    vertex = GridPoint(0, 3, 3)
+    grid.occupy(vertex, "netA")
+    grid.set_vertex_color(vertex, "netA", 2)
+    nets, indices, rebuild = tracker.consume()
+    assert nets == {"netA"}
+    assert grid.index_of(vertex) in indices
+    assert not rebuild
+    # Draining empties the tracker.
+    assert tracker.consume() == (set(), set(), False)
+
+
+def test_tracker_release_uses_reverse_index():
+    grid, tracker = make_tracked_grid()
+    vertices = [GridPoint(0, 2, row) for row in range(2, 6)]
+    for vertex in vertices:
+        grid.occupy(vertex, "netA")
+    tracker.consume()
+    grid.release_net("netA")
+    nets, indices, _ = tracker.consume()
+    assert nets == {"netA"}
+    assert indices == {grid.index_of(v) for v in vertices}
+
+
+def test_expanded_indices_covers_interaction_radius():
+    grid, tracker = make_tracked_grid()
+    vertex = GridPoint(0, 5, 5)
+    grid.occupy(vertex, "netA")
+    radius = grid.rules.color_spacing_on(0)
+    region = tracker.expanded_indices(radius)
+    index = grid.index_of(vertex)
+    offsets = interaction_offsets(grid, radius)
+    assert (0, 0, 0) in offsets
+    expected = {index + delta for dcol, drow, delta in offsets
+                if 0 <= 5 + dcol < grid.num_cols and 0 <= 5 + drow < grid.num_rows}
+    assert region == expected
+    # Every vertex in the region really is within the radius.
+    base_rect = grid.vertex_rect(vertex)
+    for other in region:
+        assert base_rect.distance_to(grid.vertex_rect(grid.vertex_of(other))) < radius
