@@ -1,0 +1,64 @@
+"""Optional numpy acceleration gate.
+
+The routing engines vectorise a handful of O(num_vertices) kernels with
+numpy when it is importable: the color-pressure neighbourhood update, the
+per-search congestion / color-pressure / A*-heuristic snapshots.  Every
+vectorised kernel has a pure-Python twin producing bit-identical results
+(same IEEE-754 operations in the same order), kept both as the fallback on
+numpy-free installs and as the differential oracle in the tests.
+
+The gate is process-global and runtime-switchable:
+
+* ``REPRO_PURE_PYTHON=1`` in the environment disables numpy at import time
+  (the CI fallback leg uses this / uninstalls numpy outright);
+* :func:`set_numpy_enabled` toggles it at runtime (the differential tests
+  force the pure path on a numpy-capable interpreter and compare).
+
+Hot paths call :func:`get_numpy` once per kernel invocation and branch on
+``None``, so toggling takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+try:  # pragma: no cover - exercised indirectly by both CI legs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy-free environments
+    _numpy = None
+
+_DISABLED_BY_ENV = os.environ.get("REPRO_PURE_PYTHON", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+)
+
+_enabled = _numpy is not None and not _DISABLED_BY_ENV
+
+
+def have_numpy() -> bool:
+    """Return ``True`` when numpy is importable (regardless of the gate)."""
+    return _numpy is not None
+
+
+def numpy_enabled() -> bool:
+    """Return ``True`` when the vectorised kernels are active."""
+    return _enabled
+
+
+def set_numpy_enabled(enabled: bool) -> bool:
+    """Enable/disable the vectorised kernels; return the previous setting.
+
+    Enabling is a no-op when numpy is not importable.  Tests use this to
+    force the pure-Python fallback and differentially compare the two.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled) and _numpy is not None
+    return previous
+
+
+def get_numpy() -> Optional[object]:
+    """Return the numpy module when acceleration is on, else ``None``."""
+    return _numpy if _enabled else None

@@ -15,11 +15,15 @@ Micro layouts:
 
 Engine micro-benchmarks:
 
-:func:`run_engine_benchmarks` routes synthetic ISPD-like suite cases through
-each router twice -- once with the frozen legacy ``GridPoint``-dict search
-engines (:mod:`repro.search.legacy`) and once with the flat-index
-:class:`repro.search.SearchCore` adapters -- verifying the two produce
-bit-identical solutions and reporting the wall-clock speedup.
+:func:`run_engine_benchmarks` routes synthetic ISPD-like suite cases (the
+ispd18 sweep plus the denser :data:`DENSE_CASES` ispd19-like appendix)
+through each router with both engine generations -- the frozen legacy
+``GridPoint``-dict search engines (:mod:`repro.search.legacy`) and the
+flat-index :class:`repro.search.SearchCore` adapters -- verifying the two
+produce bit-identical solutions and reporting the wall-clock speedup.
+``--repeat N`` routes each case N times per engine and reports the median,
+and the emitted JSON records the repeat count and numpy availability so a
+recorded baseline documents the configuration that produced it.
 
 :func:`run_incremental_check_benchmarks` (``--incremental``) replays the
 rip-up loop's check workload and times the :mod:`repro.check` delta tallies
@@ -33,12 +37,28 @@ identical reports (baseline: ``BENCH_incremental_check.json``).
 from __future__ import annotations
 
 import json
+import os
 import time
+from statistics import median
 from typing import Dict, List, Optional, Tuple
 
+from repro.accel import have_numpy, numpy_enabled
 from repro.design import Design, Net, Obstacle, Pin
 from repro.geometry import Point, Rect
 from repro.tech import DesignRules, make_default_tech
+
+#: Default suite scale of the micro-benchmarks; overridable through the
+#: ``REPRO_BENCH_SCALE`` environment knob shared with ``benchmarks/``.
+DEFAULT_BENCH_SCALE = 0.7
+
+#: Extra denser cases appended to the engine benchmark beyond the ispd18
+#: sweep: one ispd19-like case (tighter color spacing regime, more nets).
+DENSE_CASES: Tuple[Tuple[str, int], ...] = (("ispd19", 4),)
+
+
+def default_bench_scale() -> float:
+    """Return the suite scale factor (``REPRO_BENCH_SCALE`` env override)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_BENCH_SCALE)))
 
 
 def _port(name: str, layer: int, x: int, y: int, half: int = 1) -> Pin:
@@ -171,14 +191,18 @@ def solution_metrics(solution) -> Dict[str, float]:
 def run_engine_benchmarks(
     suite: str = "ispd18",
     cases: Tuple[int, ...] = (1, 2, 3),
-    scale: float = 0.5,
+    scale: Optional[float] = None,
     routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
+    repeat: int = 1,
+    dense_cases: Tuple[Tuple[str, int], ...] = DENSE_CASES,
 ) -> Dict[str, object]:
     """Benchmark the flat-index engines against the legacy reference.
 
-    For every suite case and router, the same design is routed once per
-    engine generation; the run asserts the two solutions are identical
-    (vertices, colors, edges, stitches) and records both wall-clock times.
+    For every suite case (the *suite* sweep plus the denser *dense_cases*
+    appendix) and router, the same design is routed *repeat* times per
+    engine generation; the run asserts every produced solution is identical
+    (vertices, colors, edges, stitches) and records the median wall-clock
+    of each engine, so speedup numbers stay stable across noisy runs.
     Returns the result document that :func:`main` serialises to JSON.
     """
     # Imported here: repro.bench must stay importable without the router
@@ -188,38 +212,55 @@ def run_engine_benchmarks(
     from repro.dr.router import DetailedRouter
     from repro.tpl.mr_tpl import MrTPLRouter
 
+    if scale is None:
+        scale = default_bench_scale()
+    repeat = max(1, repeat)
     router_classes = {
         "maze": DetailedRouter,
         "color-state": MrTPLRouter,
         "dac2012": Dac2012Router,
     }
+    case_list = [(suite, number) for number in cases]
+    case_list.extend(dense_cases)
     results: List[Dict[str, object]] = []
-    for number in cases:
+    for case_suite, number in case_list:
         for router_key in routers:
             router_class = router_classes[router_key]
             timings: Dict[str, float] = {}
             outcome: Dict[str, object] = {}
+            identical_repeats = True
             for engine in ("legacy", "flat"):
-                design = suite_case(suite, number, scale).build()
-                router = router_class(design, engine=engine)
-                start = time.perf_counter()
-                solution = router.run()
-                timings[engine] = time.perf_counter() - start
-                outcome[engine] = (
-                    solution_fingerprint(solution),
-                    solution_metrics(solution),
+                samples: List[float] = []
+                digests: List[object] = []
+                for _round in range(repeat):
+                    design = suite_case(case_suite, number, scale).build()
+                    router = router_class(design, engine=engine)
+                    start = time.perf_counter()
+                    solution = router.run()
+                    samples.append(time.perf_counter() - start)
+                    digests.append(
+                        (
+                            solution_fingerprint(solution),
+                            solution_metrics(solution),
+                        )
+                    )
+                timings[engine] = median(samples)
+                outcome[engine] = digests[0]
+                identical_repeats = identical_repeats and all(
+                    digest == digests[0] for digest in digests
                 )
             legacy_digest, legacy_metrics = outcome["legacy"]
             flat_digest, flat_metrics = outcome["flat"]
             results.append(
                 {
-                    "suite": suite,
+                    "suite": case_suite,
                     "case": number,
                     "router": router_key,
                     "legacy_seconds": round(timings["legacy"], 4),
                     "flat_seconds": round(timings["flat"], 4),
                     "speedup": round(timings["legacy"] / max(timings["flat"], 1e-9), 3),
-                    "identical_solutions": legacy_digest == flat_digest
+                    "identical_solutions": identical_repeats
+                    and legacy_digest == flat_digest
                     and legacy_metrics == flat_metrics,
                     "metrics": flat_metrics,
                 }
@@ -234,6 +275,10 @@ def run_engine_benchmarks(
         "suite": suite,
         "scale": scale,
         "cases": list(cases),
+        "dense_cases": [list(entry) for entry in dense_cases],
+        "repeat": repeat,
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
         "results": results,
         "geomean_speedup": round(geomean, 3),
         "all_identical": all(entry["identical_solutions"] for entry in results),
@@ -266,7 +311,7 @@ def _conflict_digest(report) -> tuple:
 def run_incremental_check_benchmarks(
     suite: str = "ispd18",
     cases: Tuple[int, ...] = (1, 2, 3),
-    scale: float = 0.5,
+    scale: Optional[float] = None,
     rounds: int = 16,
 ) -> Dict[str, object]:
     """Benchmark incremental checking against the full re-scan oracle.
@@ -285,6 +330,8 @@ def run_incremental_check_benchmarks(
     from repro.tpl.conflict import ConflictChecker
     from repro.tpl.mr_tpl import MrTPLRouter
 
+    if scale is None:
+        scale = default_bench_scale()
     results: List[Dict[str, object]] = []
     for number in cases:
         design = suite_case(suite, number, scale).build()
@@ -363,6 +410,8 @@ def run_incremental_check_benchmarks(
         "suite": suite,
         "scale": scale,
         "cases": list(cases),
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
         "results": results,
         "geomean_speedup": round(geomean, 3),
         "all_identical": all(entry["identical_reports"] for entry in results),
@@ -376,7 +425,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=run_engine_benchmarks.__doc__)
     parser.add_argument("--suite", default="ispd18", choices=("ispd18", "ispd19"))
     parser.add_argument("--cases", default="1,2,3", help="comma-separated case numbers")
-    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"suite scale factor (default: REPRO_BENCH_SCALE or {DEFAULT_BENCH_SCALE})",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="route each case/engine this many times and report the median, "
+        "so speedup numbers are stable",
+    )
     parser.add_argument(
         "--smoke", action="store_true", help="single small case (CI smoke mode)"
     )
@@ -391,8 +452,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     cases = tuple(int(token) for token in args.cases.split(",") if token.strip())
     scale = args.scale
+    dense_cases = DENSE_CASES
     if args.smoke:
-        cases, scale = (1,), 0.5
+        cases, scale, dense_cases = (1,), 0.5, ()
     if not cases:
         parser.error("--cases selected no case numbers")
     if args.incremental:
@@ -400,7 +462,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             suite=args.suite, cases=cases, scale=scale
         )
     else:
-        report = run_engine_benchmarks(suite=args.suite, cases=cases, scale=scale)
+        report = run_engine_benchmarks(
+            suite=args.suite,
+            cases=cases,
+            scale=scale,
+            repeat=args.repeat,
+            dense_cases=dense_cases,
+        )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -18,12 +18,12 @@ changed.  The incremental checkers in this package drain one tracker each.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from repro.grid import RoutingGrid
 
 
-def interaction_offsets(grid: RoutingGrid, radius: int) -> List[Tuple[int, int, int]]:
+def interaction_offsets(grid: RoutingGrid, radius: int) -> Tuple[Tuple[int, int, int], ...]:
     """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
 
     Thin alias of :meth:`RoutingGrid.interaction_offsets`, the one
@@ -32,7 +32,7 @@ def interaction_offsets(grid: RoutingGrid, radius: int) -> List[Tuple[int, int, 
     strictly-below-*radius* L-infinity rect gap, the same predicate the
     full-scan checkers apply through :meth:`SpatialIndex.within`.
     ``(0, 0, 0)`` is included; callers that must skip the vertex itself
-    filter it out.
+    filter it out.  Frozen (tuple of tuples): the cache is shared.
     """
     return grid.interaction_offsets(radius)
 

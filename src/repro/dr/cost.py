@@ -21,8 +21,9 @@ delegate), so legacy and flat-index searches produce bit-identical costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.accel import get_numpy
 from repro.geometry import GridPoint
 from repro.gr.guide import GuideSet
 from repro.grid import ALL_DIRECTIONS, DIRECTION_INDEX, Direction, RoutingGrid
@@ -79,6 +80,16 @@ class CostModel:
         # Per-net memo of the out-of-guide penalty per flat index.  Guides
         # are immutable once built, so entries never invalidate.
         self._guide_memos: Dict[str, Dict[int, float]] = {}
+        # Per-net flat guide-penalty tables, computed eagerly from the guide
+        # rectangles; the buffer-protocol expand callbacks index these
+        # instead of hashing a dict per successor.  Entries never
+        # invalidate either.  All unguided nets share one all-zero table
+        # (read-only by contract), so only guided nets pay O(V) memory.
+        self._guide_tables: Dict[str, List[float]] = {}
+        self._unguided_table: Optional[List[float]] = None
+        # Cached grid-axis -> gcell-axis run decomposition (see
+        # :meth:`_gcell_axis_runs`).
+        self._gcell_runs: Optional[Tuple[Dict[int, Tuple[int, int]], Dict[int, Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------
     # Flat-index query surface (search hot path)
@@ -119,6 +130,135 @@ class CostModel:
             memo = {}
             self._guide_memos[net_name] = memo
         return memo
+
+    def _gcell_axis_runs(
+        self,
+    ) -> Tuple[Dict[int, Tuple[int, int]], Dict[int, Tuple[int, int]]]:
+        """Return ``(col runs by gx, row runs by gy)`` for the guide gcells.
+
+        Each run is the contiguous ``(lo, hi)`` range of grid columns/rows
+        whose physical track coordinate maps into that gcell column/row --
+        computed through :meth:`GCellGrid.cell_of_point`'s exact clamped
+        arithmetic (the axes are independent), so table entries agree
+        bitwise with per-point ``covers_point`` queries.
+        """
+        if self._gcell_runs is not None:
+            return self._gcell_runs
+        gcells = self.guides.gcell_grid
+        grid = self.grid
+        size = gcells.gcell_size
+
+        def axis_runs(count: int, grid_origin: int, gcell_origin: int, limit: int):
+            runs: Dict[int, Tuple[int, int]] = {}
+            for ordinal in range(count):
+                coordinate = grid_origin + ordinal * grid.pitch
+                bucket = min(max((coordinate - gcell_origin) // size, 0), limit - 1)
+                lo, _hi = runs.get(bucket, (ordinal, ordinal))
+                runs[bucket] = (lo, ordinal)
+            return runs
+
+        self._gcell_runs = (
+            axis_runs(grid.num_cols, grid.origin.x, gcells.origin.x, gcells.num_gx),
+            axis_runs(grid.num_rows, grid.origin.y, gcells.origin.y, gcells.num_gy),
+        )
+        return self._gcell_runs
+
+    def guide_penalty_table(self, net_name: str) -> List[float]:
+        """Return the per-net flat ``index -> out-of-guide penalty`` table.
+
+        Built once per net directly from the guide's gcells -- every vertex
+        inside a guide cell is zeroed with slice assignments, everything
+        else keeps the out-of-guide penalty -- and cached for the life of
+        the model, since a net's guide region never changes.  A plain list
+        indexed by flat vertex index, so the expand hot path pays one list
+        read per step with no dict hash and no geometry work.
+        """
+        table = self._guide_tables.get(net_name)
+        if table is not None:
+            return table
+        grid = self.grid
+        num_vertices = grid.num_vertices
+        guide = self.guides.guide_of(net_name) if self.guides is not None else None
+        if guide is None or not guide.cells:
+            # Unguided nets are everywhere in-guide (no penalty); they all
+            # share one zero table since callers only read it.
+            if self._unguided_table is None:
+                self._unguided_table = [0.0] * num_vertices
+            return self._unguided_table
+        table = [self.rules.out_of_guide_penalty] * num_vertices
+        col_runs, row_runs = self._gcell_axis_runs()
+        cols, rows = grid.num_cols, grid.num_rows
+        num_layers = grid.num_layers
+        zero_rows: Dict[int, List[float]] = {}
+        for cell in guide.cells:
+            if not 0 <= cell.layer < num_layers:
+                continue
+            col_span = col_runs.get(cell.gx)
+            row_span = row_runs.get(cell.gy)
+            if col_span is None or row_span is None:
+                continue
+            row_lo, row_hi = row_span
+            span = row_hi - row_lo + 1
+            zeros = zero_rows.get(span)
+            if zeros is None:
+                zeros = [0.0] * span
+                zero_rows[span] = zeros
+            layer_base = cell.layer * cols
+            for col in range(col_span[0], col_span[1] + 1):
+                base = (layer_base + col) * rows + row_lo
+                table[base : base + span] = zeros
+        self._guide_tables[net_name] = table
+        return table
+
+    def congestion_snapshot(self, net_id: int) -> Optional[List[float]]:
+        """Return per-vertex congestion (history + foreign-occupancy) costs.
+
+        A vectorised per-search hoist of the ``history_weight * history +
+        occupancy_penalty`` arithmetic every expand callback performs per
+        successor: grid state is frozen for the duration of one search, so
+        the whole map can be computed once up front.  The element-wise
+        operations (one multiply, one conditional add) match the scalar
+        fallback exactly, keeping costs bit-identical.
+
+        Returns ``None`` when numpy acceleration is off -- callers then keep
+        the per-successor buffer reads (same arithmetic, lazily).
+        """
+        np = get_numpy()
+        if np is None:
+            return None
+        grid = self.grid
+        history = np.frombuffer(grid.history_buffer())
+        owner = np.frombuffer(grid.owner_buffer(), dtype=np.intc)
+        congestion = self.rules.history_weight * history
+        congestion[(owner != 0) & (owner != net_id)] += self.rules.occupancy_penalty
+        return congestion.tolist()
+
+    def color_pressure_snapshot(self, net_id: int) -> Optional[List[float]]:
+        """Return the ``gamma``-weighted color pressure map for *net_id*.
+
+        Flat list of ``3 * num_vertices`` entries (3 masks per vertex):
+        ``gamma * max(pressure - own_contribution, 0)``, the exact per-mask
+        conflict term the color-state and DAC-2012 expands evaluate per
+        successor.  The bulk of the map is one vectorised multiply; the
+        sparse per-net overlay corrections reuse the scalar expression of
+        :meth:`RoutingGrid.color_costs_index` verbatim, so every entry is
+        bit-identical to the lazy path.
+
+        Returns ``None`` when numpy acceleration is off.
+        """
+        np = get_numpy()
+        if np is None:
+            return None
+        grid = self.grid
+        pressure = grid.pressure_buffer()
+        gamma = self.rules.gamma
+        weighted = gamma * np.frombuffer(pressure)
+        for index, own in grid.net_pressure_overlay(net_id).items():
+            base = 3 * index
+            weighted[base] = gamma * max(pressure[base] - own[0], 0.0)
+            weighted[base + 1] = gamma * max(pressure[base + 1] - own[1], 0.0)
+            weighted[base + 2] = gamma * max(pressure[base + 2] - own[2], 0.0)
+        return weighted.tolist()
 
     def out_of_guide_cost_index(self, index: int, net_name: str) -> float:
         """Compute (uncached) the out-of-guide penalty at flat *index*."""

@@ -167,7 +167,9 @@ class MazeRouter:
 
         expand = make_traditional_expand(grid, self.cost_model, net_name, net_id)
         self.core.max_expansions = self.max_expansions
-        core = self.core.run(seeds, target_nodes, expand, bounds=bounds, accept=accept)
+        core = self.core.run(
+            seeds, target_nodes, expand, bounds=bounds, accept=accept, buffered=True
+        )
         return SearchResult(core=core, grid=grid)
 
 
@@ -176,34 +178,76 @@ def make_traditional_expand(
     cost_model: CostModel,
     net_name: str,
     net_id: int,
-) -> Callable[[int, float, int], List[Tuple[int, float, int]]]:
-    """Return the ``Cost_trad`` expansion callback over flat indices.
+) -> Callable[[int, float, int, List[int], List[float], List[int]], int]:
+    """Return the ``Cost_trad`` buffered expansion callback over flat indices.
 
     One step costs ``alpha * ((base + congestion) + guide)`` exactly as
     :meth:`CostModel.step_cost_index` computes it (same operation order, so
-    flat and legacy searches agree bitwise); the loop body reads only the
-    grid's flat buffers.  Shared by the maze adapter and (with the color
-    terms layered on top) the color-state / DAC-2012 adapters' structure.
+    flat and legacy searches agree bitwise).  Successors are written into
+    the caller's preallocated buffers (the :class:`~repro.search.SearchCore`
+    buffered protocol) -- the hot loop allocates nothing.  With numpy
+    acceleration on, the per-successor congestion reads are hoisted into a
+    per-search :meth:`CostModel.congestion_snapshot`; the guide penalty
+    always comes from the per-net flat table (lazily filled).  Shared by
+    the maze adapter and (with the color terms layered on top) the
+    color-state / DAC-2012 adapters.
     """
     neighbor_table = grid.neighbor_table()
     blocked = grid.blocked_buffer()
-    history = grid.history_buffer()
-    owner = grid.owner_buffer()
     base_costs = cost_model.base_cost_table()
     rules = grid.rules
     alpha = rules.alpha
+    plane = grid.plane_size
+    # All-zero for unguided nets, so the hot loop adds unconditionally
+    # (bitwise identical to the legacy ``step + 0.0``).
+    guide_table = cost_model.guide_penalty_table(net_name)
+    congestion_table = cost_model.congestion_snapshot(net_id)
+
+    if congestion_table is not None:
+
+        def expand(
+            node: int,
+            g: float,
+            _aux: int,
+            out_node: List[int],
+            out_cost: List[float],
+            out_aux: List[int],
+        ) -> int:
+            base_row = base_costs[node // plane]
+            slot = node * NUM_DIRECTIONS
+            count = 0
+            for direction in range(NUM_DIRECTIONS):
+                succ = neighbor_table[slot + direction]
+                if succ < 0 or blocked[succ]:
+                    continue
+                step = base_row[direction] + congestion_table[succ]
+                step = step + guide_table[succ]
+                out_node[count] = succ
+                out_cost[count] = g + alpha * step
+                out_aux[count] = 0
+                count += 1
+            return count
+
+        return expand
+
+    # Pure-Python fallback: per-successor congestion reads from the live
+    # buffers (identical arithmetic to the snapshot, evaluated lazily).
+    history = grid.history_buffer()
+    owner = grid.owner_buffer()
     history_weight = rules.history_weight
     occupancy_penalty = rules.occupancy_penalty
-    plane = grid.plane_size
-    has_guides = cost_model.guides is not None
-    guide_memo = cost_model.guide_memo(net_name) if has_guides else {}
-    memo_get = guide_memo.get
-    uncached_guide = cost_model.out_of_guide_cost_index
 
-    def expand(node: int, g: float, _aux: int) -> List[Tuple[int, float, int]]:
+    def expand(
+        node: int,
+        g: float,
+        _aux: int,
+        out_node: List[int],
+        out_cost: List[float],
+        out_aux: List[int],
+    ) -> int:
         base_row = base_costs[node // plane]
         slot = node * NUM_DIRECTIONS
-        out: List[Tuple[int, float, int]] = []
+        count = 0
         for direction in range(NUM_DIRECTIONS):
             succ = neighbor_table[slot + direction]
             if succ < 0 or blocked[succ]:
@@ -213,15 +257,11 @@ def make_traditional_expand(
             if holder != 0 and holder != net_id:
                 congestion += occupancy_penalty
             step = base_row[direction] + congestion
-            if has_guides:
-                penalty = memo_get(succ)
-                if penalty is None:
-                    penalty = uncached_guide(succ, net_name)
-                    guide_memo[succ] = penalty
-                step = step + penalty
-            else:
-                step = step + 0.0
-            out.append((succ, g + alpha * step, 0))
-        return out
+            step = step + guide_table[succ]
+            out_node[count] = succ
+            out_cost[count] = g + alpha * step
+            out_aux[count] = 0
+            count += 1
+        return count
 
     return expand

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.accel import get_numpy
 from repro.design import Design
 from repro.geometry import GridPoint, Point, Rect, SpatialIndex
 from repro.tech import DesignRules, TechStack
@@ -184,14 +185,24 @@ class RoutingGrid:
         self._net_occupied: Dict[int, Set[int]] = {}
         # Indices with (potentially) non-zero history, for O(touched) decay.
         self._history_touched: Set[int] = set()
-        # Per-net pressure overlay, keyed by ``net_id * num_vertices + index``
-        # so the hot-path lookup hashes one int.  Allows excluding a net's own
-        # contribution when it is the one being routed.
-        self._net_pressure: Dict[int, List[float]] = {}
+        # Per-net pressure overlay: net id -> {index: [r, g, b]}.  Nested so
+        # a search can grab one net's whole overlay up front (the vectorised
+        # per-search pressure snapshot enumerates it), while the hot-path
+        # lookup stays one int-keyed dict get on the inner map.  Allows
+        # excluding a net's own contribution when it is the one being routed.
+        self._net_pressure: Dict[int, Dict[int, List[float]]] = {}
         # Per-net colored vertices: net id -> {index: color}.
         self._net_colored_vertices: Dict[int, Dict[int, int]] = {}
-        # Interaction offsets precomputed per radius (pressure, checkers).
-        self._interaction_offsets_cache: Dict[int, List[Tuple[int, int, int]]] = {}
+        # Interaction offsets precomputed per radius (pressure, checkers),
+        # frozen to tuples so no caller can corrupt the shared cache.
+        self._interaction_offsets_cache: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        # Per-radius block half-width when the offsets form a full square
+        # (they do for the L-infinity spacing predicate); lets the numpy
+        # pressure kernel use strided-slice adds instead of offset loops.
+        self._block_reach_cache: Dict[int, Optional[int]] = {}
+        # Cached numpy view over the live pressure buffer, invalidated when
+        # the buffer object is replaced (reset_routing_state).
+        self._pressure_np_view: Optional[Tuple[object, object]] = None
 
         # Precomputed neighbour table, built lazily on first use (grids are
         # also constructed by code that never searches them).
@@ -534,7 +545,7 @@ class RoutingGrid:
     # Incremental color pressure
     # ------------------------------------------------------------------
 
-    def interaction_offsets(self, radius: int) -> List[Tuple[int, int, int]]:
+    def interaction_offsets(self, radius: int) -> Tuple[Tuple[int, int, int], ...]:
         """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
 
         Two same-layer vertices interact when the spacing between their metal
@@ -544,7 +555,8 @@ class RoutingGrid:
         :mod:`repro.check`.  ``(0, 0, 0)`` is included; callers that must
         skip the vertex itself filter it out.  The flat delta
         (``dcol * num_rows + drow``) spares the consumers a re-encode.
-        Precomputed once per radius.
+        Precomputed once per radius and frozen to a tuple of tuples: the
+        cache is shared between every consumer, so it must be immutable.
         """
         cached = self._interaction_offsets_cache.get(radius)
         if cached is not None:
@@ -563,26 +575,102 @@ class RoutingGrid:
                 )
                 if base.distance_to(other) < radius:
                     offsets.append((dcol, drow, dcol * self.num_rows + drow))
-        self._interaction_offsets_cache[radius] = offsets
-        return offsets
+        frozen = tuple(offsets)
+        self._interaction_offsets_cache[radius] = frozen
+        return frozen
 
-    def _pressure_offsets(self, layer: int) -> List[Tuple[int, int, int]]:
+    def _pressure_offsets(self, layer: int) -> Tuple[Tuple[int, int, int], ...]:
         """Return the offsets interacting at *layer*'s color spacing ``Dcolor``."""
         return self.interaction_offsets(self.rules.color_spacing_on(layer))
+
+    def _interaction_block_reach(self, radius: int) -> Optional[int]:
+        """Return the half-width R when the *radius* offsets form a full
+        ``(2R+1) x (2R+1)`` square, else ``None``.
+
+        The L-infinity spacing predicate is separable per axis, so the
+        interacting offsets always form a square block in practice; the
+        numpy pressure kernel relies on that to replace the offset loop
+        with one strided-slice add, and this validation keeps the fallback
+        loop authoritative should the predicate ever change shape.
+        """
+        if radius in self._block_reach_cache:
+            return self._block_reach_cache[radius]
+        offsets = self.interaction_offsets(radius)
+        reach = max(dcol for dcol, _drow, _delta in offsets)
+        square = {
+            (dcol, drow)
+            for dcol in range(-reach, reach + 1)
+            for drow in range(-reach, reach + 1)
+        }
+        value: Optional[int] = reach
+        if {(dcol, drow) for dcol, drow, _delta in offsets} != square:
+            value = None
+        self._block_reach_cache[radius] = value
+        return value
+
+    def _pressure_view(self, np: object) -> object:
+        """Return the cached 4-D numpy view ``[layer, col, row, mask]`` over
+        the live pressure buffer, rebuilt when the buffer is replaced."""
+        cached = self._pressure_np_view
+        if cached is not None and cached[0] is self._pressure_buf:
+            return cached[1]
+        view = np.frombuffer(self._pressure_buf).reshape(
+            self.num_layers, self.num_cols, self.num_rows, 3
+        )
+        self._pressure_np_view = (self._pressure_buf, view)
+        return view
+
+    def _net_overlay(self, net_id: int) -> Dict[int, List[float]]:
+        """Return (creating if needed) the mutable overlay map of *net_id*."""
+        overlay = self._net_pressure.get(net_id)
+        if overlay is None:
+            overlay = {}
+            self._net_pressure[net_id] = overlay
+        return overlay
 
     def _add_vertex_pressure_index(
         self, index: int, net_id: int, color: int, sign: float
     ) -> None:
-        """Add (or remove, with ``sign=-1``) the pressure of one colored vertex."""
+        """Add (or remove, with ``sign=-1``) the pressure of one colored vertex.
+
+        The shared pressure map is updated with a numpy strided-slice add
+        over the ``Dcolor`` block when acceleration is on; the pure-Python
+        offset loop below is the fallback and the differential oracle (both
+        perform one identical IEEE add per in-bounds block vertex, so the
+        resulting maps are bit-identical).
+        """
         layer, rem = divmod(index, self.plane_size)
         if not self.tech.layers[layer].tpl:
             return
         col, row = divmod(rem, self.num_rows)
         cols, rows = self.num_cols, self.num_rows
         amount = sign * self.rules.conflict_cost
+        overlay = self._net_overlay(net_id)
+        np = get_numpy()
+        reach = (
+            self._interaction_block_reach(self.rules.color_spacing_on(layer))
+            if np is not None
+            else None
+        )
+        if reach is not None:
+            col_lo = col - reach if col >= reach else 0
+            col_hi = min(col + reach, cols - 1)
+            row_lo = row - reach if row >= reach else 0
+            row_hi = min(row + reach, rows - 1)
+            view = self._pressure_view(np)
+            view[layer, col_lo : col_hi + 1, row_lo : row_hi + 1, color] += amount
+            # The per-net overlay is a sparse dict; update it per block
+            # vertex (the block is small: (2R+1)^2 entries at most).
+            for target_col in range(col_lo, col_hi + 1):
+                base = (layer * cols + target_col) * rows
+                for target in range(base + row_lo, base + row_hi + 1):
+                    own = overlay.get(target)
+                    if own is None:
+                        own = [0.0, 0.0, 0.0]
+                        overlay[target] = own
+                    own[color] += amount
+            return
         pressure = self._pressure_buf
-        net_pressure = self._net_pressure
-        key_base = net_id * self.num_vertices
         for dcol, drow, delta in self._pressure_offsets(layer):
             target_col = col + dcol
             target_row = row + drow
@@ -590,26 +678,24 @@ class RoutingGrid:
                 continue
             target = index + delta
             pressure[3 * target + color] += amount
-            key = key_base + target
-            own = net_pressure.get(key)
+            own = overlay.get(target)
             if own is None:
                 own = [0.0, 0.0, 0.0]
-                net_pressure[key] = own
+                overlay[target] = own
             own[color] += amount
 
     def _add_rect_pressure(self, layer: int, rect: Rect, net_name: str, color: int) -> None:
         """Spread the pressure of a colored rectangle (fixed obstacle) on *layer*."""
         if not (0 <= color <= 2) or not self.tech.layers[layer].tpl:
             return
-        net_id = self.net_id(net_name)
-        key_base = net_id * self.num_vertices
+        overlay = self._net_overlay(self.net_id(net_name))
         dcolor = self.rules.color_spacing_on(layer)
         region = rect.expanded(dcolor + self.pitch)
         for vertex in self.vertices_covering(layer, region):
             if self.vertex_rect(vertex).distance_to(rect) < dcolor:
                 index = self.index_of(vertex)
                 self._pressure_buf[3 * index + color] += self.rules.conflict_cost
-                own = self._net_pressure.setdefault(key_base + index, [0.0, 0.0, 0.0])
+                own = overlay.setdefault(index, [0.0, 0.0, 0.0])
                 own[color] += self.rules.conflict_cost
 
     # ------------------------------------------------------------------
@@ -829,7 +915,8 @@ class RoutingGrid:
         """Index/net-id variant of :meth:`color_costs` (hot path)."""
         base = 3 * index
         pressure = self._pressure_buf
-        own = self._net_pressure.get(net_id * self.num_vertices + index)
+        overlay = self._net_pressure.get(net_id)
+        own = overlay.get(index) if overlay else None
         if own is None:
             return [pressure[base], pressure[base + 1], pressure[base + 2]]
         return [
@@ -842,13 +929,14 @@ class RoutingGrid:
         """Return the live color-pressure buffer (3 doubles per vertex)."""
         return self._pressure_buf
 
-    def net_pressure_overlay(self) -> Dict[int, List[float]]:
-        """Return the per-net pressure overlay keyed ``net_id * V + index``.
+    def net_pressure_overlay(self, net_id: int) -> Dict[int, List[float]]:
+        """Return *net_id*'s pressure overlay map (``index -> [r, g, b]``).
 
-        Read-only use by search engines; maintained by
-        :meth:`set_vertex_color` / :meth:`release_net`.
+        Read-only use by search engines (the per-search color-pressure
+        snapshot enumerates it); maintained by :meth:`set_vertex_color` /
+        :meth:`release_net`.  Returns an empty map for nets without one.
         """
-        return self._net_pressure
+        return self._net_pressure.get(net_id) or {}
 
     # ------------------------------------------------------------------
     # History cost (negotiated congestion)
@@ -904,6 +992,7 @@ class RoutingGrid:
         self._color_buf = bytearray(num_vertices)
         self._history_buf = array("d", [0.0]) * num_vertices
         self._pressure_buf = array("d", [0.0, 0.0, 0.0]) * num_vertices
+        self._pressure_np_view = None
         self._multi_owners.clear()
         self._net_occupied.clear()
         self._history_touched.clear()

@@ -10,11 +10,18 @@ implementations of the three searches (the seed architecture) for parity
 testing and the engine micro-benchmarks; production routers never use them.
 """
 
-from repro.search.core import IMPROVE_EPS, TIE_EPS, CoreResult, SearchCore
+from repro.search.core import (
+    IMPROVE_EPS,
+    SUCC_CAPACITY,
+    TIE_EPS,
+    CoreResult,
+    SearchCore,
+)
 
 __all__ = [
     "SearchCore",
     "CoreResult",
     "IMPROVE_EPS",
+    "SUCC_CAPACITY",
     "TIE_EPS",
 ]

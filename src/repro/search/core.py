@@ -13,11 +13,34 @@ Dijkstra/A* over the routing grid -- and differ only in their *label*:
 :class:`SearchCore` owns the one queue/relaxation loop all of them share.
 Nodes are plain ints (flat grid indices, optionally mask-expanded with a
 *stride*), labels are ``(cost, aux)`` where ``aux`` is an engine-specific
-small int (a color-state bitmask, or 0 when unused).  Engines supply an
-``expand(node, cost, aux)`` callback producing successor labels; the core
-handles seeding, the A* bounding-box heuristic, deterministic tie-breaking,
-stale-entry skipping, equal-cost aux merging with re-expansion, target
-acceptance and backtracing.
+small int (a color-state bitmask, or 0 when unused).
+
+Label storage (zero-allocation hot path)
+----------------------------------------
+
+Labels live in preallocated flat buffers owned by the core -- ``array('d')``
+cost, ``array('i')`` aux/parent -- validated by an ``array('q')`` epoch
+stamp: a label is live only while its stamp equals the current run's epoch,
+so the buffers are reused across runs without clearing.  Per relaxation the
+loop performs array reads/writes only; no dict hashing, no per-run maps.
+The returned :class:`CoreResult` views the live buffers; starting the next
+run on the same core snapshots (C-level ``array`` slice copies) any previous
+result still referenced, so late inspection (tests, debugging) stays
+correct while the common drop-after-backtrace pattern costs nothing.
+
+Expand protocols
+----------------
+
+Engines supply an expansion callback.  The **buffered protocol** (all
+production adapters) writes successors into preallocated output buffers and
+returns a count::
+
+    count = expand(node, cost, aux, succ_node, succ_cost, succ_aux)
+
+eliminating the per-expansion tuple-list allocation of the legacy protocol,
+which is kept as a compatibility path (``buffered=False``): ``expand(node,
+cost, aux)`` yielding ``(successor, new_cost, new_aux)`` tuples, as the
+:mod:`repro.search.legacy` parity harnesses and external callers used.
 
 The loop uses :mod:`heapq` with lazy deletion and a monotone push counter,
 which reproduces the pop order of the repo's ``UpdatablePriorityQueue``
@@ -28,8 +51,12 @@ engines in :mod:`repro.search.legacy` yield bit-identical results.
 
 from __future__ import annotations
 
+import weakref
+from array import array
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.accel import get_numpy
 
 if TYPE_CHECKING:  # imported lazily to keep this module dependency-free
     from repro.dr.cost import CostModel, TargetBounds
@@ -42,30 +69,87 @@ IMPROVE_EPS = 1e-12
 #: seed color-state search's ``_COST_TOLERANCE``.
 TIE_EPS = 1e-9
 
+#: Capacity of the preallocated successor buffers handed to buffered expand
+#: callbacks.  The densest expansion is the DAC-2012 mask-expanded graph
+#: (2 mask switches + 6 moves = 8 successors); 32 leaves generous headroom.
+SUCC_CAPACITY = 32
+
 
 class CoreResult:
-    """Raw outcome of one :meth:`SearchCore.run` call (int-node space)."""
+    """Raw outcome of one :meth:`SearchCore.run` call (int-node space).
 
-    __slots__ = ("reached", "cost", "aux", "parent", "expansions")
+    Views the core's live label buffers; the owning core snapshots the
+    buffers into this result (cheap ``array`` slice copies) before reusing
+    them for a subsequent run, so the result stays valid indefinitely.  The
+    legacy dict views (:attr:`cost` / :attr:`aux` / :attr:`parent`) are
+    materialised on first access by scanning the epoch stamps.
+    """
+
+    __slots__ = (
+        "reached",
+        "expansions",
+        "_cost_buf",
+        "_aux_buf",
+        "_parent_buf",
+        "_stamp_buf",
+        "_epoch",
+        "_cost_map",
+        "_aux_map",
+        "_parent_map",
+        "_detached",
+        "__weakref__",
+    )
 
     def __init__(
         self,
         reached: int,
-        cost: Dict[int, float],
-        aux: Dict[int, int],
-        parent: Dict[int, int],
         expansions: int,
+        cost_buf: array,
+        aux_buf: array,
+        parent_buf: array,
+        stamp_buf: array,
+        epoch: int,
     ) -> None:
         self.reached = reached  #: reached node, or -1 when the search failed
-        self.cost = cost        #: node -> best cost
-        self.aux = aux          #: node -> aux bits (engine-specific)
-        self.parent = parent    #: node -> predecessor node (-1 for seeds)
         self.expansions = expansions
+        self._cost_buf = cost_buf
+        self._aux_buf = aux_buf
+        self._parent_buf = parent_buf
+        self._stamp_buf = stamp_buf
+        self._epoch = epoch
+        self._cost_map: Optional[Dict[int, float]] = None
+        self._aux_map: Optional[Dict[int, int]] = None
+        self._parent_map: Optional[Dict[int, int]] = None
+        self._detached = False
 
     @property
     def found(self) -> bool:
         """Return ``True`` when a target node was reached."""
         return self.reached >= 0
+
+    def _detach(self) -> None:
+        """Snapshot the shared buffers before the owning core reuses them."""
+        if self._detached:
+            return
+        self._cost_buf = self._cost_buf[:]
+        self._aux_buf = self._aux_buf[:]
+        self._parent_buf = self._parent_buf[:]
+        self._stamp_buf = self._stamp_buf[:]
+        self._detached = True
+
+    # -- per-node accessors (hot consumers: backtrace, color_state_of) ----
+
+    def cost_at(self, node: int) -> float:
+        """Return the best cost labelled at *node* (must be labelled)."""
+        return self._cost_buf[node]
+
+    def aux_at(self, node: int) -> int:
+        """Return the aux bits labelled at *node* (must be labelled)."""
+        return self._aux_buf[node]
+
+    def is_labelled(self, node: int) -> bool:
+        """Return ``True`` when *node* received a label during the run."""
+        return self._stamp_buf[node] == self._epoch
 
     def node_path(self, node: Optional[int] = None) -> List[int]:
         """Return the node path from *node* (default: reached) back to a seed.
@@ -77,12 +161,46 @@ class CoreResult:
             node = self.reached
         if node < 0:
             raise ValueError("cannot backtrace a failed search")
+        parent = self._parent_buf
         path: List[int] = []
         cursor = node
         while cursor >= 0:
             path.append(cursor)
-            cursor = self.parent[cursor]
+            cursor = parent[cursor]
         return path
+
+    # -- dict views (legacy compatibility surface; built on demand) -------
+
+    def _labelled_nodes(self) -> List[int]:
+        stamp, epoch = self._stamp_buf, self._epoch
+        np = get_numpy()
+        if np is not None:
+            return np.flatnonzero(np.frombuffer(stamp, dtype=np.int64) == epoch).tolist()
+        return [node for node, mark in enumerate(stamp) if mark == epoch]
+
+    @property
+    def cost(self) -> Dict[int, float]:
+        """Return the ``node -> best cost`` map (materialised on demand)."""
+        if self._cost_map is None:
+            buf = self._cost_buf
+            self._cost_map = {node: buf[node] for node in self._labelled_nodes()}
+        return self._cost_map
+
+    @property
+    def aux(self) -> Dict[int, int]:
+        """Return the ``node -> aux bits`` map (materialised on demand)."""
+        if self._aux_map is None:
+            buf = self._aux_buf
+            self._aux_map = {node: buf[node] for node in self._labelled_nodes()}
+        return self._aux_map
+
+    @property
+    def parent(self) -> Dict[int, int]:
+        """Return the ``node -> predecessor`` map (``-1`` for seeds)."""
+        if self._parent_map is None:
+            buf = self._parent_buf
+            self._parent_map = {node: buf[node] for node in self._labelled_nodes()}
+        return self._parent_map
 
 
 class SearchCore:
@@ -108,18 +226,87 @@ class SearchCore:
         self.grid = grid
         self.cost_model = cost_model
         self.max_expansions = max_expansions
+        # Flat label buffers, allocated on first run and reused (epoch-
+        # validated) ever after; capacity grows with the node stride.
+        self._capacity = 0
+        self._cost_buf: Optional[array] = None
+        self._aux_buf: Optional[array] = None
+        self._parent_buf: Optional[array] = None
+        self._stamp_buf: Optional[array] = None
+        # "Expanded with label" tracking, epoch-stamped like the labels.
+        self._exp_cost_buf: Optional[array] = None
+        self._exp_aux_buf: Optional[array] = None
+        self._exp_stamp_buf: Optional[array] = None
+        self._epoch = 0
+        # Successor output buffers shared with buffered expand callbacks.
+        self._succ_node: List[int] = [0] * SUCC_CAPACITY
+        self._succ_cost: List[float] = [0.0] * SUCC_CAPACITY
+        self._succ_aux: List[int] = [0] * SUCC_CAPACITY
+        # The previous run's (possibly still referenced) result: snapshot it
+        # before its buffers are overwritten.
+        self._last_result: Optional[weakref.ref] = None
+        # Cached per-vertex coordinate arrays for the vectorised heuristic.
+        self._coord_cache: Optional[Tuple[object, object, object]] = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_buffers(self, num_nodes: int) -> None:
+        if num_nodes <= self._capacity:
+            return
+        self._capacity = num_nodes
+        self._cost_buf = array("d", [0.0]) * num_nodes
+        self._aux_buf = array("i", [0]) * num_nodes
+        self._parent_buf = array("i", [-1]) * num_nodes
+        self._stamp_buf = array("q", [0]) * num_nodes
+        self._exp_cost_buf = array("d", [0.0]) * num_nodes
+        self._exp_aux_buf = array("i", [0]) * num_nodes
+        self._exp_stamp_buf = array("q", [0]) * num_nodes
+
+    def _heuristic_table(
+        self, bounds: "TargetBounds", node_stride: int
+    ) -> Optional[List[float]]:
+        """Return per-node A* lower bounds as a flat list, or ``None``.
+
+        Vectorised per-run hoist of the inline heuristic: the bounding box
+        changes per search, but the per-vertex coordinate decomposition is
+        fixed, so one numpy pass produces every node's ``h`` value with the
+        exact scalar arithmetic (``alpha * (planar + dlayer * via_cost)``).
+        """
+        np = get_numpy()
+        if np is None:
+            return None
+        grid = self.grid
+        if self._coord_cache is None:
+            indices = np.arange(grid.num_vertices)
+            layer, rem = np.divmod(indices, grid.plane_size)
+            col, row = np.divmod(rem, grid.num_rows)
+            self._coord_cache = (layer, col, row)
+        layer, col, row = self._coord_cache
+        zero = 0
+        dcol = np.maximum(np.maximum(bounds.min_col - col, zero), col - bounds.max_col)
+        drow = np.maximum(np.maximum(bounds.min_row - row, zero), row - bounds.max_row)
+        dlayer = np.maximum(
+            np.maximum(bounds.min_layer - layer, zero), layer - bounds.max_layer
+        )
+        rules = self.grid.rules
+        heights = (dcol + drow).astype(float) + dlayer.astype(float) * rules.via_cost
+        table = rules.alpha * heights
+        if node_stride != 1:
+            table = np.repeat(table, node_stride)
+        return table.tolist()
 
     def run(
         self,
         seeds: Iterable[Tuple[int, int]],
         targets: "set[int]",
-        expand: Callable[[int, float, int], Iterable[Tuple[int, float, int]]],
+        expand: Callable[..., object],
         bounds: Optional[TargetBounds] = None,
         node_stride: int = 1,
         merge_aux: bool = False,
         improve_eps: float = IMPROVE_EPS,
         tie_eps: float = TIE_EPS,
         accept: Optional[Callable[[int], bool]] = None,
+        buffered: bool = False,
     ) -> CoreResult:
         """Run one multi-source search.
 
@@ -131,9 +318,13 @@ class SearchCore:
         targets:
             Node set whose first accepted pop ends the search.
         expand:
-            ``expand(node, cost, aux)`` yielding ``(successor, new_cost,
-            new_aux)`` tuples; successors must be valid (in-bounds,
-            unblocked) nodes.
+            The expansion callback.  With ``buffered=True`` (the production
+            protocol): ``expand(node, cost, aux, succ_node, succ_cost,
+            succ_aux) -> count`` filling the three preallocated output
+            buffers (capacity :data:`SUCC_CAPACITY`).  With the default
+            compatibility protocol: ``expand(node, cost, aux)`` yielding
+            ``(successor, new_cost, new_aux)`` tuples.  Successors must be
+            valid (in-bounds, unblocked) nodes either way.
         bounds:
             Target bounding box for the admissible A* lower bound (grid
             coordinates); ``None`` disables the heuristic.
@@ -151,15 +342,39 @@ class SearchCore:
         accept:
             Optional extra predicate a popped target must satisfy (e.g. the
             maze router's occupied-target rule).
+        buffered:
+            Selects the expand protocol (see *expand*).
         """
-        grid = self.grid
-        rules = grid.rules
-        alpha = rules.alpha
-        via_cost = rules.via_cost
-        rows = grid.num_rows
-        plane = grid.plane_size
+        previous = self._last_result() if self._last_result is not None else None
+        if previous is not None:
+            previous._detach()
 
+        grid = self.grid
+        self._ensure_buffers(grid.num_vertices * node_stride)
+        self._epoch += 1
+        epoch = self._epoch
+        cost = self._cost_buf
+        aux = self._aux_buf
+        parent = self._parent_buf
+        stamp = self._stamp_buf
+        exp_cost = self._exp_cost_buf
+        exp_aux = self._exp_aux_buf
+        exp_stamp = self._exp_stamp_buf
+        succ_node = self._succ_node
+        succ_cost = self._succ_cost
+        succ_aux = self._succ_aux
+
+        heur_table: Optional[List[float]] = None
         if bounds is not None:
+            heur_table = self._heuristic_table(bounds, node_stride)
+        if heur_table is not None:
+            heur = heur_table.__getitem__
+        elif bounds is not None:
+            rules = grid.rules
+            alpha = rules.alpha
+            via_cost = rules.via_cost
+            rows = grid.num_rows
+            plane = grid.plane_size
             min_layer, max_layer = bounds.min_layer, bounds.max_layer
             min_col, max_col = bounds.min_col, bounds.max_col
             min_row, max_row = bounds.min_row, bounds.max_row
@@ -178,15 +393,11 @@ class SearchCore:
 
         heap: List[Tuple[float, int, int, float]] = []  # (f, counter, node, g)
         counter = 0
-        cost: Dict[int, float] = {}
-        aux: Dict[int, int] = {}
-        parent: Dict[int, int] = {}
-        expanded: Dict[int, Tuple[float, int]] = {}
-
         for node, node_aux in seeds:
             cost[node] = 0.0
             aux[node] = node_aux
             parent[node] = -1
+            stamp[node] = epoch
             heappush(heap, (heur(node), counter, node, 0.0))
             counter += 1
 
@@ -199,38 +410,86 @@ class SearchCore:
             if g_pushed - g_cur > improve_eps:
                 continue  # stale entry superseded by a strict improvement
             a_cur = aux[node]
-            label = (g_cur, a_cur)
-            if expanded.get(node) == label:
+            if (
+                exp_stamp[node] == epoch
+                and exp_cost[node] == g_cur
+                and exp_aux[node] == a_cur
+            ):
                 continue  # already expanded with this exact label
-            expanded[node] = label
+            exp_stamp[node] = epoch
+            exp_cost[node] = g_cur
+            exp_aux[node] = a_cur
             expansions += 1
             if node in targets and (accept is None or accept(node)):
                 reached = node
                 break
             if expansions > max_expansions:
                 break
-            for succ, g_new, a_new in expand(node, g_cur, a_cur):
-                g_old = cost.get(succ)
-                if g_old is None or g_new < g_old - improve_eps:
-                    cost[succ] = g_new
-                    aux[succ] = a_new
-                    parent[succ] = node
-                    heappush(heap, (g_new + heur(succ), counter, succ, g_new))
-                    counter += 1
-                elif (
-                    merge_aux
-                    and g_new <= g_old + tie_eps
-                    and (a_new | aux[succ]) != aux[succ]
-                ):
-                    # Equal-cost revisit with extra mask freedom: widen the
-                    # stored color state (paper Alg. 2 merge) keeping the
-                    # established cost and parent.  If the successor was
-                    # already expanded with the narrower state, queue it
-                    # again so the widening propagates downstream; a pending
-                    # queue entry will pick the merged state up at pop time.
-                    aux[succ] |= a_new
-                    if succ in expanded:
-                        heappush(heap, (g_old + heur(succ), counter, succ, g_old))
+            if buffered:
+                count = expand(node, g_cur, a_cur, succ_node, succ_cost, succ_aux)
+                for slot in range(count):
+                    succ = succ_node[slot]
+                    g_new = succ_cost[slot]
+                    if stamp[succ] != epoch:
+                        stamp[succ] = epoch
+                        cost[succ] = g_new
+                        aux[succ] = succ_aux[slot]
+                        parent[succ] = node
+                        heappush(heap, (g_new + heur(succ), counter, succ, g_new))
                         counter += 1
+                        continue
+                    g_old = cost[succ]
+                    if g_new < g_old - improve_eps:
+                        cost[succ] = g_new
+                        aux[succ] = succ_aux[slot]
+                        parent[succ] = node
+                        heappush(heap, (g_new + heur(succ), counter, succ, g_new))
+                        counter += 1
+                    elif (
+                        merge_aux
+                        and g_new <= g_old + tie_eps
+                        and (succ_aux[slot] | aux[succ]) != aux[succ]
+                    ):
+                        # Equal-cost revisit with extra mask freedom: widen
+                        # the stored color state (paper Alg. 2 merge) keeping
+                        # the established cost and parent.  If the successor
+                        # was already expanded with the narrower state, queue
+                        # it again so the widening propagates downstream; a
+                        # pending queue entry will pick the merged state up
+                        # at pop time.
+                        aux[succ] |= succ_aux[slot]
+                        if exp_stamp[succ] == epoch:
+                            heappush(heap, (g_old + heur(succ), counter, succ, g_old))
+                            counter += 1
+            else:
+                for succ, g_new, a_new in expand(node, g_cur, a_cur):
+                    if stamp[succ] != epoch:
+                        stamp[succ] = epoch
+                        cost[succ] = g_new
+                        aux[succ] = a_new
+                        parent[succ] = node
+                        heappush(heap, (g_new + heur(succ), counter, succ, g_new))
+                        counter += 1
+                        continue
+                    g_old = cost[succ]
+                    if g_new < g_old - improve_eps:
+                        cost[succ] = g_new
+                        aux[succ] = a_new
+                        parent[succ] = node
+                        heappush(heap, (g_new + heur(succ), counter, succ, g_new))
+                        counter += 1
+                    elif (
+                        merge_aux
+                        and g_new <= g_old + tie_eps
+                        and (a_new | aux[succ]) != aux[succ]
+                    ):
+                        aux[succ] |= a_new
+                        if exp_stamp[succ] == epoch:
+                            heappush(heap, (g_old + heur(succ), counter, succ, g_old))
+                            counter += 1
 
-        return CoreResult(reached, cost, aux, parent, expansions)
+        result = CoreResult(
+            reached, expansions, cost, aux, parent, stamp, epoch
+        )
+        self._last_result = weakref.ref(result)
+        return result

@@ -219,16 +219,34 @@ class ConflictChecker:
         return None
 
     def _feature_distance(self, feature: Feature, other: Feature) -> int:
+        # Every vertex rect is the same wire-width square centred on a
+        # uniform track lattice, so the L-infinity rect gap reduces to
+        # ``max(0, chebyshev(col, row) * pitch - wire_width)`` -- the gap is
+        # monotone in the per-axis track distance, making the minimum over
+        # vertex pairs the gap of the minimum Chebyshev distance.  Pure
+        # integer arithmetic; no Rect/Interval objects on this hot path.
+        if not feature.vertices or not other.vertices:
+            return 1 << 30
+        pitch = self.grid.pitch
+        extent = 2 * max(self.rules.wire_width // 2, 0)
+        others = other.vertices
         best = None
         for vertex in feature.vertices:
-            rect = self.grid.vertex_rect(vertex)
-            for other_vertex in other.vertices:
-                distance = rect.distance_to(self.grid.vertex_rect(other_vertex))
-                if best is None or distance < best:
-                    best = distance
-                if best == 0:
-                    return 0
-        return best if best is not None else 1 << 30
+            col, row = vertex.col, vertex.row
+            for other_vertex in others:
+                dcol = col - other_vertex.col
+                if dcol < 0:
+                    dcol = -dcol
+                drow = row - other_vertex.row
+                if drow < 0:
+                    drow = -drow
+                chebyshev = dcol if dcol > drow else drow
+                if best is None or chebyshev < best:
+                    best = chebyshev
+                    if best * pitch <= extent:
+                        return 0
+        distance = best * pitch - extent
+        return distance if distance > 0 else 0
 
     def _obstacle_conflicts(self, features: Iterable[Feature]) -> List[ColorConflict]:
         conflicts: List[ColorConflict] = []

@@ -161,7 +161,7 @@ class ColorRefiner:
         route: NetRoute,
         feature: Set[GridPoint],
         colored: Dict[GridPoint, List[Tuple[str, int]]],
-        offsets_by_layer: Dict[int, List[Tuple[int, int, int]]],
+        offsets_by_layer: Dict[int, Tuple[Tuple[int, int, int], ...]],
     ) -> Tuple[Optional[int], float, float]:
         """Return ``(best alternative color, its cost, current cost)`` for *feature*."""
         anchor = next(iter(feature))

@@ -145,7 +145,7 @@ class ColorSearchResult:
     def color_state_of(self, vertex: GridPoint) -> ColorState:
         """Return the color state assigned to *vertex* during the search."""
         if self._core is not None:
-            return ColorState(self._core.aux[self._grid.index_of(vertex)])
+            return ColorState(self._core.aux_at(self._grid.index_of(vertex)))
         return self._labels[vertex].color_state
 
 
@@ -207,6 +207,7 @@ class ColorStateSearch:
             merge_aux=True,
             improve_eps=_COST_TOLERANCE,
             tie_eps=_COST_TOLERANCE,
+            buffered=True,
         )
         return ColorSearchResult(core=core, grid=grid)
 
@@ -216,14 +217,22 @@ def make_color_state_expand(
     cost_model: CostModel,
     net_name: str,
     net_id: int,
-) -> Callable[[int, float, int], List[Tuple[int, float, int]]]:
-    """Return the Alg. 2 expansion callback over flat indices.
+) -> Callable[[int, float, int, List[int], List[float], List[int]], int]:
+    """Return the Alg. 2 buffered expansion callback over flat indices.
 
     Implements Algorithm 2 lines 9-17 per direction: the 3x1 per-mask cost
     (weighted traditional cost + color conflict cost + stitch cost for masks
     outside the current state on planar moves), the minimum of which becomes
     the edge cost while the set of masks achieving it (within
     ``_COST_TOLERANCE``) becomes the successor's color-state bits.
+    Successors are written into the caller's preallocated buffers (the
+    :class:`~repro.search.SearchCore` buffered protocol).
+
+    With numpy acceleration on, the per-successor congestion and per-mask
+    pressure reads are hoisted into per-search snapshots
+    (:meth:`CostModel.congestion_snapshot` /
+    :meth:`CostModel.color_pressure_snapshot`); the fallback reads the live
+    buffers per successor with identical arithmetic.
 
     Crossing to another layer (a via) resets the mask freedom: the new
     layer's metal has no stitch relationship with the current one, so all
@@ -231,29 +240,91 @@ def make_color_state_expand(
     """
     neighbor_table = grid.neighbor_table()
     blocked = grid.blocked_buffer()
-    history = grid.history_buffer()
-    owner = grid.owner_buffer()
-    pressure = grid.pressure_buffer()
-    net_pressure_get = grid.net_pressure_overlay().get
-    overlay_base = net_id * grid.num_vertices
     base_costs = cost_model.base_cost_table()
     rules = grid.rules
     alpha = rules.alpha
     gamma = rules.gamma
-    history_weight = rules.history_weight
-    occupancy_penalty = rules.occupancy_penalty
     stitch_penalty = cost_model.stitch_cost()
     plane = grid.plane_size
-    has_guides = cost_model.guides is not None
-    guide_memo = cost_model.guide_memo(net_name) if has_guides else {}
-    memo_get = guide_memo.get
-    uncached_guide = cost_model.out_of_guide_cost_index
+    # All-zero for unguided nets, so the hot loop adds unconditionally
+    # (bitwise identical to the legacy ``step + 0.0``).
+    guide_table = cost_model.guide_penalty_table(net_name)
     tolerance = _COST_TOLERANCE
+    congestion_table = cost_model.congestion_snapshot(net_id)
+    pressure_table = (
+        cost_model.color_pressure_snapshot(net_id)
+        if congestion_table is not None
+        else None
+    )
 
-    def expand(node: int, g: float, bits: int) -> List[Tuple[int, float, int]]:
+    if pressure_table is not None:
+
+        def expand(
+            node: int,
+            g: float,
+            bits: int,
+            out_node: List[int],
+            out_cost: List[float],
+            out_aux: List[int],
+        ) -> int:
+            base_row = base_costs[node // plane]
+            slot = node * NUM_DIRECTIONS
+            count = 0
+            for direction in range(NUM_DIRECTIONS):
+                succ = neighbor_table[slot + direction]
+                if succ < 0 or blocked[succ]:
+                    continue
+                step = base_row[direction] + congestion_table[succ]
+                step = step + guide_table[succ]
+                base_step = alpha * step
+
+                pressure_slot = 3 * succ
+                cost_red = base_step + pressure_table[pressure_slot]
+                cost_green = base_step + pressure_table[pressure_slot + 1]
+                cost_blue = base_step + pressure_table[pressure_slot + 2]
+                if direction < 4:  # planar move: stitch for masks outside the state
+                    if not bits & 0b100:
+                        cost_red += stitch_penalty
+                    if not bits & 0b010:
+                        cost_green += stitch_penalty
+                    if not bits & 0b001:
+                        cost_blue += stitch_penalty
+                minimum = cost_red if cost_red <= cost_green else cost_green
+                if cost_blue < minimum:
+                    minimum = cost_blue
+                limit = minimum + tolerance
+                out_node[count] = succ
+                out_cost[count] = g + minimum
+                out_aux[count] = (
+                    (0b100 if cost_red <= limit else 0)
+                    | (0b010 if cost_green <= limit else 0)
+                    | (0b001 if cost_blue <= limit else 0)
+                )
+                count += 1
+            return count
+
+        return expand
+
+    # Pure-Python fallback: per-successor congestion / pressure reads from
+    # the live buffers (identical arithmetic to the snapshots).
+    history = grid.history_buffer()
+    owner = grid.owner_buffer()
+    pressure = grid.pressure_buffer()
+    net_pressure_get = grid.net_pressure_overlay(net_id).get
+    history_weight = rules.history_weight
+    occupancy_penalty = rules.occupancy_penalty
+
+    def expand(
+        node: int,
+        g: float,
+        bits: int,
+        out_node: List[int],
+        out_cost: List[float],
+        out_aux: List[int],
+    ) -> int:
         base_row = base_costs[node // plane]
         slot = node * NUM_DIRECTIONS
-        out: List[Tuple[int, float, int]] = []
+        count = 0
         for direction in range(NUM_DIRECTIONS):
             succ = neighbor_table[slot + direction]
             if succ < 0 or blocked[succ]:
@@ -263,18 +334,11 @@ def make_color_state_expand(
             if holder != 0 and holder != net_id:
                 congestion += occupancy_penalty
             step = base_row[direction] + congestion
-            if has_guides:
-                penalty = memo_get(succ)
-                if penalty is None:
-                    penalty = uncached_guide(succ, net_name)
-                    guide_memo[succ] = penalty
-                step = step + penalty
-            else:
-                step = step + 0.0
+            step = step + guide_table[succ]
             base_step = alpha * step
 
             pressure_slot = 3 * succ
-            own = net_pressure_get(overlay_base + succ)
+            own = net_pressure_get(succ)
             if own is None:
                 cost_red = base_step + gamma * pressure[pressure_slot]
                 cost_green = base_step + gamma * pressure[pressure_slot + 1]
@@ -294,12 +358,14 @@ def make_color_state_expand(
             if cost_blue < minimum:
                 minimum = cost_blue
             limit = minimum + tolerance
-            new_bits = (
+            out_node[count] = succ
+            out_cost[count] = g + minimum
+            out_aux[count] = (
                 (0b100 if cost_red <= limit else 0)
                 | (0b010 if cost_green <= limit else 0)
                 | (0b001 if cost_blue <= limit else 0)
             )
-            out.append((succ, g + minimum, new_bits))
-        return out
+            count += 1
+        return count
 
     return expand

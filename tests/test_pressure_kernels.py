@@ -1,0 +1,283 @@
+"""Differential tests: numpy-vectorised kernels vs the pure-Python oracle.
+
+The vectorised kernels (color-pressure neighbourhood updates, per-search
+congestion / color-pressure / guide / heuristic tables) must be pure
+representation changes: with the numpy gate forced off, the engines run the
+original scalar loops, and both paths have to produce bit-identical grid
+state and bit-identical routed solutions.  These tests pin that down with
+seeded random workloads, plus the immutability of the shared
+``interaction_offsets`` cache.
+"""
+
+import random
+
+import pytest
+
+from repro import accel
+from repro.bench import suite_case
+from repro.bench.micro import solution_fingerprint, solution_metrics
+from repro.dr.cost import CostModel, TargetBounds
+from repro.geometry import GridPoint
+from repro.grid import RoutingGrid
+from repro.search import SearchCore
+from tests.test_grid import make_design
+
+requires_numpy = pytest.mark.skipif(
+    not accel.have_numpy(), reason="numpy not installed; vectorised path absent"
+)
+
+
+@pytest.fixture
+def pure_python():
+    """Force the pure-Python kernels for the duration of one test."""
+    previous = accel.set_numpy_enabled(False)
+    try:
+        yield
+    finally:
+        accel.set_numpy_enabled(previous)
+
+
+@pytest.fixture(autouse=True)
+def numpy_on_when_available():
+    """Run the differential tests with the gate open (when numpy exists).
+
+    The tests compare both kernel generations themselves, so they must see
+    the vectorised path even when the suite runs under
+    ``REPRO_PURE_PYTHON=1`` (the ``pure_python`` fixture above re-closes
+    the gate per test where the fallback is the subject).
+    """
+    previous = accel.set_numpy_enabled(True)
+    try:
+        yield
+    finally:
+        accel.set_numpy_enabled(previous)
+
+
+def _random_color_workload(grid: RoutingGrid, seed: int, rounds: int = 120) -> None:
+    """Replay a seeded set_vertex_color / release_net mutation sequence."""
+    rng = random.Random(seed)
+    nets = [f"n{i}" for i in range(6)]
+    colored: list = []
+    for _ in range(rounds):
+        if colored and rng.random() < 0.25:
+            net = rng.choice(nets)
+            grid.release_net(net)
+            colored = [entry for entry in colored if entry[0] != net]
+            continue
+        net = rng.choice(nets)
+        vertex = GridPoint(
+            rng.randrange(grid.num_layers),
+            rng.randrange(grid.num_cols),
+            rng.randrange(grid.num_rows),
+        )
+        color = rng.randrange(3)
+        grid.occupy(vertex, net)
+        grid.set_vertex_color(vertex, net, color)
+        colored.append((net, vertex))
+
+
+def _overlay_snapshot(grid: RoutingGrid):
+    return {
+        net_id: {index: tuple(own) for index, own in overlay.items()}
+        for net_id, overlay in grid._net_pressure.items()
+    }
+
+
+class TestPressureKernelDifferential:
+    """numpy strided-slice pressure updates == pure-Python offset loop."""
+
+    @requires_numpy
+    @pytest.mark.parametrize("seed", [7, 21, 1234])
+    def test_pressure_maps_bit_identical(self, seed):
+        design = make_design(color=1)
+        fast_grid = RoutingGrid(design)
+        slow_grid = RoutingGrid(design)
+        assert accel.numpy_enabled()
+        _random_color_workload(fast_grid, seed)
+        previous = accel.set_numpy_enabled(False)
+        try:
+            _random_color_workload(slow_grid, seed)
+        finally:
+            accel.set_numpy_enabled(previous)
+        assert fast_grid.pressure_buffer().tolist() == slow_grid.pressure_buffer().tolist()
+        assert _overlay_snapshot(fast_grid) == _overlay_snapshot(slow_grid)
+
+    @requires_numpy
+    def test_block_reach_matches_offsets(self):
+        grid = RoutingGrid(make_design())
+        for layer in range(grid.num_layers):
+            radius = grid.rules.color_spacing_on(layer)
+            reach = grid._interaction_block_reach(radius)
+            offsets = grid.interaction_offsets(radius)
+            assert reach is not None
+            assert len(offsets) == (2 * reach + 1) ** 2
+
+    def test_interaction_offsets_cache_is_frozen(self):
+        grid = RoutingGrid(make_design())
+        offsets = grid.interaction_offsets(grid.rules.color_spacing)
+        assert isinstance(offsets, tuple)
+        with pytest.raises(TypeError):
+            offsets[0] = (99, 99, 99)
+        assert grid.interaction_offsets(grid.rules.color_spacing) == offsets
+
+
+class TestSnapshotKernels:
+    """Per-search vectorised tables == the scalar per-vertex queries."""
+
+    @requires_numpy
+    def test_congestion_snapshot_matches_scalar(self):
+        grid = RoutingGrid(make_design())
+        model = CostModel(grid)
+        rng = random.Random(3)
+        for _ in range(60):
+            index = rng.randrange(grid.num_vertices)
+            grid.add_history_index(index, rng.random() * 3)
+            if rng.random() < 0.5:
+                grid.occupy_index(index, grid.net_id(f"m{rng.randrange(4)}"))
+        net_id = grid.net_id("m1")
+        table = model.congestion_snapshot(net_id)
+        assert table is not None
+        for index in range(grid.num_vertices):
+            assert table[index] == grid.congestion_cost_index(index, net_id)
+
+    @requires_numpy
+    def test_color_pressure_snapshot_matches_scalar(self):
+        grid = RoutingGrid(make_design(color=1))
+        model = CostModel(grid)
+        _random_color_workload(grid, seed=11, rounds=80)
+        net_id = grid.net_id("n2")
+        gamma = grid.rules.gamma
+        table = model.color_pressure_snapshot(net_id)
+        assert table is not None
+        for index in range(grid.num_vertices):
+            expected = [gamma * c for c in grid.color_costs_index(index, net_id)]
+            assert table[3 * index : 3 * index + 3] == expected
+
+    def test_guide_table_matches_point_queries(self):
+        from repro.gr import GlobalRouter
+
+        design = suite_case("ispd18", 1, scale=0.5).build()
+        grid = RoutingGrid(design)
+        guides = GlobalRouter(design).route()
+        model = CostModel(grid, guides)
+        net_name = design.routable_nets()[0].name
+        table = model.guide_penalty_table(net_name)
+        for index in range(grid.num_vertices):
+            assert table[index] == model.out_of_guide_cost_index(index, net_name)
+
+    @requires_numpy
+    def test_heuristic_table_matches_scalar(self):
+        grid = RoutingGrid(make_design())
+        core = SearchCore(grid, CostModel(grid))
+        targets = {GridPoint(1, 4, 9), GridPoint(2, 12, 3)}
+        bounds = TargetBounds.from_targets(targets)
+        rules = grid.rules
+        for stride in (1, 3):
+            table = core._heuristic_table(bounds, stride)
+            assert table is not None
+            assert len(table) == grid.num_vertices * stride
+            for node in range(0, grid.num_vertices * stride, 5):
+                vertex = grid.vertex_of(node // stride)
+                planar, layers = bounds.components_from(vertex)
+                assert table[node] == rules.alpha * (planar + layers * rules.via_cost)
+
+
+class TestRoutedSolutionParity:
+    """Forced pure-Python fallback routes identically to the numpy path."""
+
+    @requires_numpy
+    @pytest.mark.parametrize("router_key", ["maze", "color-state", "dac2012"])
+    def test_fallback_solutions_identical(self, router_key):
+        from repro.baselines.dac2012 import Dac2012Router
+        from repro.dr.router import DetailedRouter
+        from repro.tpl.mr_tpl import MrTPLRouter
+
+        router_class = {
+            "maze": DetailedRouter,
+            "color-state": MrTPLRouter,
+            "dac2012": Dac2012Router,
+        }[router_key]
+        case = suite_case("ispd18", 1, scale=0.5)
+        fast_solution = router_class(case.build(), engine="flat").run()
+        previous = accel.set_numpy_enabled(False)
+        try:
+            slow_solution = router_class(case.build(), engine="flat").run()
+        finally:
+            accel.set_numpy_enabled(previous)
+        assert solution_fingerprint(fast_solution) == solution_fingerprint(slow_solution)
+        assert solution_metrics(fast_solution) == solution_metrics(slow_solution)
+
+    @pytest.mark.parametrize("router_key", ["maze", "color-state"])
+    def test_fallback_matches_legacy_reference(self, pure_python, router_key):
+        """With numpy off, flat engines still reproduce the frozen oracle."""
+        from repro.dr.router import DetailedRouter
+        from repro.tpl.mr_tpl import MrTPLRouter
+
+        router_class = {"maze": DetailedRouter, "color-state": MrTPLRouter}[router_key]
+        case = suite_case("ispd18", 1, scale=0.5)
+        legacy_solution = router_class(case.build(), engine="legacy").run()
+        flat_solution = router_class(case.build(), engine="flat").run()
+        assert solution_fingerprint(legacy_solution) == solution_fingerprint(flat_solution)
+        assert solution_metrics(legacy_solution) == solution_metrics(flat_solution)
+
+
+class TestBufferedProtocolCompat:
+    """The legacy iterable expand protocol stays available on SearchCore."""
+
+    def test_iterable_and_buffered_expands_agree(self):
+        grid = RoutingGrid(make_design())
+        model = CostModel(grid)
+        net_id = grid.net_id("proto")
+        from repro.dr.maze import make_traditional_expand
+
+        buffered = make_traditional_expand(grid, model, "proto", net_id)
+
+        def iterable_expand(node, g, aux):
+            out_node, out_cost, out_aux = [0] * 8, [0.0] * 8, [0] * 8
+            count = buffered(node, g, aux, out_node, out_cost, out_aux)
+            return [
+                (out_node[i], out_cost[i], out_aux[i]) for i in range(count)
+            ]
+
+        source = GridPoint(0, 2, 2)
+        target = GridPoint(2, 14, 11)
+        seeds = [(grid.index_of(source), 0)]
+        targets = {grid.index_of(target)}
+        bounds = TargetBounds.from_targets([target])
+
+        core = SearchCore(grid, model)
+        buffered_result = core.run(
+            seeds, targets, buffered, bounds=bounds, buffered=True
+        )
+        iterable_result = SearchCore(grid, model).run(
+            seeds, targets, iterable_expand, bounds=bounds
+        )
+        assert buffered_result.found and iterable_result.found
+        assert buffered_result.reached == iterable_result.reached
+        assert buffered_result.node_path() == iterable_result.node_path()
+        assert buffered_result.cost == iterable_result.cost
+
+    def test_result_survives_core_reuse(self):
+        """A held CoreResult is snapshotted before the core reuses buffers."""
+        grid = RoutingGrid(make_design())
+        model = CostModel(grid)
+        core = SearchCore(grid, model)
+        expand = __import__("repro.dr.maze", fromlist=["make_traditional_expand"]).make_traditional_expand(
+            grid, model, "a", grid.net_id("a")
+        )
+        seeds = [(grid.index_of(GridPoint(0, 1, 1)), 0)]
+        first_targets = {grid.index_of(GridPoint(0, 9, 9))}
+        first = core.run(seeds, first_targets, expand, buffered=True)
+        first_costs = dict(first.cost)
+        first_path = first.node_path()
+        # Reuse the same core for a different search; the held result must
+        # keep answering from its snapshot.
+        second = core.run(
+            [(grid.index_of(GridPoint(2, 14, 2)), 0)],
+            {grid.index_of(GridPoint(2, 2, 14))},
+            expand,
+            buffered=True,
+        )
+        assert second.found
+        assert first.node_path() == first_path
+        assert first.cost == first_costs
