@@ -3,7 +3,11 @@
 
 Usage::
 
-    python scripts/run_experiments.py [scale] [max_cases]
+    python scripts/run_experiments.py [scale] [max_cases] [parallelism]
+
+A ``parallelism`` above 1 routes through the :mod:`repro.sched` batched
+rip-up loop (speculative thread backend, order-preserving prefix policy --
+bit-identical results, concurrent batch computation on multi-core hosts).
 
 Rows are appended to ``experiment_results.jsonl`` in the repository root so a
 partially completed run is still usable for EXPERIMENTS.md.
@@ -24,15 +28,21 @@ OUT = Path(__file__).resolve().parent.parent / "experiment_results.jsonl"
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
     max_cases = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    parallelism = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    backend = "thread" if parallelism > 1 else "serial"
     with OUT.open("a") as handle:
         for case in ispd18_suite(scale, cases=list(range(1, max_cases + 1))):
-            row = run_table2_case(case, max_iterations=3)
+            row = run_table2_case(
+                case, max_iterations=3, parallelism=parallelism, batch_backend=backend
+            )
             record = {"table": "II", "scale": scale, **row.as_dict()}
             handle.write(json.dumps(record) + "\n")
             handle.flush()
             print("T2", record, flush=True)
         for case in ispd19_suite(scale, cases=list(range(1, max_cases + 1))):
-            row = run_table3_case(case, max_iterations=3)
+            row = run_table3_case(
+                case, max_iterations=3, parallelism=parallelism, batch_backend=backend
+            )
             record = {"table": "III", "scale": scale, **row.as_dict()}
             record["decomposition_runtime"] = row.decomposition_runtime
             record["ours_runtime"] = row.ours_runtime

@@ -31,6 +31,7 @@ from repro.geometry import GridPoint, Point
 from repro.gr import GlobalRouter, GuideSet
 from repro.gr.steiner import rectilinear_mst
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.sched import GridSink, make_batch_executor
 from repro.search import SearchCore
 from repro.tpl.color_state import ALL_COLORS
 from repro.tpl.conflict import ConflictChecker
@@ -51,6 +52,10 @@ class MaskExpandedSearch:
     moves keeping the mask (each charged the mask's color conflict cost at
     the destination).
     """
+
+    #: Nodes per grid vertex on the mask-expanded graph (the batch
+    #: executor's explored-region tracker decodes labels through this).
+    node_stride = 3
 
     def __init__(
         self,
@@ -208,7 +213,12 @@ class MaskExpandedSearch:
 
 
 class Dac2012Router:
-    """2-pin, mask-expanded-graph TPL-aware router (Table II baseline)."""
+    """2-pin, mask-expanded-graph TPL-aware router (Table II baseline).
+
+    The ``parallelism`` / ``batch_size`` / ``batch_backend`` knobs switch
+    the rip-up loop onto the :mod:`repro.sched` disjoint-batch executor;
+    the default keeps the plain sequential loop.
+    """
 
     name = "dac2012"
 
@@ -220,6 +230,10 @@ class Dac2012Router:
         use_global_router: bool = True,
         max_iterations: Optional[int] = None,
         engine: str = "flat",
+        parallelism: int = 1,
+        batch_size: Optional[int] = None,
+        batch_backend: str = "serial",
+        batch_policy: str = "prefix",
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -237,6 +251,7 @@ class Dac2012Router:
             else design.tech.rules.max_ripup_iterations
         )
         self.max_expansions = 6_000_000
+        self._engine_kind = engine
         if engine == "flat":
             self.two_pin_engine = MaskExpandedSearch(
                 self.grid, self.cost_model, self.max_expansions
@@ -249,6 +264,9 @@ class Dac2012Router:
             )
         else:
             raise ValueError(f"unknown search engine {engine!r}; expected 'flat' or 'legacy'")
+        self.batch_executor = make_batch_executor(
+            self, parallelism, batch_size, batch_backend, batch_policy
+        )
 
     # ------------------------------------------------------------------
 
@@ -257,8 +275,7 @@ class Dac2012Router:
         timer = Timer()
         timer.start()
         solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
-        for net in self.schedule_nets():
-            solution.add_route(self.route_net(net))
+        self._route_many(self.schedule_nets(), solution)
 
         iterations = 0
         for iteration in range(self.max_iterations):
@@ -276,13 +293,16 @@ class Dac2012Router:
             for net_name in offenders:
                 self.grid.release_net(net_name)
                 solution.routes.pop(net_name, None)
-            for net_name in sorted(offenders):
-                solution.add_route(self.route_net(self.design.net_by_name(net_name)))
+            self._route_many(
+                [self.design.net_by_name(name) for name in sorted(offenders)], solution
+            )
 
         for route in solution.routes.values():
             route.recount_stitches()
         solution.iterations = iterations
         solution.runtime_seconds = timer.stop()
+        if self.batch_executor is not None:
+            self.batch_executor.close()  # release worker threads between runs
         return solution
 
     def schedule_nets(self) -> List[Net]:
@@ -292,10 +312,50 @@ class Dac2012Router:
             key=lambda net: (net.half_perimeter_wirelength(), -net.num_pins, net.name),
         )
 
+    def _route_many(self, nets: List[Net], solution: RoutingSolution) -> None:
+        """Route *nets* in order -- batched when an executor is configured."""
+        if self.batch_executor is not None:
+            self.batch_executor.route_nets(nets, solution)
+        else:
+            for net in nets:
+                solution.add_route(self.route_net(net))
+
+    def make_search_engine(self) -> Optional[MaskExpandedSearch]:
+        """Return a fresh flat mask-expanded engine over this router's grid.
+
+        The batch executor creates one per worker so concurrent searches
+        never share label buffers.  ``None`` for the legacy engine, which
+        the speculative backends do not support.
+        """
+        if self._engine_kind != "flat":
+            return None
+        return MaskExpandedSearch(self.grid, self.cost_model, self.max_expansions)
+
     # ------------------------------------------------------------------
 
     def route_net(self, net: Net) -> NetRoute:
-        """Route one net as independent 2-pin connections on the expanded graph."""
+        """Route one net as independent 2-pin connections on the expanded graph.
+
+        Computes the route and commits it to the grid immediately
+        (:meth:`compute_route` with the default :class:`GridSink`).
+        """
+        return self.compute_route(net)
+
+    def compute_route(
+        self, net: Net, engine: Optional[object] = None, sink: Optional[object] = None
+    ) -> NetRoute:
+        """Route one net through *engine*, sending grid commits to *sink*.
+
+        The 2-pin formulation commits each connection's colors as soon as
+        the path is found; with a :class:`~repro.sched.commit.RecordingSink`
+        those eager commits are logged instead (route-local colors still
+        steer the next connection, so the defining limitation is preserved
+        bit for bit).
+        """
+        if engine is None:
+            engine = self.two_pin_engine
+        if sink is None:
+            sink = GridSink(self.grid, net.name)
         route = NetRoute(net_name=net.name)
         pin_groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
         if any(not group for group in pin_groups):
@@ -306,7 +366,9 @@ class Dac2012Router:
             route.vertices.update(group)
 
         for index_a, index_b in self._two_pin_topology(net):
-            found = self._route_two_pin(pin_groups[index_a], pin_groups[index_b], route)
+            found = self._route_two_pin(
+                pin_groups[index_a], pin_groups[index_b], route, engine, sink
+            )
             if not found:
                 route.routed = False
                 route.failure_reason = (
@@ -317,7 +379,7 @@ class Dac2012Router:
 
         if route.routed:
             for vertex in route.vertices:
-                self.grid.occupy(vertex, net.name)
+                sink.occupy(vertex)
             route.recount_stitches()
         return route
 
@@ -341,11 +403,13 @@ class Dac2012Router:
         source_group: List[GridPoint],
         target_group: List[GridPoint],
         route: NetRoute,
+        engine: "MaskExpandedSearch",
+        sink: object,
     ) -> bool:
         """Route one 2-pin connection on the (vertex, mask) expanded graph.
 
-        The colors of the found path are committed to the grid immediately --
-        the defining limitation of the 2-pin formulation.
+        The colors of the found path are committed (to the sink) immediately
+        -- the defining limitation of the 2-pin formulation.
         """
         net_name = route.net_name
         sources: List[MaskedVertex] = []
@@ -357,8 +421,8 @@ class Dac2012Router:
             for color in colors:
                 sources.append((vertex, color))
 
-        self.two_pin_engine.max_expansions = self.max_expansions
-        path = self.two_pin_engine.search(sources, set(target_group), net_name)
+        engine.max_expansions = self.max_expansions
+        path = engine.search(sources, set(target_group), net_name)
         if path is None:
             return False
 
@@ -368,6 +432,6 @@ class Dac2012Router:
                 route.add_edge(previous_vertex, vertex)
             previous_vertex = vertex
             route.set_color(vertex, color)
-            self.grid.set_vertex_color(vertex, net_name, color)
-            self.grid.occupy(vertex, net_name)
+            sink.set_color(vertex, color)
+            sink.occupy(vertex)
         return True

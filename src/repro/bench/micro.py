@@ -30,6 +30,13 @@ rip-up loop's check workload and times the :mod:`repro.check` delta tallies
 against the full-scan ``DRCChecker``/``ConflictChecker`` oracle, asserting
 identical reports (baseline: ``BENCH_incremental_check.json``).
 
+:func:`run_batch_sched_benchmarks` (``--batched``) routes every case both
+through the plain sequential loop and through the :mod:`repro.sched`
+disjoint-batch executor (``--parallelism`` / ``--backend``), asserting the
+batched solutions are bit-identical and recording the wall-clock ratio plus
+the executor's batch/speculation counters and the host ``cpu_count``
+(baseline: ``BENCH_batch_sched.json``).
+
 ``python -m repro.bench.micro`` writes either result set as a
 ``BENCH_*.json`` perf baseline so CI and future PRs can track regressions.
 """
@@ -286,6 +293,127 @@ def run_engine_benchmarks(
 
 
 # ----------------------------------------------------------------------
+# Batched-routing micro-benchmark (disjoint-batch scheduler vs sequential)
+# ----------------------------------------------------------------------
+
+def run_batch_sched_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: Optional[float] = None,
+    routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
+    repeat: int = 1,
+    parallelism: int = 4,
+    backend: str = "thread",
+    policy: str = "prefix",
+    dense_cases: Tuple[Tuple[str, int], ...] = DENSE_CASES,
+) -> Dict[str, object]:
+    """Benchmark the batched rip-up loop against the sequential loop.
+
+    For every suite case and router the same design is routed *repeat*
+    times sequentially and *repeat* times through the :mod:`repro.sched`
+    disjoint-batch executor (default: the speculative thread backend at the
+    order-preserving ``prefix`` policy).  The run asserts the batched
+    solutions are identical to the sequential ones (the determinism
+    guarantee of the prefix policy) and records median wall-clocks plus the
+    executor's batch/speculation counters.  ``cpu_count`` is recorded with
+    the document: the speculative backends can only turn batch concurrency
+    into wall-clock speedup when the host actually has cores to run the
+    workers on.
+    """
+    from repro.baselines.dac2012 import Dac2012Router
+    from repro.bench.suites import suite_case
+    from repro.dr.router import DetailedRouter
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    if scale is None:
+        scale = default_bench_scale()
+    repeat = max(1, repeat)
+    router_classes = {
+        "maze": DetailedRouter,
+        "color-state": MrTPLRouter,
+        "dac2012": Dac2012Router,
+    }
+    case_list = [(suite, number) for number in cases]
+    # Dense appendix cases can coincide with the selected sweep (e.g. the
+    # full-scale ispd19 1-5 sweep already covers case 4): route each case
+    # once, or the geomean would double-weight it.
+    case_list.extend(entry for entry in dense_cases if entry not in case_list)
+    results: List[Dict[str, object]] = []
+    for case_suite, number in case_list:
+        for router_key in routers:
+            router_class = router_classes[router_key]
+            timings: Dict[str, float] = {}
+            digests: Dict[str, object] = {}
+            identical_repeats = True
+            batch_stats: Dict[str, int] = {}
+            for mode in ("sequential", "batched"):
+                samples: List[float] = []
+                mode_digests: List[object] = []
+                for _round in range(repeat):
+                    design = suite_case(case_suite, number, scale).build()
+                    if mode == "sequential":
+                        router = router_class(design)
+                    else:
+                        router = router_class(
+                            design,
+                            parallelism=parallelism,
+                            batch_backend=backend,
+                            batch_policy=policy,
+                        )
+                    start = time.perf_counter()
+                    solution = router.run()
+                    samples.append(time.perf_counter() - start)
+                    mode_digests.append(
+                        (solution_fingerprint(solution), solution_metrics(solution))
+                    )
+                    if mode == "batched":
+                        batch_stats = router.batch_executor.stats.as_dict()
+                timings[mode] = median(samples)
+                digests[mode] = mode_digests[0]
+                identical_repeats = identical_repeats and all(
+                    digest == mode_digests[0] for digest in mode_digests
+                )
+            identical = identical_repeats and digests["sequential"] == digests["batched"]
+            results.append(
+                {
+                    "suite": case_suite,
+                    "case": number,
+                    "router": router_key,
+                    "sequential_seconds": round(timings["sequential"], 4),
+                    "batched_seconds": round(timings["batched"], 4),
+                    "speedup": round(
+                        timings["sequential"] / max(timings["batched"], 1e-9), 3
+                    ),
+                    "identical_solutions": identical,
+                    "batch_stats": batch_stats,
+                    "metrics": digests["batched"][1],
+                }
+            )
+    speedups = [entry["speedup"] for entry in results]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(speedups), 1)
+    return {
+        "benchmark": "batched rip-up loop (disjoint-batch scheduler) vs sequential",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "dense_cases": [list(entry) for entry in dense_cases],
+        "repeat": repeat,
+        "parallelism": parallelism,
+        "backend": backend,
+        "policy": policy,
+        "cpu_count": os.cpu_count(),
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_solutions"] for entry in results),
+    }
+
+
+# ----------------------------------------------------------------------
 # Incremental-check micro-benchmark (delta tallies vs full re-scan)
 # ----------------------------------------------------------------------
 
@@ -447,6 +575,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="benchmark incremental checking against the full re-scan instead "
         "of the search engines",
     )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="benchmark the batched rip-up loop (repro.sched disjoint-batch "
+        "executor) against the sequential loop instead of the search engines",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=4,
+        help="worker count of the batched executor (--batched only)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        choices=("serial", "thread", "process"),
+        help="batched-executor backend (--batched only)",
+    )
     parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
     args = parser.parse_args(argv)
 
@@ -460,6 +606,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.incremental:
         report = run_incremental_check_benchmarks(
             suite=args.suite, cases=cases, scale=scale
+        )
+    elif args.batched:
+        report = run_batch_sched_benchmarks(
+            suite=args.suite,
+            cases=cases,
+            scale=scale,
+            repeat=args.repeat,
+            parallelism=args.parallelism,
+            backend=args.backend,
+            dense_cases=dense_cases,
         )
     else:
         report = run_engine_benchmarks(
@@ -479,6 +635,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"full={entry['full_seconds']:.3f}s "
                 f"incremental={entry['incremental_seconds']:.3f}s "
                 f"speedup={entry['speedup']:.2f}x identical={entry['identical_reports']}"
+            )
+        elif args.batched:
+            stats = entry["batch_stats"]
+            print(
+                f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
+                f"sequential={entry['sequential_seconds']:.3f}s "
+                f"batched={entry['batched_seconds']:.3f}s "
+                f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']} "
+                f"batches={stats.get('batches', 0)} "
+                f"largest={stats.get('largest_batch', 0)} "
+                f"spec={stats.get('speculative_accepted', 0)}"
+                f"/fb={stats.get('speculative_fallbacks', 0)}"
             )
         else:
             print(

@@ -20,13 +20,12 @@ consume these tallies; the full checkers remain the frozen reference used
 by final evaluation and the differential harness.
 """
 
-from repro.check.dirty import DirtyRegionTracker, interaction_offsets
+from repro.check.dirty import DirtyRegionTracker
 from repro.check.incremental_conflict import IncrementalConflictChecker
 from repro.check.incremental_drc import IncrementalDRCChecker
 
 __all__ = [
     "DirtyRegionTracker",
-    "interaction_offsets",
     "IncrementalConflictChecker",
     "IncrementalDRCChecker",
 ]

@@ -23,20 +23,6 @@ from typing import Set, Tuple
 from repro.grid import RoutingGrid
 
 
-def interaction_offsets(grid: RoutingGrid, radius: int) -> Tuple[Tuple[int, int, int], ...]:
-    """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
-
-    Thin alias of :meth:`RoutingGrid.interaction_offsets`, the one
-    implementation of the interaction predicate shared by color-pressure
-    updates, the incremental checkers and the dirty-region expansion --
-    strictly-below-*radius* L-infinity rect gap, the same predicate the
-    full-scan checkers apply through :meth:`SpatialIndex.within`.
-    ``(0, 0, 0)`` is included; callers that must skip the vertex itself
-    filter it out.  Frozen (tuple of tuples): the cache is shared.
-    """
-    return grid.interaction_offsets(radius)
-
-
 class DirtyRegionTracker:
     """Accumulates per-net grid deltas into dirty-net and dirty-index sets.
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.check.dirty import DirtyRegionTracker, interaction_offsets
+from repro.check.dirty import DirtyRegionTracker
 from repro.design import Design
 from repro.geometry import Rect
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
@@ -70,8 +70,10 @@ class IncrementalConflictChecker:
     def _offsets_for(self, layer: int) -> List[Tuple[int, int, int]]:
         offsets = self._reach_offsets.get(layer)
         if offsets is None:
-            reach = max(self.rules.color_spacing_on(layer), self.rules.min_spacing)
-            offsets = interaction_offsets(self.grid, reach)
+            # The canonical per-layer interaction radius (max(Dcolor,
+            # min_spacing)) shared with the batch scheduler.
+            reach = self.grid.interaction_radius(layer=layer)
+            offsets = self.grid.interaction_offsets(reach)
             self._reach_offsets[layer] = offsets
         return offsets
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.check.dirty import DirtyRegionTracker, interaction_offsets
+from repro.check.dirty import DirtyRegionTracker
 from repro.design import Design
 from repro.dr.drc import DRCChecker, Violation
 from repro.geometry import GridPoint
@@ -56,7 +56,7 @@ class IncrementalDRCChecker:
         self.tracker = tracker if tracker is not None else DirtyRegionTracker(grid)
         self._spacing_offsets = [
             offset
-            for offset in interaction_offsets(grid, self.rules.min_spacing)
+            for offset in grid.interaction_offsets(self.rules.min_spacing)
             if offset != (0, 0, 0)  # exact overlap is a short, not spacing
         ]
         self._reset_state()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.design.pin import Pin
 from repro.geometry import Rect
@@ -16,6 +16,11 @@ class Net:
     The paper's contribution targets nets with three or more pins -- the
     cases where 2-pin TPL routing "cannot dynamically adjust the
     already-colored paths when connecting multiple pins".
+
+    :meth:`bounding_box` (and the derived
+    :meth:`half_perimeter_wirelength`) is memoised: schedulers and routers
+    query it once per scheduling decision, while the underlying pin shapes
+    only change through :meth:`add_pin`, which invalidates the cache.
     """
 
     name: str
@@ -23,6 +28,7 @@ class Net:
     weight: float = 1.0
 
     def __post_init__(self) -> None:
+        self._bbox_cache: Optional[Rect] = None
         for pin in self.pins:
             pin.net_name = self.name
 
@@ -42,18 +48,25 @@ class Net:
         return len(self.pins) >= 2
 
     def add_pin(self, pin: Pin) -> None:
-        """Attach *pin* to this net."""
+        """Attach *pin* to this net (invalidates the bounding-box memo)."""
         pin.net_name = self.name
         self.pins.append(pin)
+        self._bbox_cache = None
 
     def bounding_box(self) -> Rect:
-        """Return the bounding box over all pin shapes."""
-        if not self.pins:
-            raise ValueError(f"net {self.name!r} has no pins")
-        return Rect.bounding([pin.bounding_box() for pin in self.pins])
+        """Return the bounding box over all pin shapes (memoised)."""
+        if self._bbox_cache is None:
+            if not self.pins:
+                raise ValueError(f"net {self.name!r} has no pins")
+            self._bbox_cache = Rect.bounding([pin.bounding_box() for pin in self.pins])
+        return self._bbox_cache
 
     def half_perimeter_wirelength(self) -> int:
-        """Return the HPWL lower bound on wirelength for this net."""
+        """Return the HPWL lower bound on wirelength for this net.
+
+        Served from the memoised bounding box, so schedulers can call it
+        per scheduling decision without rebuilding the pin-shape union.
+        """
         box = self.bounding_box()
         return box.width + box.height
 

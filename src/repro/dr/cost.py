@@ -90,6 +90,35 @@ class CostModel:
         # Cached grid-axis -> gcell-axis run decomposition (see
         # :meth:`_gcell_axis_runs`).
         self._gcell_runs: Optional[Tuple[Dict[int, Tuple[int, int]], Dict[int, Tuple[int, int]]]] = None
+        # Snapshot caches keyed on the grid's mutation epoch: while the grid
+        # is unchanged (all searches of one un-committed net; every net of a
+        # batch routed against a frozen snapshot) the per-net congestion and
+        # color-pressure tables stay exact and are reused instead of being
+        # rebuilt per search.  ``_snap_epoch`` guards all four entries.
+        self._snap_epoch = -1
+        self._congestion_parts: Optional[Tuple[object, object, object]] = None
+        self._pressure_base: Optional[object] = None
+        self._congestion_lists: Dict[int, List[float]] = {}
+        self._pressure_lists: Dict[int, List[float]] = {}
+
+    #: Cap on cached per-net snapshot lists per epoch; a batch larger than
+    #: this simply rebuilds the oldest tables (correctness is unaffected).
+    _SNAPSHOT_CACHE_LIMIT = 256
+
+    def _refresh_snapshot_epoch(self) -> None:
+        epoch = self.grid.mutation_epoch
+        if epoch != self._snap_epoch:
+            self._snap_epoch = epoch
+            self._congestion_parts = None
+            self._pressure_base = None
+            self._congestion_lists.clear()
+            self._pressure_lists.clear()
+        elif (
+            len(self._congestion_lists) > self._SNAPSHOT_CACHE_LIMIT
+            or len(self._pressure_lists) > self._SNAPSHOT_CACHE_LIMIT
+        ):
+            self._congestion_lists.clear()
+            self._pressure_lists.clear()
 
     # ------------------------------------------------------------------
     # Flat-index query surface (search hot path)
@@ -222,16 +251,39 @@ class CostModel:
 
         Returns ``None`` when numpy acceleration is off -- callers then keep
         the per-successor buffer reads (same arithmetic, lazily).
+
+        Cached on the grid's :attr:`~repro.grid.RoutingGrid.mutation_epoch`:
+        the all-foreign base map (one multiply + one masked add) is shared
+        by every net of an unchanged epoch, and each net's table patches
+        only its own single-owner vertices back to the pure history value --
+        bit-identical to the direct per-net computation, because the patch
+        reassigns the exact pre-add product instead of subtracting.
         """
         np = get_numpy()
         if np is None:
             return None
+        self._refresh_snapshot_epoch()
+        cached = self._congestion_lists.get(net_id)
+        if cached is not None:
+            return cached
         grid = self.grid
-        history = np.frombuffer(grid.history_buffer())
-        owner = np.frombuffer(grid.owner_buffer(), dtype=np.intc)
-        congestion = self.rules.history_weight * history
-        congestion[(owner != 0) & (owner != net_id)] += self.rules.occupancy_penalty
-        return congestion.tolist()
+        if self._congestion_parts is None:
+            history = np.frombuffer(grid.history_buffer())
+            owner = np.frombuffer(grid.owner_buffer(), dtype=np.intc)
+            scaled = self.rules.history_weight * history
+            base = scaled.copy()
+            base[owner != 0] += self.rules.occupancy_penalty
+            self._congestion_parts = (scaled, base, owner)
+        scaled, base, owner = self._congestion_parts
+        table = base.tolist()
+        # net_id 0 never owns a vertex (ids are interned from 1), so the
+        # patch loop is skipped for unknown nets.
+        own_indices = np.flatnonzero(owner == net_id) if net_id > 0 else np.empty(0, int)
+        if own_indices.size:
+            for index, value in zip(own_indices.tolist(), scaled[own_indices].tolist()):
+                table[index] = value
+        self._congestion_lists[net_id] = table
+        return table
 
     def color_pressure_snapshot(self, net_id: int) -> Optional[List[float]]:
         """Return the ``gamma``-weighted color pressure map for *net_id*.
@@ -245,20 +297,32 @@ class CostModel:
         bit-identical to the lazy path.
 
         Returns ``None`` when numpy acceleration is off.
+
+        Cached on the grid's :attr:`~repro.grid.RoutingGrid.mutation_epoch`
+        like :meth:`congestion_snapshot`: the ``gamma``-weighted base map is
+        built once per epoch and shared, each net then pays only one list
+        copy plus its sparse overlay corrections.
         """
         np = get_numpy()
         if np is None:
             return None
+        self._refresh_snapshot_epoch()
+        cached = self._pressure_lists.get(net_id)
+        if cached is not None:
+            return cached
         grid = self.grid
         pressure = grid.pressure_buffer()
         gamma = self.rules.gamma
-        weighted = gamma * np.frombuffer(pressure)
+        if self._pressure_base is None:
+            self._pressure_base = gamma * np.frombuffer(pressure)
+        weighted = self._pressure_base.tolist()
         for index, own in grid.net_pressure_overlay(net_id).items():
             base = 3 * index
             weighted[base] = gamma * max(pressure[base] - own[0], 0.0)
             weighted[base + 1] = gamma * max(pressure[base + 1] - own[1], 0.0)
             weighted[base + 2] = gamma * max(pressure[base + 2] - own[2], 0.0)
-        return weighted.tolist()
+        self._pressure_lists[net_id] = weighted
+        return weighted
 
     def out_of_guide_cost_index(self, index: int, net_name: str) -> float:
         """Compute (uncached) the out-of-guide penalty at flat *index*."""

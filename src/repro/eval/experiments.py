@@ -88,12 +88,16 @@ def run_table2_case(
     case: SuiteCase,
     max_iterations: Optional[int] = None,
     use_global_router: bool = True,
+    parallelism: int = 1,
+    batch_backend: str = "serial",
 ) -> Table2Row:
     """Run the Table II comparison on a single suite case.
 
     Both routers receive identical, independently constructed grids and the
     same GR guides (built once and shared) so neither benefits from the
-    other's routing state.
+    other's routing state.  ``parallelism`` / ``batch_backend`` switch both
+    routers onto the :mod:`repro.sched` batched rip-up loop (the default
+    ``prefix`` policy keeps results bit-identical to the sequential loop).
     """
     design_for_baseline = case.build()
     design_for_ours = case.build()
@@ -108,6 +112,8 @@ def run_table2_case(
         guides=guides_baseline,
         use_global_router=False,
         max_iterations=max_iterations,
+        parallelism=parallelism,
+        batch_backend=batch_backend,
     )
     baseline_solution = baseline_router.run()
     baseline_eval = evaluate_solution(
@@ -121,6 +127,8 @@ def run_table2_case(
         guides=guides_ours,
         use_global_router=False,
         max_iterations=max_iterations,
+        parallelism=parallelism,
+        batch_backend=batch_backend,
     )
     ours_solution = ours_router.run()
     ours_eval = evaluate_solution(design_for_ours, ours_grid, ours_solution, guides_ours)
@@ -132,13 +140,22 @@ def run_table2(
     scale: float = 1.0,
     cases: Optional[Sequence[int]] = None,
     max_iterations: Optional[int] = None,
+    parallelism: int = 1,
+    batch_backend: str = "serial",
 ) -> List[Table2Row]:
     """Run the full Table II experiment over the ISPD-2018-like suite."""
     suite = ispd18_suite(scale, cases=list(cases) if cases is not None else None)
     rows = []
     for case in suite:
         _LOG.info("Table II case %s", case.name)
-        rows.append(run_table2_case(case, max_iterations=max_iterations))
+        rows.append(
+            run_table2_case(
+                case,
+                max_iterations=max_iterations,
+                parallelism=parallelism,
+                batch_backend=batch_backend,
+            )
+        )
     return rows
 
 
@@ -204,6 +221,8 @@ def run_table3_case(
     case: SuiteCase,
     max_iterations: Optional[int] = None,
     use_global_router: bool = True,
+    parallelism: int = 1,
+    batch_backend: str = "serial",
 ) -> Table3Row:
     """Run the Table III comparison on a single suite case.
 
@@ -226,6 +245,8 @@ def run_table3_case(
         grid=decomp_grid,
         guides=guides_decomp,
         max_iterations=max_iterations,
+        parallelism=parallelism,
+        batch_backend=batch_backend,
     )
     plain_solution = plain_router.run()
     decomposer = LayoutDecomposer(design_for_decomposition, decomp_grid)
@@ -238,6 +259,8 @@ def run_table3_case(
         guides=guides_ours,
         use_global_router=False,
         max_iterations=max_iterations,
+        parallelism=parallelism,
+        batch_backend=batch_backend,
     )
     ours_solution = ours_router.run()
     # Served from the router's incremental tallies (a delta refresh, not a
@@ -260,13 +283,22 @@ def run_table3(
     scale: float = 1.0,
     cases: Optional[Sequence[int]] = None,
     max_iterations: Optional[int] = None,
+    parallelism: int = 1,
+    batch_backend: str = "serial",
 ) -> List[Table3Row]:
     """Run the full Table III experiment over the ISPD-2019-like suite."""
     suite = ispd19_suite(scale, cases=list(cases) if cases is not None else None)
     rows = []
     for case in suite:
         _LOG.info("Table III case %s", case.name)
-        rows.append(run_table3_case(case, max_iterations=max_iterations))
+        rows.append(
+            run_table3_case(
+                case,
+                max_iterations=max_iterations,
+                parallelism=parallelism,
+                batch_backend=batch_backend,
+            )
+        )
     return rows
 
 

@@ -208,6 +208,12 @@ class RoutingGrid:
         # also constructed by code that never searches them).
         self._neighbor_table: Optional[array] = None
 
+        # Monotone counter bumped on every mutation of searchable state
+        # (occupancy, colors, pressure, history, blockages, resets).  Cost
+        # snapshots key their caches on it: as long as the epoch is
+        # unchanged, a previously built per-net snapshot is still exact.
+        self._mutation_epoch = 0
+
         # Delta listeners (repro.check.DirtyRegionTracker): notified of
         # per-net occupancy / color commits and releases so incremental
         # checkers can re-validate only the changed neighbourhood.  Bound
@@ -241,6 +247,17 @@ class RoutingGrid:
     def num_vertices(self) -> int:
         """Return the total vertex count."""
         return self.num_layers * self.plane_size
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Return the monotone mutation counter over searchable grid state.
+
+        Bumped by every occupancy/color/history/blockage mutation and by
+        :meth:`reset_routing_state`.  Consumers (per-search cost snapshots,
+        the batch executor) may reuse any state derived from the grid for
+        as long as the epoch is unchanged.
+        """
+        return self._mutation_epoch
 
     def index_of(self, vertex: GridPoint) -> int:
         """Return the flat index of an **in-bounds** *vertex*.
@@ -492,11 +509,13 @@ class RoutingGrid:
 
     def block_vertex(self, vertex: GridPoint) -> None:
         """Mark a single vertex as unusable."""
+        self._mutation_epoch += 1
         if self.in_bounds(vertex):
             self._blocked_buf[self.index_of(vertex)] = 1
 
     def block_rect(self, layer: int, rect: Rect, name: str = "blockage") -> int:
         """Block every vertex covered by *rect* on *layer*; return the count."""
+        self._mutation_epoch += 1
         vertices = self.vertices_covering(layer, rect)
         for vertex in vertices:
             self._blocked_buf[self.index_of(vertex)] = 1
@@ -545,6 +564,40 @@ class RoutingGrid:
     # Incremental color pressure
     # ------------------------------------------------------------------
 
+    def interaction_radius(self, net: "object" = None, layer: Optional[int] = None) -> int:
+        """Return the canonical interaction radius in DBU.
+
+        Two pieces of metal interact -- through color pressure, the
+        conflict checkers, or the dirty-region expansion -- when their gap
+        is strictly below ``max(Dcolor, min_spacing)``.  With *layer* given
+        the layer's own ``Dcolor`` override applies; otherwise the maximum
+        over all layers is returned, which is the sound radius for a whole
+        *net*: routes may use any layer, so a per-net radius can never be
+        narrower than the widest layer rule -- the *net* argument therefore
+        only documents intent at the call site and does not change the
+        value.  This is the one helper the incremental checkers and the
+        batch scheduler share.
+        """
+        if layer is not None:
+            return max(self.rules.color_spacing_on(layer), self.rules.min_spacing)
+        return max(
+            max(self.rules.color_spacing_on(index), self.rules.min_spacing)
+            for index in range(self.num_layers)
+        )
+
+    def interaction_reach_cells(self, radius: int) -> int:
+        """Return the grid-cell reach of interactions at *radius* DBU.
+
+        The number of track cells a vertex's metal can interact across:
+        metal rectangles extend ``wire_width // 2`` beyond the track
+        crossing on both sides, so the cell reach is
+        ``ceil((radius + wire_width) / pitch)`` (with a floor of one cell).
+        :meth:`interaction_offsets` enumerates exactly the offsets within
+        this reach; the batch scheduler expands net windows by it.
+        """
+        half = max(self.rules.wire_width // 2, 0)
+        return max(1, -(-(radius + 2 * half) // self.pitch))
+
     def interaction_offsets(self, radius: int) -> Tuple[Tuple[int, int, int], ...]:
         """Return planar ``(dcol, drow, flat_delta)`` offsets interacting at *radius*.
 
@@ -562,7 +615,7 @@ class RoutingGrid:
         if cached is not None:
             return cached
         half = max(self.rules.wire_width // 2, 0)
-        reach = max(1, -(-(radius + 2 * half) // self.pitch))
+        reach = self.interaction_reach_cells(radius)
         offsets: List[Tuple[int, int, int]] = []
         base = Rect(-half, -half, half, half)
         for dcol in range(-reach, reach + 1):
@@ -709,6 +762,7 @@ class RoutingGrid:
 
     def occupy_index(self, index: int, net_id: int) -> None:
         """Index/net-id variant of :meth:`occupy`."""
+        self._mutation_epoch += 1
         owner = self._owner_buf[index]
         if owner == 0:
             self._owner_buf[index] = net_id
@@ -738,6 +792,7 @@ class RoutingGrid:
         if net_id == 0:
             return 0
         released = 0
+        self._mutation_epoch += 1
         occupied_indices = sorted(self._net_occupied.pop(net_id, ()))
         for index in occupied_indices:
             owner = self._owner_buf[index]
@@ -832,6 +887,7 @@ class RoutingGrid:
         if not self.in_bounds(vertex):
             return
         index = self.index_of(vertex)
+        self._mutation_epoch += 1
         net_id = self.net_id(net_name)
         registered = self._net_colored_vertices.get(net_id)
         if registered is None:
@@ -949,6 +1005,7 @@ class RoutingGrid:
 
     def add_history_index(self, index: int, amount: float = 1.0) -> None:
         """Index variant of :meth:`add_history`."""
+        self._mutation_epoch += 1
         self._history_buf[index] += amount
         self._history_touched.add(index)
 
@@ -970,6 +1027,7 @@ class RoutingGrid:
         """
         if factor is None:
             factor = self.rules.history_decay
+        self._mutation_epoch += 1
         history = self._history_buf
         dead: List[int] = []
         for index in self._history_touched:
@@ -987,6 +1045,7 @@ class RoutingGrid:
 
     def reset_routing_state(self) -> None:
         """Drop all routing results (occupancy, colors, history) but keep blockages."""
+        self._mutation_epoch += 1
         num_vertices = self.num_vertices
         self._owner_buf = array("i", [0]) * num_vertices
         self._color_buf = bytearray(num_vertices)

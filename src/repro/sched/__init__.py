@@ -1,0 +1,38 @@
+"""Disjoint-batch scheduling and batched execution of net routing.
+
+PRs 1-3 made single-net searches and per-net re-validation cheap; this
+package converts the remaining serial outer loop into batched throughput:
+
+* :class:`BatchScheduler` partitions a pending-net queue into batches of
+  nets whose interaction-radius-expanded windows are pairwise disjoint
+  (order-preserving ``prefix`` policy, or ``greedy`` first-fit coloring);
+* :class:`BatchExecutor` routes each batch through a deterministic serial
+  backend (bit-identical to the sequential loop -- the parity oracle) or a
+  speculative ``thread`` / fork-based ``process`` backend that routes the
+  whole batch against a frozen snapshot with per-worker search engines,
+  validates every result's explored region against batch-mates' committed
+  deltas, replays accepted commit logs through the grid's delta hooks (so
+  the incremental DRC/conflict checkers re-validate only the merged batch)
+  and falls back to live routing when regions touch.
+
+All three rip-up loops (``dr/router``, ``tpl/mr_tpl``,
+``baselines/dac2012``) wire in through their ``parallelism`` /
+``batch_size`` / ``batch_backend`` constructor knobs.
+"""
+
+from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
+from repro.sched.commit import GridSink, RecordingSink, apply_route_ops
+from repro.sched.executor import BACKENDS, BatchExecutor, ExecutorStats, make_batch_executor
+
+__all__ = [
+    "BACKENDS",
+    "BatchExecutor",
+    "BatchScheduler",
+    "CellWindow",
+    "ExecutorStats",
+    "GridSink",
+    "make_batch_executor",
+    "RecordingSink",
+    "apply_route_ops",
+    "windows_overlap",
+]

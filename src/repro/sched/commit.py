@@ -1,0 +1,88 @@
+"""Route-commit sinks: immediate grid commits vs recorded commit logs.
+
+Every router separates *computing* a net's route (searches, backtraces --
+pure reads of the grid) from *committing* it (occupancy and mask-color
+writes).  The commit side goes through a sink so the same ``compute_route``
+body serves both execution modes:
+
+* :class:`GridSink` applies each commit to the grid immediately -- the
+  sequential rip-up loops and the deterministic batch backend use it, which
+  keeps their behaviour call-for-call identical to the pre-batching code;
+* :class:`RecordingSink` only appends the operations, in order, to a
+  *commit log*.  The speculative batch backends route whole batches against
+  a frozen grid snapshot this way and later replay accepted logs through
+  :func:`apply_route_ops` -- the replay performs the exact same
+  ``occupy`` / ``set_vertex_color`` call sequence the sequential router
+  would have performed, so the resulting grid state (including the
+  incremental checkers fed by the grid's delta hooks) is bit-identical.
+
+Log entries are plain tuples of :class:`~repro.geometry.GridPoint` and
+ints, so logs cross process boundaries (the fork-based backend pickles
+them back to the parent) without custom reducers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geometry import GridPoint
+from repro.grid import RoutingGrid
+
+#: One commit operation: ``("occupy", vertex)`` or ``("color", vertex, mask)``.
+CommitOp = Tuple
+
+
+class GridSink:
+    """Commit sink that applies every operation to the grid immediately."""
+
+    __slots__ = ("grid", "net_name")
+
+    def __init__(self, grid: RoutingGrid, net_name: str) -> None:
+        self.grid = grid
+        self.net_name = net_name
+
+    def occupy(self, vertex: GridPoint) -> None:
+        """Record the net's metal at *vertex* on the grid."""
+        self.grid.occupy(vertex, self.net_name)
+
+    def set_color(self, vertex: GridPoint, color: int) -> None:
+        """Color the net's metal at *vertex* on the grid."""
+        self.grid.set_vertex_color(vertex, self.net_name, color)
+
+
+class RecordingSink:
+    """Commit sink that records operations (in order) instead of applying them.
+
+    The grid is never touched; :attr:`ops` is the commit log to replay with
+    :func:`apply_route_ops` once the route is accepted.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: List[CommitOp] = []
+
+    def occupy(self, vertex: GridPoint) -> None:
+        """Append an occupancy commit to the log."""
+        self.ops.append(("occupy", vertex))
+
+    def set_color(self, vertex: GridPoint, color: int) -> None:
+        """Append a mask-color commit to the log."""
+        self.ops.append(("color", vertex, color))
+
+
+def apply_route_ops(grid: RoutingGrid, net_name: str, ops: List[CommitOp]) -> None:
+    """Replay a recorded commit log of *net_name* onto *grid*, in order.
+
+    The replay issues the same grid calls, in the same order, that a
+    :class:`GridSink` would have issued during routing, so deferred and
+    immediate commits produce identical grid state and fire identical
+    delta-listener events.
+    """
+    occupy = grid.occupy
+    set_color = grid.set_vertex_color
+    for op in ops:
+        if op[0] == "occupy":
+            occupy(op[1], net_name)
+        else:
+            set_color(op[1], net_name, op[2])

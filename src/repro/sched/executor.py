@@ -1,0 +1,421 @@
+"""Batch execution of disjoint net batches over a shared routing grid.
+
+The executor routes the batches a :class:`~repro.sched.batches.BatchScheduler`
+plans, through one of three backends:
+
+``"serial"`` (default, the parity oracle)
+    Routes every batch member with the router's own ``route_net`` --
+    immediate grid commits, identical call sequence to the sequential loop.
+    With the scheduler's order-preserving ``prefix`` policy this *is* the
+    sequential loop, so results are bit-identical by construction.
+
+``"thread"`` / ``"process"`` (speculative snapshot routing)
+    All nets of a batch are routed concurrently against the grid state at
+    batch start ("the snapshot"): workers call the router's
+    ``compute_route`` with a :class:`~repro.sched.commit.RecordingSink`
+    (reads only, commits recorded) and a per-worker search engine, so the
+    epoch-stamped label buffers of concurrent searches never collide.  The
+    thread backend shares the live buffers under the GIL; the process
+    backend forks per batch, giving each worker a copy-on-write snapshot
+    for free (fork keeps the batch state exact with no serialisation).
+
+    Commits are then applied **serially in batch order** with a speculative
+    validation step: a snapshot-computed route is exact iff the search
+    never read a vertex whose state an earlier batch-mate's commit could
+    have changed.  Every read of mutable grid state happens at a vertex the
+    search labelled (:meth:`CoreResult.labelled_planar_box`), and a commit
+    influences at most its own vertices plus the interaction reach around
+    them (color pressure), so the executor accepts the speculative route
+    when the explored box is disjoint from every committed influence box --
+    and otherwise **falls back to routing the net live**, which reproduces
+    the sequential result exactly.  Accepted logs replay through the normal
+    grid hooks, so the incremental DRC/conflict checkers see the same delta
+    stream either way.
+
+Determinism caveat shared by both speculative backends: deferring a net's
+own mid-route color commits is bit-neutral only because pressure values are
+sums of ``conflict_cost`` increments (exact in IEEE-754 for the default
+rule values); the differential suite in ``tests/test_batch_sched.py``
+asserts the end-to-end guarantee per backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from queue import SimpleQueue
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.design import Net
+from repro.grid import RoutingSolution
+from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
+from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
+
+#: Backends accepted by :class:`BatchExecutor`.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class ExecutorStats:
+    """Counters describing one or more :meth:`BatchExecutor.route_nets` calls."""
+
+    nets_routed: int = 0
+    batches: int = 0
+    parallel_batches: int = 0
+    largest_batch: int = 0
+    speculative_accepted: int = 0
+    speculative_fallbacks: int = 0
+    worker_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dict (benchmark JSON friendly)."""
+        return {
+            "nets_routed": self.nets_routed,
+            "batches": self.batches,
+            "parallel_batches": self.parallel_batches,
+            "largest_batch": self.largest_batch,
+            "speculative_accepted": self.speculative_accepted,
+            "speculative_fallbacks": self.speculative_fallbacks,
+            "worker_errors": self.worker_errors,
+        }
+
+
+class ExploredTracker:
+    """Accumulates the planar bounding box of every vertex a net's searches
+    labelled, via :attr:`SearchCore.on_result`."""
+
+    __slots__ = ("plane_size", "num_rows", "node_stride", "box")
+
+    def __init__(self, grid, node_stride: int = 1) -> None:
+        self.plane_size = grid.plane_size
+        self.num_rows = grid.num_rows
+        self.node_stride = node_stride
+        self.box: Optional[CellWindow] = None
+
+    def __call__(self, result) -> None:
+        box = result.labelled_planar_box(self.plane_size, self.num_rows, self.node_stride)
+        if box is None:
+            return
+        if self.box is None:
+            self.box = box
+        else:
+            mine = self.box
+            self.box = (
+                min(mine[0], box[0]),
+                min(mine[1], box[1]),
+                max(mine[2], box[2]),
+                max(mine[3], box[3]),
+            )
+
+
+@dataclass
+class SpeculativeRoute:
+    """One worker's snapshot-computed result for a net."""
+
+    route: object
+    ops: List[CommitOp]
+    explored_box: Optional[CellWindow]
+
+
+# -- fork-backend plumbing ---------------------------------------------------
+#
+# The fork backend inherits the parent state through ``fork`` itself: the
+# task tuple is published in a module global immediately before the pool is
+# created, so the children are born holding the exact batch snapshot and
+# only the (small) results travel back through pickling.
+
+_FORK_TASK: Optional[Tuple[object, Sequence[Net]]] = None
+_FORK_ENGINE: Optional[object] = None
+
+
+def _fork_worker(index: int) -> Tuple[object, List[CommitOp], Optional[CellWindow]]:
+    global _FORK_ENGINE
+    router, nets = _FORK_TASK
+    if _FORK_ENGINE is None:
+        _FORK_ENGINE = router.make_search_engine()
+    spec = _compute_speculative(router, nets[index], _FORK_ENGINE)
+    return (spec.route, spec.ops, spec.explored_box)
+
+
+def _compute_speculative(router, net: Net, engine) -> SpeculativeRoute:
+    """Route *net* against the current grid state without mutating it."""
+    tracker = ExploredTracker(router.grid, getattr(engine, "node_stride", 1))
+    core = getattr(engine, "core", None)
+    if core is not None:
+        core.on_result = tracker
+    sink = RecordingSink()
+    try:
+        route = router.compute_route(net, engine=engine, sink=sink)
+    finally:
+        if core is not None:
+            core.on_result = None
+    return SpeculativeRoute(route=route, ops=sink.ops, explored_box=tracker.box)
+
+
+def make_batch_executor(
+    router,
+    parallelism: int = 1,
+    batch_size: Optional[int] = None,
+    backend: str = "serial",
+    policy: str = "prefix",
+) -> Optional["BatchExecutor"]:
+    """Build a router's executor from its constructor knobs.
+
+    Batching engages when any knob leaves its default (``parallelism > 1``,
+    an explicit ``batch_size``, or a non-serial backend); otherwise ``None``
+    is returned and the router keeps its plain sequential loop.
+    """
+    if parallelism <= 1 and batch_size is None and backend == "serial":
+        return None
+    parallelism = max(1, parallelism)
+    max_batch = batch_size if batch_size is not None else 4 * parallelism
+    scheduler = BatchScheduler(router.grid, policy=policy, max_batch=max_batch)
+    return BatchExecutor(
+        router, backend=backend, parallelism=parallelism, scheduler=scheduler
+    )
+
+
+class BatchExecutor:
+    """Routes scheduler-planned batches for one router.
+
+    Parameters
+    ----------
+    router:
+        Any of the three routers; must expose ``grid``, ``route_net``,
+        ``compute_route(net, engine=..., sink=...)`` and
+        ``make_search_engine()``.
+    backend:
+        ``"serial"`` (deterministic default), ``"thread"`` or ``"process"``.
+    parallelism:
+        Worker count for the concurrent backends (also the default
+        scheduler batch cap when *scheduler* is not supplied).
+    scheduler:
+        Optional pre-configured :class:`BatchScheduler`; by default an
+        order-preserving prefix scheduler capped at ``4 * parallelism``
+        nets per batch.
+    min_fork_batch:
+        Smallest batch worth forking a process pool for; smaller batches
+        route serially (fork setup would dominate).
+    """
+
+    def __init__(
+        self,
+        router,
+        backend: str = "serial",
+        parallelism: int = 1,
+        scheduler: Optional[BatchScheduler] = None,
+        min_fork_batch: int = 3,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown batch backend {backend!r}; expected one of {BACKENDS}")
+        self.router = router
+        self.backend = backend
+        self.parallelism = max(1, parallelism)
+        self.scheduler = scheduler if scheduler is not None else BatchScheduler(
+            router.grid, policy="prefix", max_batch=4 * self.parallelism
+        )
+        self.min_fork_batch = max(2, min_fork_batch)
+        self.stats = ExecutorStats()
+        # Influence reach: a committed vertex can change costs at most this
+        # many cells away (color-pressure spread at the interaction radius).
+        grid = router.grid
+        self._influence_reach = grid.interaction_reach_cells(grid.interaction_radius())
+        # Lazily built per-worker engines (thread backend).
+        self._engine_queue: Optional[SimpleQueue] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._fork_context = None
+        if backend == "process":
+            methods = multiprocessing.get_all_start_methods()
+            self._fork_context = (
+                multiprocessing.get_context("fork") if "fork" in methods else None
+            )
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker pools (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+
+    def route_nets(self, nets: Sequence[Net], solution: RoutingSolution) -> None:
+        """Route *nets* batch by batch, adding every route to *solution*.
+
+        The scheduler plans the batches; each batch is routed with the
+        configured backend and committed in batch order, so the overall
+        commit order is deterministic for a given plan.
+        """
+        nets = list(nets)
+        if not nets:
+            return
+        grid = self.router.grid
+        # Pre-intern every scheduled net so id assignment stays independent
+        # of worker timing (ids never change results, but deterministic
+        # internals make debugging sane).
+        for net in nets:
+            grid.net_id(net.name)
+        for batch in self.scheduler.plan(nets):
+            self.stats.batches += 1
+            self.stats.nets_routed += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            if not self._run_batch_parallel(batch, solution):
+                self._run_batch_serial(batch, solution)
+
+    # ------------------------------------------------------------------
+
+    def _run_batch_serial(self, batch: Sequence[Net], solution: RoutingSolution) -> None:
+        for net in batch:
+            solution.add_route(self.router.route_net(net))
+
+    def _run_batch_parallel(self, batch: Sequence[Net], solution: RoutingSolution) -> bool:
+        """Try the speculative backend on *batch*; return ``False`` to let
+        the caller route it serially instead."""
+        if self.backend == "serial" or len(batch) < 2:
+            return False
+        if self.backend == "process" and (
+            self._fork_context is None or len(batch) < self.min_fork_batch
+        ):
+            return False
+        try:
+            if self.backend == "thread":
+                results = self._compute_batch_threaded(batch)
+            else:
+                results = self._compute_batch_forked(batch)
+        except Exception:
+            self.stats.worker_errors += 1
+            return False
+        if results is None:
+            return False
+        self.stats.parallel_batches += 1
+        self._commit_batch(batch, results, solution)
+        return True
+
+    # -- thread backend -----------------------------------------------------
+
+    def _ensure_thread_workers(self) -> bool:
+        if self._engine_queue is None:
+            engines = []
+            for _ in range(self.parallelism):
+                engine = self.router.make_search_engine()
+                if engine is None:
+                    return False  # legacy engine: speculative routing unsupported
+                engines.append(engine)
+            queue: SimpleQueue = SimpleQueue()
+            for engine in engines:
+                queue.put(engine)
+            self._engine_queue = queue
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.parallelism, thread_name_prefix="repro-sched"
+            )
+        return True
+
+    def _compute_batch_threaded(
+        self, batch: Sequence[Net]
+    ) -> Optional[List[SpeculativeRoute]]:
+        if not self._ensure_thread_workers():
+            return None
+        queue = self._engine_queue
+
+        def task(net: Net) -> SpeculativeRoute:
+            engine = queue.get()
+            try:
+                return _compute_speculative(self.router, net, engine)
+            finally:
+                queue.put(engine)
+
+        return list(self._thread_pool.map(task, batch))
+
+    # -- process (fork) backend ----------------------------------------------
+
+    def _compute_batch_forked(
+        self, batch: Sequence[Net]
+    ) -> Optional[List[SpeculativeRoute]]:
+        if self.router.make_search_engine() is None:
+            return None  # legacy engine: speculative routing unsupported
+        global _FORK_TASK
+        _FORK_TASK = (self.router, batch)
+        try:
+            workers = min(self.parallelism, len(batch))
+            with self._fork_context.Pool(processes=workers) as pool:
+                raw = pool.map(_fork_worker, range(len(batch)))
+        finally:
+            _FORK_TASK = None
+        return [
+            SpeculativeRoute(route=route, ops=ops, explored_box=box)
+            for route, ops, box in raw
+        ]
+
+    # -- validation + commit --------------------------------------------------
+
+    def _commit_batch(
+        self,
+        batch: Sequence[Net],
+        results: Sequence[SpeculativeRoute],
+        solution: RoutingSolution,
+    ) -> None:
+        grid = self.router.grid
+        committed: List[CellWindow] = []
+        for net, spec in zip(batch, results):
+            if self._speculation_valid(spec, committed):
+                self.stats.speculative_accepted += 1
+                apply_route_ops(grid, net.name, spec.ops)
+                route = spec.route
+                influence = self._ops_influence_box(spec.ops)
+            else:
+                self.stats.speculative_fallbacks += 1
+                route = self.router.route_net(net)
+                influence = self._vertices_influence_box(route.vertices)
+            solution.add_route(route)
+            if influence is not None:
+                committed.append(influence)
+
+    def _speculation_valid(
+        self, spec: SpeculativeRoute, committed: Sequence[CellWindow]
+    ) -> bool:
+        """Return ``True`` when the snapshot route is provably still exact.
+
+        Sound acceptance test: the searches read mutable state only at
+        labelled vertices, and earlier commits influence only their own
+        influence boxes -- disjointness means the worker saw exactly the
+        state a live (sequential) computation would have seen.
+        """
+        if spec.explored_box is None:
+            # No search ran: the result depends only on immutable state
+            # (pin access over static blockages) unless ops were recorded.
+            return not spec.ops
+        if not committed:
+            return True
+        box = spec.explored_box
+        return not any(windows_overlap(box, other) for other in committed)
+
+    def _ops_influence_box(self, ops: Sequence[CommitOp]) -> Optional[CellWindow]:
+        return self._influence_box(op[1] for op in ops)
+
+    def _vertices_influence_box(self, vertices) -> Optional[CellWindow]:
+        return self._influence_box(vertices)
+
+    def _influence_box(self, vertices) -> Optional[CellWindow]:
+        """Return the planar box the given commits can influence, expanded
+        by the interaction reach (color pressure spreads that far)."""
+        col_lo = row_lo = None
+        col_hi = row_hi = None
+        for vertex in vertices:
+            col, row = vertex.col, vertex.row
+            if col_lo is None:
+                col_lo = col_hi = col
+                row_lo = row_hi = row
+                continue
+            if col < col_lo:
+                col_lo = col
+            elif col > col_hi:
+                col_hi = col
+            if row < row_lo:
+                row_lo = row
+            elif row > row_hi:
+                row_hi = row
+        if col_lo is None:
+            return None
+        reach = self._influence_reach
+        return (col_lo - reach, row_lo - reach, col_hi + reach, row_hi + reach)

@@ -178,6 +178,50 @@ class CoreResult:
             return np.flatnonzero(np.frombuffer(stamp, dtype=np.int64) == epoch).tolist()
         return [node for node, mark in enumerate(stamp) if mark == epoch]
 
+    def labelled_planar_box(
+        self, plane_size: int, num_rows: int, node_stride: int = 1
+    ) -> Optional[Tuple[int, int, int, int]]:
+        """Return the planar ``(col_lo, row_lo, col_hi, row_hi)`` bounding box
+        of every vertex labelled during the run, or ``None`` when no node was
+        labelled.
+
+        Every vertex whose mutable grid state the search *read* (successor
+        generation, target acceptance, backtrace cost queries) is labelled,
+        so this box bounds the state the result depends on -- the
+        speculative batch executor compares it against committed batch-mate
+        deltas to decide whether a snapshot-computed route is still exact.
+        """
+        stamp, epoch = self._stamp_buf, self._epoch
+        np = get_numpy()
+        if np is not None:
+            nodes = np.flatnonzero(np.frombuffer(stamp, dtype=np.int64) == epoch)
+            if not nodes.size:
+                return None
+            if node_stride != 1:
+                nodes = nodes // node_stride
+            rem = nodes % plane_size
+            cols = rem // num_rows
+            rows = rem % num_rows
+            return (int(cols.min()), int(rows.min()), int(cols.max()), int(rows.max()))
+        box = None
+        for node, mark in enumerate(stamp):
+            if mark != epoch:
+                continue
+            rem = (node // node_stride if node_stride != 1 else node) % plane_size
+            col, row = divmod(rem, num_rows)
+            if box is None:
+                box = [col, row, col, row]
+            else:
+                if col < box[0]:
+                    box[0] = col
+                elif col > box[2]:
+                    box[2] = col
+                if row < box[1]:
+                    box[1] = row
+                elif row > box[3]:
+                    box[3] = row
+        return None if box is None else tuple(box)
+
     @property
     def cost(self) -> Dict[int, float]:
         """Return the ``node -> best cost`` map (materialised on demand)."""
@@ -247,6 +291,10 @@ class SearchCore:
         self._last_result: Optional[weakref.ref] = None
         # Cached per-vertex coordinate arrays for the vectorised heuristic.
         self._coord_cache: Optional[Tuple[object, object, object]] = None
+        # Optional observer called with every finished CoreResult while its
+        # label buffers are guaranteed live (the batch executor's explored-
+        # region tracker hooks in here without forcing buffer snapshots).
+        self.on_result: Optional[Callable[[CoreResult], None]] = None
 
     # ------------------------------------------------------------------
 
@@ -492,4 +540,6 @@ class SearchCore:
             reached, expansions, cost, aux, parent, stamp, epoch
         )
         self._last_result = weakref.ref(result)
+        if self.on_result is not None:
+            self.on_result(result)
         return result

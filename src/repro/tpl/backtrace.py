@@ -216,6 +216,31 @@ class Backtracer:
         return None
 
 
+def apply_colored_path(
+    path: ColoredPath,
+    route: NetRoute,
+    sink: "object",
+) -> None:
+    """Write a backtraced path into the net's route and a commit *sink*.
+
+    The route gains the path edges, the final vertex colors, and the
+    confirmed stitches; the sink receives the color and occupancy commits
+    in the exact order the grid would -- a
+    :class:`~repro.sched.commit.GridSink` applies them immediately (the
+    sequential loop), a :class:`~repro.sched.commit.RecordingSink` logs
+    them for deferred replay (the speculative batch backends).
+    """
+    ordered = path.vertices
+    route.add_path(ordered)
+    for vertex, color in path.colors().items():
+        route.set_color(vertex, color)
+        sink.set_color(vertex, color)
+    for vertex in ordered:
+        sink.occupy(vertex)
+    for a, b in path.stitches:
+        route.add_stitch(a, b)
+
+
 def commit_colored_path(
     path: ColoredPath,
     route: NetRoute,
@@ -223,16 +248,9 @@ def commit_colored_path(
 ) -> None:
     """Write a backtraced path into the net's route and the shared grid.
 
-    The route gains the path edges, the final vertex colors, and the
-    confirmed stitches; the grid records occupancy and colored metal so that
-    subsequently routed nets see this path in their color costs.
+    Immediate-commit convenience over :func:`apply_colored_path`, kept for
+    callers holding a grid rather than a sink.
     """
-    ordered = path.vertices
-    route.add_path(ordered)
-    for vertex, color in path.colors().items():
-        route.set_color(vertex, color)
-        grid.set_vertex_color(vertex, route.net_name, color)
-    for vertex in ordered:
-        grid.occupy(vertex, route.net_name)
-    for a, b in path.stitches:
-        route.add_stitch(a, b)
+    from repro.sched.commit import GridSink
+
+    apply_colored_path(path, route, GridSink(grid, route.net_name))

@@ -25,7 +25,8 @@ from repro.dr.cost import CostModel
 from repro.geometry import GridPoint
 from repro.gr import GlobalRouter, GuideSet
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
-from repro.tpl.backtrace import Backtracer, commit_colored_path
+from repro.sched import GridSink, make_batch_executor
+from repro.tpl.backtrace import Backtracer, apply_colored_path
 from repro.tpl.color_state import ColorState
 from repro.tpl.conflict import ConflictChecker, ConflictReport
 from repro.tpl.refine import ColorRefiner
@@ -36,7 +37,12 @@ _LOG = get_logger("tpl.mr_tpl")
 
 
 class MrTPLRouter:
-    """Triple-patterning-aware multi-pin net detailed router (Mr.TPL)."""
+    """Triple-patterning-aware multi-pin net detailed router (Mr.TPL).
+
+    The ``parallelism`` / ``batch_size`` / ``batch_backend`` knobs switch
+    the rip-up loop onto the :mod:`repro.sched` disjoint-batch executor;
+    the default keeps the plain sequential loop.
+    """
 
     name = "mr-tpl"
 
@@ -49,6 +55,10 @@ class MrTPLRouter:
         max_iterations: Optional[int] = None,
         refine_colors: bool = False,
         engine: str = "flat",
+        parallelism: int = 1,
+        batch_size: Optional[int] = None,
+        batch_backend: str = "serial",
+        batch_policy: str = "prefix",
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -56,6 +66,7 @@ class MrTPLRouter:
             guides = GlobalRouter(design).route()
         self.guides = guides
         self.cost_model = CostModel(self.grid, guides)
+        self._engine_kind = engine
         if engine == "flat":
             self.search_engine = ColorStateSearch(self.grid, self.cost_model)
         elif engine == "legacy":
@@ -75,6 +86,9 @@ class MrTPLRouter:
             if max_iterations is not None
             else design.tech.rules.max_ripup_iterations
         )
+        self.batch_executor = make_batch_executor(
+            self, parallelism, batch_size, batch_backend, batch_policy
+        )
 
     # ------------------------------------------------------------------
     # Full flow (Fig. 2, left column)
@@ -85,8 +99,7 @@ class MrTPLRouter:
         timer = Timer()
         timer.start()
         solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
-        for net in self.schedule_nets():
-            solution.add_route(self.route_net(net))
+        self._route_many(self.schedule_nets(), solution)
 
         iterations = 0
         best_snapshot: Optional[Dict[str, NetRoute]] = None
@@ -112,9 +125,9 @@ class MrTPLRouter:
             # before this iteration's rip-up adds fresh history.
             self.grid.decay_history(self.grid.rules.history_decay)
             self._rip_up_and_update_history(offenders, report, solution)
-            for net_name in sorted(offenders):
-                net = self.design.net_by_name(net_name)
-                solution.add_route(self.route_net(net))
+            self._route_many(
+                [self.design.net_by_name(name) for name in sorted(offenders)], solution
+            )
 
         # Rip-up and reroute can oscillate on hard instances; keep the best
         # iteration rather than blindly returning the last one.
@@ -132,6 +145,8 @@ class MrTPLRouter:
             route.recount_stitches()
         solution.iterations = iterations
         solution.runtime_seconds = timer.stop()
+        if self.batch_executor is not None:
+            self.batch_executor.close()  # release worker threads between runs
         return solution
 
     def schedule_nets(self) -> List[Net]:
@@ -141,6 +156,25 @@ class MrTPLRouter:
             key=lambda net: (net.half_perimeter_wirelength(), -net.num_pins, net.name),
         )
 
+    def _route_many(self, nets: List[Net], solution: RoutingSolution) -> None:
+        """Route *nets* in order -- batched when an executor is configured."""
+        if self.batch_executor is not None:
+            self.batch_executor.route_nets(nets, solution)
+        else:
+            for net in nets:
+                solution.add_route(self.route_net(net))
+
+    def make_search_engine(self) -> Optional[ColorStateSearch]:
+        """Return a fresh flat color-state engine over this router's grid.
+
+        The batch executor creates one per worker so concurrent searches
+        never share label buffers.  ``None`` for the legacy engine, which
+        the speculative backends do not support.
+        """
+        if self._engine_kind != "flat":
+            return None
+        return ColorStateSearch(self.grid, self.cost_model)
+
     # ------------------------------------------------------------------
     # Single-net routing (Fig. 2 centre and right columns, Algorithm 1)
     # ------------------------------------------------------------------
@@ -148,12 +182,30 @@ class MrTPLRouter:
     def route_net(self, net: Net) -> NetRoute:
         """Route one multi-pin net with color-state searching.
 
+        Computes the route and commits it to the grid immediately
+        (:meth:`compute_route` with the default :class:`GridSink`).
+        """
+        return self.compute_route(net)
+
+    def compute_route(
+        self, net: Net, engine: Optional[object] = None, sink: Optional[object] = None
+    ) -> NetRoute:
+        """Route one net (paper Algorithm 1) through *engine*, sending grid
+        commits to *sink*.
+
         Follows Algorithm 1: seed the queue with the vertices covered by the
         first pin at color state ``111``, repeatedly search until an
         unreached pin is found, backtrace to color the path, and keep the
         colored path vertices as sources for the next search until every pin
-        is routed.
+        is routed.  With a :class:`~repro.sched.commit.RecordingSink` the
+        grid stays untouched (colors/occupancy logged for deferred replay);
+        the searches still see exact costs because the net's own deferred
+        pressure contribution cancels out of its color costs.
         """
+        if engine is None:
+            engine = self.search_engine
+        if sink is None:
+            sink = GridSink(self.grid, net.name)
         route = NetRoute(net_name=net.name)
         pin_groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
         if any(not group for group in pin_groups):
@@ -177,13 +229,13 @@ class MrTPLRouter:
                 # Remaining pins are already covered by the routed tree.
                 unreached.clear()
                 break
-            search = self.search_engine.search(sources, set(targets), net.name)
+            search = engine.search(sources, set(targets), net.name)
             if not search.found:
                 route.routed = False
                 route.failure_reason = "color-state search exhausted without reaching a pin"
                 break
             colored_path = self.backtracer.backtrace(search, net.name, tree_colors)
-            commit_colored_path(colored_path, route, self.grid)
+            apply_colored_path(colored_path, route, sink)
             tree_colors.update(colored_path.colors())
 
             reached_pin = targets[search.reached]
@@ -192,11 +244,11 @@ class MrTPLRouter:
             tree_vertices.update(pin_groups[reached_pin])
             route.vertices.update(pin_groups[reached_pin])
             for vertex in pin_groups[reached_pin]:
-                self.grid.occupy(vertex, net.name)
+                sink.occupy(vertex)
 
         if route.routed:
             for vertex in tree_vertices:
-                self.grid.occupy(vertex, net.name)
+                sink.occupy(vertex)
             route.recount_stitches()
         return route
 

@@ -1,0 +1,352 @@
+"""Differential and unit tests for the disjoint-batch scheduler/executor.
+
+The heart of the suite is the differential harness: for every router and
+every executor backend the batched rip-up loop must produce solutions
+bit-identical to the plain sequential loop (order-preserving ``prefix``
+policy), across batch sizes and worker counts -- including the speculative
+thread and fork backends, whose explored-region validation plus sequential
+fallback is what the guarantee rests on.  The ``greedy`` policy permutes
+the net order, so its oracle is the serial executor on the same plan.
+"""
+
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.baselines.dac2012 import Dac2012Router
+from repro.bench.micro import solution_fingerprint, solution_metrics
+from repro.bench.suites import suite_case
+from repro.design import Net, Pin
+from repro.dr.router import DetailedRouter
+from repro.geometry import Rect
+from repro.grid import RoutingGrid, RoutingSolution
+from repro.sched import (
+    BatchScheduler,
+    GridSink,
+    RecordingSink,
+    apply_route_ops,
+    windows_overlap,
+)
+from repro.tpl.mr_tpl import MrTPLRouter
+
+ROUTERS = {
+    "maze": DetailedRouter,
+    "color-state": MrTPLRouter,
+    "dac2012": Dac2012Router,
+}
+
+HAVE_FORK = sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
+
+BACKENDS = ["serial", "thread"] + (["process"] if HAVE_FORK else [])
+
+
+def build_case(suite="ispd18", number=2, scale=0.5):
+    return suite_case(suite, number, scale).build()
+
+
+def run_router(router_key, design, **kwargs):
+    solution = ROUTERS[router_key](design, **kwargs).run()
+    return (solution_fingerprint(solution), solution_metrics(solution))
+
+
+# ----------------------------------------------------------------------
+# Net bounding-box memoisation (scheduler hot query)
+# ----------------------------------------------------------------------
+
+def _pin(name, layer, x, y):
+    pin = Pin(name=name)
+    pin.add_shape(layer, Rect(x, y, x + 2, y + 2))
+    return pin
+
+
+def test_net_bounding_box_is_memoised_and_invalidated_by_add_pin():
+    net = Net(name="n")
+    net.add_pin(_pin("a", 0, 0, 0))
+    net.add_pin(_pin("b", 0, 10, 4))
+    first = net.bounding_box()
+    assert first == Rect(0, 0, 12, 6)
+    # Memoised: the same object comes back without rebuilding.
+    assert net.bounding_box() is first
+    assert net.half_perimeter_wirelength() == 12 + 6
+    # add_pin invalidates.
+    net.add_pin(_pin("c", 0, 20, 20))
+    widened = net.bounding_box()
+    assert widened == Rect(0, 0, 22, 22)
+    assert widened is not first
+    assert net.half_perimeter_wirelength() == 22 + 22
+
+
+def test_net_bounding_box_without_pins_raises():
+    with pytest.raises(ValueError):
+        Net(name="empty").bounding_box()
+
+
+# ----------------------------------------------------------------------
+# Canonical interaction radius on the grid
+# ----------------------------------------------------------------------
+
+def test_interaction_radius_per_layer_and_global():
+    design = build_case("ispd19", 1, 0.5)
+    grid = RoutingGrid(design)
+    rules = grid.rules
+    for layer in range(grid.num_layers):
+        assert grid.interaction_radius(layer=layer) == max(
+            rules.color_spacing_on(layer), rules.min_spacing
+        )
+    assert grid.interaction_radius() == max(
+        grid.interaction_radius(layer=layer) for layer in range(grid.num_layers)
+    )
+    # A per-layer override must show through the per-layer radius.
+    rules.color_spacing_per_layer[0] = rules.color_spacing + 4
+    try:
+        assert grid.interaction_radius(layer=0) == rules.color_spacing + 4
+        assert grid.interaction_radius() >= rules.color_spacing + 4
+    finally:
+        del rules.color_spacing_per_layer[0]
+
+
+def test_interaction_reach_cells_bounds_offsets():
+    design = build_case("ispd18", 1, 0.5)
+    grid = RoutingGrid(design)
+    radius = grid.interaction_radius()
+    reach = grid.interaction_reach_cells(radius)
+    offsets = grid.interaction_offsets(radius)
+    # The reach is the enumeration bound of interaction_offsets: every
+    # interacting offset lies within it (the strict `< radius` predicate may
+    # prune the outermost ring, so the bound is conservative, never tight
+    # from below).
+    assert reach >= 1
+    assert all(abs(dcol) <= reach and abs(drow) <= reach for dcol, drow, _ in offsets)
+    # One cell further can never interact.
+    half = max(grid.rules.wire_width // 2, 0)
+    assert (reach + 1) * grid.pitch - 2 * half >= radius
+
+
+# ----------------------------------------------------------------------
+# Scheduler unit tests
+# ----------------------------------------------------------------------
+
+def scheduled_router_nets(design):
+    return DetailedRouter(design).schedule_nets()
+
+
+def test_prefix_plan_preserves_order_and_covers_every_net():
+    design = build_case("ispd18", 3, 0.7)
+    grid = RoutingGrid(design)
+    nets = scheduled_router_nets(design)
+    plan = BatchScheduler(grid, policy="prefix").plan(nets)
+    flattened = [net for batch in plan for net in batch]
+    assert flattened == nets  # concatenation IS the sequential order
+
+
+@pytest.mark.parametrize("policy", ["prefix", "greedy"])
+def test_batches_are_pairwise_disjoint_after_radius_expansion(policy):
+    design = build_case("ispd18", 3, 0.7)
+    grid = RoutingGrid(design)
+    nets = scheduled_router_nets(design)
+    scheduler = BatchScheduler(grid, policy=policy)
+    plan = scheduler.plan(nets)
+    assert sorted(net.name for batch in plan for net in batch) == sorted(
+        net.name for net in nets
+    )
+    reach = grid.interaction_reach_cells(grid.interaction_radius())
+    for batch in plan:
+        # Radius-expanded windows (the soundness region: bbox + reach) must
+        # be pairwise disjoint within a batch.
+        windows = [scheduler.net_window(net, expand_cells=reach) for net in batch]
+        for i in range(len(windows)):
+            for j in range(i + 1, len(windows)):
+                assert not windows_overlap(windows[i], windows[j]), (
+                    batch[i].name,
+                    batch[j].name,
+                )
+
+
+def test_scheduler_respects_max_batch():
+    design = build_case("ispd18", 3, 0.7)
+    grid = RoutingGrid(design)
+    nets = scheduled_router_nets(design)
+    for policy in ("prefix", "greedy"):
+        plan = BatchScheduler(grid, policy=policy, max_batch=2).plan(nets)
+        assert max(len(batch) for batch in plan) <= 2
+
+
+def test_scheduler_rejects_unknown_policy():
+    design = build_case("ispd18", 1, 0.5)
+    with pytest.raises(ValueError):
+        BatchScheduler(RoutingGrid(design), policy="round-robin")
+
+
+# ----------------------------------------------------------------------
+# Commit-log replay equivalence
+# ----------------------------------------------------------------------
+
+def grid_state_digest(grid):
+    return (
+        bytes(grid.owner_buffer().tobytes()),
+        bytes(grid._color_buf),
+        bytes(grid.pressure_buffer().tobytes()),
+    )
+
+
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+def test_recorded_commit_log_replays_to_identical_grid_state(router_key):
+    design_direct = build_case("ispd18", 1, 0.5)
+    design_replay = build_case("ispd18", 1, 0.5)
+    direct = ROUTERS[router_key](design_direct, use_global_router=False) \
+        if router_key != "maze" else ROUTERS[router_key](design_direct)
+    replay = ROUTERS[router_key](design_replay, use_global_router=False) \
+        if router_key != "maze" else ROUTERS[router_key](design_replay)
+    nets_direct = direct.schedule_nets()
+    nets_replay = replay.schedule_nets()
+    for net_d, net_r in zip(nets_direct, nets_replay):
+        route_d = direct.route_net(net_d)
+        before = replay.grid.mutation_epoch
+        sink = RecordingSink()
+        route_r = replay.compute_route(net_r, sink=sink)
+        # Pure snapshot computation: the grid must be untouched...
+        assert replay.grid.mutation_epoch == before
+        # ...and replaying the log must land in the exact same state the
+        # direct commit produced.
+        apply_route_ops(replay.grid, net_r.name, sink.ops)
+        assert solution_fingerprint_one(route_d) == solution_fingerprint_one(route_r)
+    assert grid_state_digest(direct.grid) == grid_state_digest(replay.grid)
+
+
+def solution_fingerprint_one(route):
+    solution = RoutingSolution(design_name="x")
+    solution.add_route(route)
+    return solution_fingerprint(solution)
+
+
+# ----------------------------------------------------------------------
+# Differential suite: batched vs sequential (the determinism guarantee)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_prefix_matches_sequential(router_key, backend):
+    sequential = run_router(router_key, build_case("ispd18", 2, 0.5))
+    batched = run_router(
+        router_key,
+        build_case("ispd18", 2, 0.5),
+        parallelism=4,
+        batch_backend=backend,
+        batch_policy="prefix",
+    )
+    assert batched == sequential
+
+
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+@pytest.mark.parametrize("parallelism,batch_size", [(2, None), (4, 2), (4, 16)])
+def test_batched_thread_matches_sequential_across_batch_sizes(
+    router_key, parallelism, batch_size
+):
+    sequential = run_router(router_key, build_case("ispd19", 1, 0.5))
+    batched = run_router(
+        router_key,
+        build_case("ispd19", 1, 0.5),
+        parallelism=parallelism,
+        batch_size=batch_size,
+        batch_backend="thread",
+        batch_policy="prefix",
+    )
+    assert batched == sequential
+
+
+@pytest.mark.parametrize("seed_case", [("ispd18", 1), ("ispd19", 2)])
+def test_batched_matches_sequential_across_seeds(seed_case):
+    suite, number = seed_case
+    sequential = run_router("color-state", build_case(suite, number, 0.5))
+    batched = run_router(
+        "color-state",
+        build_case(suite, number, 0.5),
+        parallelism=4,
+        batch_backend="thread",
+    )
+    assert batched == sequential
+
+
+def test_greedy_policy_is_backend_invariant():
+    """Greedy permutes the order (so it may differ from sequential), but all
+    backends must agree with the serial executor on the same plan."""
+    reference = run_router(
+        "color-state",
+        build_case("ispd18", 2, 0.5),
+        parallelism=4,
+        batch_backend="serial",
+        batch_policy="greedy",
+    )
+    for backend in BACKENDS:
+        again = run_router(
+            "color-state",
+            build_case("ispd18", 2, 0.5),
+            parallelism=4,
+            batch_backend=backend,
+            batch_policy="greedy",
+        )
+        assert again == reference
+
+
+def test_forced_fallback_still_matches_sequential(monkeypatch):
+    """With speculation always rejected every net falls back to live
+    sequential routing -- results must still match and the counters must
+    show the fallbacks."""
+    from repro.sched.executor import BatchExecutor
+
+    sequential = run_router("maze", build_case("ispd18", 2, 0.5))
+    monkeypatch.setattr(
+        BatchExecutor, "_speculation_valid", lambda self, spec, committed: False
+    )
+    design = build_case("ispd18", 2, 0.5)
+    router = DetailedRouter(design, parallelism=4, batch_backend="thread")
+    solution = router.run()
+    assert (solution_fingerprint(solution), solution_metrics(solution)) == sequential
+    stats = router.batch_executor.stats
+    assert stats.speculative_accepted == 0
+    if stats.parallel_batches:
+        assert stats.speculative_fallbacks > 0
+
+
+def test_executor_stats_account_for_every_net():
+    design = build_case("ispd18", 2, 0.5)
+    router = MrTPLRouter(
+        design, use_global_router=False, parallelism=4, batch_backend="thread"
+    )
+    router.run()
+    stats = router.batch_executor.stats
+    assert stats.nets_routed >= len(design.routable_nets())
+    assert stats.batches >= 1
+    assert stats.largest_batch >= 1
+    assert stats.worker_errors == 0
+
+
+def test_legacy_engine_falls_back_to_serial_batches():
+    """The speculative backends require the flat engine; with the legacy
+    engine the executor must degrade to (still bit-identical) serial
+    batches instead of failing."""
+    sequential = run_router("maze", build_case("ispd18", 1, 0.5), engine="legacy")
+    design = build_case("ispd18", 1, 0.5)
+    router = DetailedRouter(
+        design, engine="legacy", parallelism=4, batch_backend="thread"
+    )
+    solution = router.run()
+    assert (solution_fingerprint(solution), solution_metrics(solution)) == sequential
+    assert router.batch_executor.stats.parallel_batches == 0
+    assert router.make_search_engine() is None
+
+
+def test_grid_sink_and_recording_sink_agree():
+    design = build_case("ispd18", 1, 0.5)
+    grid = RoutingGrid(design)
+    vertex = grid.vertex_of(grid.plane_size // 2)
+    recording = RecordingSink()
+    recording.occupy(vertex)
+    recording.set_color(vertex, 1)
+    direct = GridSink(grid, "netX")
+    direct.occupy(vertex)
+    direct.set_color(vertex, 1)
+    replay_grid = RoutingGrid(build_case("ispd18", 1, 0.5))
+    apply_route_ops(replay_grid, "netX", recording.ops)
+    assert grid_state_digest(grid) == grid_state_digest(replay_grid)

@@ -14,7 +14,6 @@ import pytest
 
 from repro.bench import SyntheticSpec, generate_design
 from repro.check import DirtyRegionTracker, IncrementalConflictChecker, IncrementalDRCChecker
-from repro.check.dirty import interaction_offsets
 from repro.dr import DetailedRouter, DRCChecker
 from repro.geometry import GridPoint
 from repro.grid import RoutingGrid, RoutingSolution
@@ -243,7 +242,7 @@ def test_expanded_indices_covers_interaction_radius():
     radius = grid.rules.color_spacing_on(0)
     region = tracker.expanded_indices(radius)
     index = grid.index_of(vertex)
-    offsets = interaction_offsets(grid, radius)
+    offsets = grid.interaction_offsets(radius)
     assert (0, 0, 0) in offsets
     expected = {index + delta for dcol, drow, delta in offsets
                 if 0 <= 5 + dcol < grid.num_cols and 0 <= 5 + drow < grid.num_rows}
