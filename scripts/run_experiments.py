@@ -4,10 +4,18 @@
 Usage::
 
     python scripts/run_experiments.py [scale] [max_cases] [parallelism]
+        [--backend thread|process|pool|serial]
+        [--min-fork-batch N] [--margin-cells N]
 
 A ``parallelism`` above 1 routes through the :mod:`repro.sched` batched
-rip-up loop (speculative thread backend, order-preserving prefix policy --
+rip-up loop (speculative backend, order-preserving prefix policy --
 bit-identical results, concurrent batch computation on multi-core hosts).
+``--backend pool`` uses the persistent journal-replicated worker pool
+(workers fork once and catch up between batches by journal-suffix replay).
+``--min-fork-batch`` and ``--margin-cells`` expose the executor/scheduler
+tuning knobs (defaults: the ``REPRO_MIN_FORK_BATCH`` /
+``REPRO_BATCH_MARGIN`` environment, then 3 / 0) so multi-core hosts can
+tune them from the recorded fallback counters.
 
 Rows are appended to ``experiment_results.jsonl`` in the repository root so a
 partially completed run is still usable for EXPERIMENTS.md.
@@ -15,8 +23,8 @@ partially completed run is still usable for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 from pathlib import Path
 
 from repro.bench.suites import ispd18_suite, ispd19_suite
@@ -25,24 +33,57 @@ from repro.eval.experiments import run_table2_case, run_table3_case
 OUT = Path(__file__).resolve().parent.parent / "experiment_results.jsonl"
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.7)
+    parser.add_argument("max_cases", nargs="?", type=int, default=10)
+    parser.add_argument("parallelism", nargs="?", type=int, default=1)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "thread", "process", "pool"),
+        help="batched-executor backend (default: thread when parallelism > 1)",
+    )
+    parser.add_argument(
+        "--min-fork-batch",
+        type=int,
+        default=None,
+        help="smallest batch worth forking for "
+        "(default: REPRO_MIN_FORK_BATCH or 3)",
+    )
+    parser.add_argument(
+        "--margin-cells",
+        type=int,
+        default=None,
+        help="extra scheduler window margin in cells "
+        "(default: REPRO_BATCH_MARGIN or 0)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
-    max_cases = int(sys.argv[2]) if len(sys.argv) > 2 else 10
-    parallelism = int(sys.argv[3]) if len(sys.argv) > 3 else 1
-    backend = "thread" if parallelism > 1 else "serial"
+    args = parse_args()
+    scale = args.scale
+    max_cases = args.max_cases
+    parallelism = args.parallelism
+    backend = args.backend
+    if backend is None:
+        backend = "thread" if parallelism > 1 else "serial"
+    knobs = {
+        "parallelism": parallelism,
+        "batch_backend": backend,
+        "min_fork_batch": args.min_fork_batch,
+        "batch_margin": args.margin_cells,
+    }
     with OUT.open("a") as handle:
         for case in ispd18_suite(scale, cases=list(range(1, max_cases + 1))):
-            row = run_table2_case(
-                case, max_iterations=3, parallelism=parallelism, batch_backend=backend
-            )
+            row = run_table2_case(case, max_iterations=3, **knobs)
             record = {"table": "II", "scale": scale, **row.as_dict()}
             handle.write(json.dumps(record) + "\n")
             handle.flush()
             print("T2", record, flush=True)
         for case in ispd19_suite(scale, cases=list(range(1, max_cases + 1))):
-            row = run_table3_case(
-                case, max_iterations=3, parallelism=parallelism, batch_backend=backend
-            )
+            row = run_table3_case(case, max_iterations=3, **knobs)
             record = {"table": "III", "scale": scale, **row.as_dict()}
             record["decomposition_runtime"] = row.decomposition_runtime
             record["ours_runtime"] = row.ours_runtime

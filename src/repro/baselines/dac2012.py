@@ -234,6 +234,8 @@ class Dac2012Router:
         batch_size: Optional[int] = None,
         batch_backend: str = "serial",
         batch_policy: str = "prefix",
+        min_fork_batch: Optional[int] = None,
+        batch_margin: Optional[int] = None,
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -265,7 +267,13 @@ class Dac2012Router:
         else:
             raise ValueError(f"unknown search engine {engine!r}; expected 'flat' or 'legacy'")
         self.batch_executor = make_batch_executor(
-            self, parallelism, batch_size, batch_backend, batch_policy
+            self,
+            parallelism,
+            batch_size,
+            batch_backend,
+            batch_policy,
+            min_fork_batch=min_fork_batch,
+            margin_cells=batch_margin,
         )
 
     # ------------------------------------------------------------------

@@ -32,10 +32,15 @@ identical reports (baseline: ``BENCH_incremental_check.json``).
 
 :func:`run_batch_sched_benchmarks` (``--batched``) routes every case both
 through the plain sequential loop and through the :mod:`repro.sched`
-disjoint-batch executor (``--parallelism`` / ``--backend``), asserting the
-batched solutions are bit-identical and recording the wall-clock ratio plus
-the executor's batch/speculation counters and the host ``cpu_count``
-(baseline: ``BENCH_batch_sched.json``).
+disjoint-batch executor (``--parallelism`` / ``--backend``, which accepts a
+comma-separated backend list including the persistent journal-replicated
+``pool``; ``--min-fork-batch`` / ``--margin-cells`` expose the tuning
+knobs), asserting the batched solutions are bit-identical and recording per
+backend the wall-clock ratio plus the executor's full stats (speculation,
+fork and journal-replay counters) and the host ``cpu_count`` (baseline:
+``BENCH_batch_sched.json``).  Beyond the dense ispd-like sweep the batched
+run appends the production-shaped :data:`SPARSE_CASES`, whose small
+net-span/die ratios let batches actually grow toward the parallelism cap.
 
 ``python -m repro.bench.micro`` writes either result set as a
 ``BENCH_*.json`` perf baseline so CI and future PRs can track regressions.
@@ -61,6 +66,12 @@ DEFAULT_BENCH_SCALE = 0.7
 #: Extra denser cases appended to the engine benchmark beyond the ispd18
 #: sweep: one ispd19-like case (tighter color spacing regime, more nets).
 DENSE_CASES: Tuple[Tuple[str, int], ...] = (("ispd19", 4),)
+
+#: Production-shaped sparse cases appended to the batched benchmark: small
+#: net-span/die ratios, so disjoint batches actually grow toward the
+#: executor's ``parallelism`` cap (the ispd18/19-like cases are too dense
+#: for that -- their mean batch size saturates around 1.5-3).
+SPARSE_CASES: Tuple[Tuple[str, int], ...] = (("sparse", 1), ("sparse", 2), ("sparse", 3))
 
 
 def default_bench_scale() -> float:
@@ -303,55 +314,65 @@ def run_batch_sched_benchmarks(
     routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
     repeat: int = 1,
     parallelism: int = 4,
-    backend: str = "thread",
+    backends: Tuple[str, ...] = ("thread",),
     policy: str = "prefix",
+    min_fork_batch: Optional[int] = None,
+    margin_cells: Optional[int] = None,
     dense_cases: Tuple[Tuple[str, int], ...] = DENSE_CASES,
+    sparse_cases: Tuple[Tuple[str, int], ...] = SPARSE_CASES,
 ) -> Dict[str, object]:
     """Benchmark the batched rip-up loop against the sequential loop.
 
     For every suite case and router the same design is routed *repeat*
-    times sequentially and *repeat* times through the :mod:`repro.sched`
-    disjoint-batch executor (default: the speculative thread backend at the
-    order-preserving ``prefix`` policy).  The run asserts the batched
-    solutions are identical to the sequential ones (the determinism
-    guarantee of the prefix policy) and records median wall-clocks plus the
-    executor's batch/speculation counters.  ``cpu_count`` is recorded with
-    the document: the speculative backends can only turn batch concurrency
+    times sequentially and *repeat* times per entry of *backends* through
+    the :mod:`repro.sched` disjoint-batch executor (default: the
+    speculative thread backend at the order-preserving ``prefix`` policy;
+    ``pool`` exercises the persistent journal-replicated workers).  The run
+    asserts every batched solution is identical to the sequential one (the
+    determinism guarantee of the prefix policy) and records one result row
+    per backend: median wall-clocks plus the executor's full
+    ``ExecutorStats`` counters (speculation accept/fallback, worker errors,
+    pool forks, replayed journal ops).  The effective ``min_fork_batch`` /
+    ``margin_cells`` knob values are recorded in the document so a saved
+    baseline documents the tuning that produced it.  ``cpu_count`` is
+    recorded too: the speculative backends can only turn batch concurrency
     into wall-clock speedup when the host actually has cores to run the
     workers on.
     """
     from repro.baselines.dac2012 import Dac2012Router
     from repro.bench.suites import suite_case
     from repro.dr.router import DetailedRouter
+    from repro.sched import resolve_batch_margin, resolve_min_fork_batch
     from repro.tpl.mr_tpl import MrTPLRouter
 
     if scale is None:
         scale = default_bench_scale()
     repeat = max(1, repeat)
+    min_fork_batch = resolve_min_fork_batch(min_fork_batch)
+    margin_cells = resolve_batch_margin(margin_cells)
     router_classes = {
         "maze": DetailedRouter,
         "color-state": MrTPLRouter,
         "dac2012": Dac2012Router,
     }
     case_list = [(suite, number) for number in cases]
-    # Dense appendix cases can coincide with the selected sweep (e.g. the
-    # full-scale ispd19 1-5 sweep already covers case 4): route each case
-    # once, or the geomean would double-weight it.
-    case_list.extend(entry for entry in dense_cases if entry not in case_list)
+    # Appendix cases can coincide with the selected sweep (e.g. the
+    # full-scale ispd19 1-5 sweep already covers dense case 4): route each
+    # case once, or the geomean would double-weight it.
+    for extra in (dense_cases, sparse_cases):
+        case_list.extend(entry for entry in extra if entry not in case_list)
     results: List[Dict[str, object]] = []
     for case_suite, number in case_list:
         for router_key in routers:
             router_class = router_classes[router_key]
-            timings: Dict[str, float] = {}
-            digests: Dict[str, object] = {}
-            identical_repeats = True
-            batch_stats: Dict[str, int] = {}
-            for mode in ("sequential", "batched"):
+
+            def run_mode(backend: Optional[str]):
                 samples: List[float] = []
                 mode_digests: List[object] = []
+                batch_stats: Dict[str, int] = {}
                 for _round in range(repeat):
                     design = suite_case(case_suite, number, scale).build()
-                    if mode == "sequential":
+                    if backend is None:
                         router = router_class(design)
                     else:
                         router = router_class(
@@ -359,6 +380,8 @@ def run_batch_sched_benchmarks(
                             parallelism=parallelism,
                             batch_backend=backend,
                             batch_policy=policy,
+                            min_fork_batch=min_fork_batch,
+                            batch_margin=margin_cells,
                         )
                     start = time.perf_counter()
                     solution = router.run()
@@ -366,29 +389,30 @@ def run_batch_sched_benchmarks(
                     mode_digests.append(
                         (solution_fingerprint(solution), solution_metrics(solution))
                     )
-                    if mode == "batched":
+                    if backend is not None:
                         batch_stats = router.batch_executor.stats.as_dict()
-                timings[mode] = median(samples)
-                digests[mode] = mode_digests[0]
-                identical_repeats = identical_repeats and all(
-                    digest == mode_digests[0] for digest in mode_digests
+                stable = all(digest == mode_digests[0] for digest in mode_digests)
+                return median(samples), mode_digests[0], stable, batch_stats
+
+            seq_seconds, seq_digest, seq_stable, _ = run_mode(None)
+            for backend in backends:
+                seconds, digest, stable, batch_stats = run_mode(backend)
+                results.append(
+                    {
+                        "suite": case_suite,
+                        "case": number,
+                        "router": router_key,
+                        "backend": backend,
+                        "sequential_seconds": round(seq_seconds, 4),
+                        "batched_seconds": round(seconds, 4),
+                        "speedup": round(seq_seconds / max(seconds, 1e-9), 3),
+                        "identical_solutions": seq_stable
+                        and stable
+                        and digest == seq_digest,
+                        "batch_stats": batch_stats,
+                        "metrics": digest[1],
+                    }
                 )
-            identical = identical_repeats and digests["sequential"] == digests["batched"]
-            results.append(
-                {
-                    "suite": case_suite,
-                    "case": number,
-                    "router": router_key,
-                    "sequential_seconds": round(timings["sequential"], 4),
-                    "batched_seconds": round(timings["batched"], 4),
-                    "speedup": round(
-                        timings["sequential"] / max(timings["batched"], 1e-9), 3
-                    ),
-                    "identical_solutions": identical,
-                    "batch_stats": batch_stats,
-                    "metrics": digests["batched"][1],
-                }
-            )
     speedups = [entry["speedup"] for entry in results]
     geomean = 1.0
     for value in speedups:
@@ -400,10 +424,13 @@ def run_batch_sched_benchmarks(
         "scale": scale,
         "cases": list(cases),
         "dense_cases": [list(entry) for entry in dense_cases],
+        "sparse_cases": [list(entry) for entry in sparse_cases],
         "repeat": repeat,
         "parallelism": parallelism,
-        "backend": backend,
+        "backends": list(backends),
         "policy": policy,
+        "min_fork_batch": min_fork_batch,
+        "margin_cells": margin_cells,
         "cpu_count": os.cpu_count(),
         "numpy_available": have_numpy(),
         "numpy_enabled": numpy_enabled(),
@@ -551,7 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description=run_engine_benchmarks.__doc__)
-    parser.add_argument("--suite", default="ispd18", choices=("ispd18", "ispd19"))
+    parser.add_argument("--suite", default="ispd18", choices=("ispd18", "ispd19", "sparse"))
     parser.add_argument("--cases", default="1,2,3", help="comma-separated case numbers")
     parser.add_argument(
         "--scale",
@@ -590,17 +617,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--backend",
         default="thread",
-        choices=("serial", "thread", "process"),
-        help="batched-executor backend (--batched only)",
+        help="comma-separated batched-executor backend list "
+        "(serial/thread/process/pool; --batched only)",
+    )
+    parser.add_argument(
+        "--min-fork-batch",
+        type=int,
+        default=None,
+        help="smallest batch worth forking for (default: REPRO_MIN_FORK_BATCH "
+        "or 3; --batched only)",
+    )
+    parser.add_argument(
+        "--margin-cells",
+        type=int,
+        default=None,
+        help="extra scheduler window margin in cells (default: "
+        "REPRO_BATCH_MARGIN or 0; --batched only)",
     )
     parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
     args = parser.parse_args(argv)
 
     cases = tuple(int(token) for token in args.cases.split(",") if token.strip())
+    backends = tuple(token.strip() for token in args.backend.split(",") if token.strip())
+    if args.batched:
+        # Reject typos up front: a bad second backend must not surface only
+        # after the first backend's (potentially hours-long) sweep ran.
+        from repro.sched import BACKENDS
+
+        unknown = [backend for backend in backends if backend not in BACKENDS]
+        if unknown:
+            parser.error(
+                f"unknown --backend value(s) {unknown}; expected among {BACKENDS}"
+            )
+        if not backends:
+            parser.error("--backend selected no backends")
     scale = args.scale
     dense_cases = DENSE_CASES
+    sparse_cases = SPARSE_CASES
     if args.smoke:
-        cases, scale, dense_cases = (1,), 0.5, ()
+        cases, scale, dense_cases, sparse_cases = (1,), 0.5, (), ()
     if not cases:
         parser.error("--cases selected no case numbers")
     if args.incremental:
@@ -614,8 +669,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale=scale,
             repeat=args.repeat,
             parallelism=args.parallelism,
-            backend=args.backend,
+            backends=backends,
+            min_fork_batch=args.min_fork_batch,
+            margin_cells=args.margin_cells,
             dense_cases=dense_cases,
+            sparse_cases=sparse_cases,
         )
     else:
         report = run_engine_benchmarks(
@@ -640,13 +698,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats = entry["batch_stats"]
             print(
                 f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
+                f"{entry['backend']:<7} "
                 f"sequential={entry['sequential_seconds']:.3f}s "
                 f"batched={entry['batched_seconds']:.3f}s "
                 f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']} "
                 f"batches={stats.get('batches', 0)} "
                 f"largest={stats.get('largest_batch', 0)} "
                 f"spec={stats.get('speculative_accepted', 0)}"
-                f"/fb={stats.get('speculative_fallbacks', 0)}"
+                f"/fb={stats.get('speculative_fallbacks', 0)} "
+                f"forks={stats.get('pool_forks', 0)} "
+                f"replayed={stats.get('replayed_ops', 0)}"
             )
         else:
             print(

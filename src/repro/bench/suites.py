@@ -133,10 +133,68 @@ def ispd19_suite(scale: float = 1.0, cases: Optional[List[int]] = None) -> List[
     return suite
 
 
+def sparse_suite(scale: float = 1.0, cases: Optional[List[int]] = None) -> List[SuiteCase]:
+    """Return the production-shaped sparse suite (batched-routing workload).
+
+    The ispd18/19-like cases are dense relative to their die: net spans
+    cover a large fraction of the (small) die, so the interaction-radius-
+    expanded windows of consecutive nets almost always overlap and the
+    disjoint-batch scheduler's mean batch size saturates around 1.5-3.
+    Production layouts look different -- short, local nets scattered over a
+    die that is large compared to any one net's span.  These three cases
+    reproduce that regime (net-span/die ratio ~0.1-0.2 instead of ~0.5): a
+    pending-net queue holds many pairwise-disjoint windows at once, so
+    batches actually grow toward the executor's ``parallelism`` cap and the
+    batched loop's concurrency becomes visible end-to-end.
+    """
+    profiles = [
+        # (cols, rows, layers, nets, obstacles, net_radius)
+        (64, 64, 3, 52, 3, 4),
+        (80, 80, 3, 76, 4, 5),
+        (96, 96, 4, 104, 4, 5),
+    ]
+    wanted = cases if cases is not None else list(range(1, len(profiles) + 1))
+    suite: List[SuiteCase] = []
+    for number in wanted:
+        if not 1 <= number <= len(profiles):
+            raise ValueError(
+                f"sparse suite has cases 1-{len(profiles)}, got {number}"
+            )
+        cols, rows, layers, nets, obstacles, radius = profiles[number - 1]
+        spec = SyntheticSpec(
+            name=f"sparselike_test{number}",
+            seed=2100 + number,
+            cols=_scaled(cols, scale, 32),
+            rows=_scaled(rows, scale, 32),
+            num_layers=layers,
+            color_spacing=8,
+            num_nets=_scaled(nets, scale, 8),
+            min_pins=2,
+            max_pins=4,
+            multi_pin_bias=0.55,
+            # The locality radius is deliberately NOT scaled: shrinking the
+            # die must not shrink the nets, or the span/die ratio (the whole
+            # point of the suite) would drift back toward the dense regime.
+            net_radius=radius,
+            obstacle_count=obstacles,
+            obstacle_span=3,
+            colored_obstacle_fraction=0.5,
+            macro_count=0,
+            row_spacing=4,
+            cell_spacing=4,
+        )
+        suite.append(SuiteCase(name=f"test{number}", spec=spec))
+    return suite
+
+
 def suite_case(suite_name: str, number: int, scale: float = 1.0) -> SuiteCase:
-    """Return one case of either suite by name (``"ispd18"`` / ``"ispd19"``)."""
+    """Return one case of a suite by name (``"ispd18"`` / ``"ispd19"`` / ``"sparse"``)."""
     if suite_name == "ispd18":
         return ispd18_suite(scale, cases=[number])[0]
     if suite_name == "ispd19":
         return ispd19_suite(scale, cases=[number])[0]
-    raise ValueError(f"unknown suite {suite_name!r}; expected 'ispd18' or 'ispd19'")
+    if suite_name == "sparse":
+        return sparse_suite(scale, cases=[number])[0]
+    raise ValueError(
+        f"unknown suite {suite_name!r}; expected 'ispd18', 'ispd19' or 'sparse'"
+    )

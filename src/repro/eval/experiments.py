@@ -7,6 +7,10 @@
   suite (conflicts, stitches).
 * :func:`run_fig1_examples` -- the qualitative Fig. 1 scenarios.
 * :func:`run_fig3_walkthrough` -- the Fig. 3 color-state walk-through.
+* :func:`route_with_checkpoint` -- journal-backed resume-able routing: a
+  campaign's grid mutations are journalled and checkpointed to disk; a
+  rerun loads the checkpoint and rebuilds the exact grid + solution by
+  journal replay instead of routing again.
 
 Each harness returns plain dataclass rows so the benchmark scripts, the
 examples and ``EXPERIMENTS.md`` all consume the same numbers.
@@ -15,7 +19,8 @@ examples and ``EXPERIMENTS.md`` all consume the same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import Dac2012Router, LayoutDecomposer
 from repro.bench.micro import fig1_dense_cluster, fig1_multi_pin_net, fig3_walkthrough_design
@@ -90,6 +95,8 @@ def run_table2_case(
     use_global_router: bool = True,
     parallelism: int = 1,
     batch_backend: str = "serial",
+    min_fork_batch: Optional[int] = None,
+    batch_margin: Optional[int] = None,
 ) -> Table2Row:
     """Run the Table II comparison on a single suite case.
 
@@ -114,6 +121,8 @@ def run_table2_case(
         max_iterations=max_iterations,
         parallelism=parallelism,
         batch_backend=batch_backend,
+        min_fork_batch=min_fork_batch,
+        batch_margin=batch_margin,
     )
     baseline_solution = baseline_router.run()
     baseline_eval = evaluate_solution(
@@ -129,6 +138,8 @@ def run_table2_case(
         max_iterations=max_iterations,
         parallelism=parallelism,
         batch_backend=batch_backend,
+        min_fork_batch=min_fork_batch,
+        batch_margin=batch_margin,
     )
     ours_solution = ours_router.run()
     ours_eval = evaluate_solution(design_for_ours, ours_grid, ours_solution, guides_ours)
@@ -142,6 +153,8 @@ def run_table2(
     max_iterations: Optional[int] = None,
     parallelism: int = 1,
     batch_backend: str = "serial",
+    min_fork_batch: Optional[int] = None,
+    batch_margin: Optional[int] = None,
 ) -> List[Table2Row]:
     """Run the full Table II experiment over the ISPD-2018-like suite."""
     suite = ispd18_suite(scale, cases=list(cases) if cases is not None else None)
@@ -154,6 +167,8 @@ def run_table2(
                 max_iterations=max_iterations,
                 parallelism=parallelism,
                 batch_backend=batch_backend,
+                min_fork_batch=min_fork_batch,
+                batch_margin=batch_margin,
             )
         )
     return rows
@@ -223,6 +238,8 @@ def run_table3_case(
     use_global_router: bool = True,
     parallelism: int = 1,
     batch_backend: str = "serial",
+    min_fork_batch: Optional[int] = None,
+    batch_margin: Optional[int] = None,
 ) -> Table3Row:
     """Run the Table III comparison on a single suite case.
 
@@ -247,6 +264,8 @@ def run_table3_case(
         max_iterations=max_iterations,
         parallelism=parallelism,
         batch_backend=batch_backend,
+        min_fork_batch=min_fork_batch,
+        batch_margin=batch_margin,
     )
     plain_solution = plain_router.run()
     decomposer = LayoutDecomposer(design_for_decomposition, decomp_grid)
@@ -261,6 +280,8 @@ def run_table3_case(
         max_iterations=max_iterations,
         parallelism=parallelism,
         batch_backend=batch_backend,
+        min_fork_batch=min_fork_batch,
+        batch_margin=batch_margin,
     )
     ours_solution = ours_router.run()
     # Served from the router's incremental tallies (a delta refresh, not a
@@ -285,6 +306,8 @@ def run_table3(
     max_iterations: Optional[int] = None,
     parallelism: int = 1,
     batch_backend: str = "serial",
+    min_fork_batch: Optional[int] = None,
+    batch_margin: Optional[int] = None,
 ) -> List[Table3Row]:
     """Run the full Table III experiment over the ISPD-2019-like suite."""
     suite = ispd19_suite(scale, cases=list(cases) if cases is not None else None)
@@ -297,6 +320,8 @@ def run_table3(
                 max_iterations=max_iterations,
                 parallelism=parallelism,
                 batch_backend=batch_backend,
+                min_fork_batch=min_fork_batch,
+                batch_margin=batch_margin,
             )
         )
     return rows
@@ -408,6 +433,60 @@ def run_fig3_walkthrough(max_iterations: Optional[int] = None) -> Fig3Result:
         stitches=evaluation.stitches,
         conflicts=evaluation.conflicts,
     )
+
+
+# ----------------------------------------------------------------------
+# Journal-backed checkpoint / resume
+# ----------------------------------------------------------------------
+
+def route_with_checkpoint(
+    design: Design,
+    router_cls,
+    checkpoint_path: Union[str, Path],
+    **router_kwargs,
+) -> Tuple["RoutingSolution", RoutingGrid, bool]:
+    """Route *design* with *router_cls*, checkpointing the campaign to disk.
+
+    When *checkpoint_path* does not exist the design is routed with a
+    :class:`~repro.journal.MutationJournal` attached to the grid, and the
+    finished campaign (design + journal + solution) is saved there.  When
+    it exists, the campaign is **resumed** instead: the checkpoint is
+    loaded, verified to describe the *same* design (a stale checkpoint for
+    a different case/scale raises rather than silently returning the
+    wrong campaign), the grid rebuilt by replaying the journal
+    (bit-identical to the grid that was saved), and the stored solution
+    returned without routing anything.  Returns ``(solution, grid,
+    resumed)``.
+    """
+    from repro.io.json_io import design_to_dict
+    from repro.io.journal_io import load_checkpoint, save_checkpoint
+
+    path = Path(checkpoint_path)
+    if path.exists():
+        _LOG.info("resuming campaign from checkpoint %s", path)
+        saved_design, grid, _journal, solution = load_checkpoint(path)
+        if design_to_dict(saved_design) != design_to_dict(design):
+            raise ValueError(
+                f"checkpoint {path} was recorded for design "
+                f"{saved_design.name!r}, which differs from the requested "
+                f"design {design.name!r}; delete the checkpoint to reroute"
+            )
+        if solution is None:
+            raise ValueError(f"checkpoint {path} holds no routing solution")
+        expected_router = getattr(router_cls, "name", router_cls.__name__)
+        if solution.router_name != expected_router:
+            raise ValueError(
+                f"checkpoint {path} holds a {solution.router_name!r} "
+                f"campaign, not the requested {expected_router!r}; "
+                "delete the checkpoint to reroute"
+            )
+        return solution, grid, True
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    router = router_cls(design, grid=grid, **router_kwargs)
+    solution = router.run()
+    save_checkpoint(path, design, journal, solution)
+    return solution, grid, False
 
 
 # ----------------------------------------------------------------------

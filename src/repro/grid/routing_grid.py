@@ -34,6 +34,20 @@ on top as thin shims converting at the boundary.
 Two deliberately sparse side tables remain dicts: the rare multi-owner
 occupancy case (a short, negotiated away by rip-up & reroute) and the
 per-net color-pressure overlay (non-zero only near a net's own metal).
+
+The mutation choke point
+------------------------
+
+Every mutation of searchable state flows through **one** method,
+:meth:`RoutingGrid.apply_op`, as a :mod:`repro.journal` op tuple.  The
+public mutators (``occupy``/``release_net``/``set_vertex_color``/
+``add_history``/``decay_history``/``block_*``/``reset_routing_state``) are
+thin wrappers that build the op; ``apply_op`` dispatches it to the private
+``_apply_*`` handler, records it in the attached
+:class:`~repro.journal.MutationJournal` (if any), and taps the delta
+listeners of :mod:`repro.check`.  Replaying a journal onto a fresh grid
+over the same design therefore reproduces every buffer bit-identically --
+the property the persistent worker pool and checkpoint/resume rest on.
 """
 
 from __future__ import annotations
@@ -46,6 +60,19 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.accel import get_numpy
 from repro.design import Design
 from repro.geometry import GridPoint, Point, Rect, SpatialIndex
+from repro.journal import (
+    MutationJournal,
+    OP_BLOCK_RECT,
+    OP_BLOCK_VERTEX,
+    OP_COLOR,
+    OP_DECAY,
+    OP_HISTORY,
+    OP_INTERN,
+    OP_OCCUPY,
+    OP_RELEASE,
+    OP_RESET,
+    Op,
+)
 from repro.tech import DesignRules, TechStack
 
 
@@ -214,6 +241,11 @@ class RoutingGrid:
         # unchanged, a previously built per-net snapshot is still exact.
         self._mutation_epoch = 0
 
+        # Attached mutation journal (None = not recording).  When set,
+        # apply_op appends every applied op, so the journal is a complete,
+        # replayable event log of this grid's post-attach mutations.
+        self._journal: Optional[MutationJournal] = None
+
         # Delta listeners (repro.check.DirtyRegionTracker): notified of
         # per-net occupancy / color commits and releases so incremental
         # checkers can re-validate only the changed neighbourhood.  Bound
@@ -360,11 +392,93 @@ class RoutingGrid:
         ]
 
     # ------------------------------------------------------------------
+    # Mutation choke point (journal ops)
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self) -> Optional[MutationJournal]:
+        """Return the attached mutation journal, or ``None``."""
+        return self._journal
+
+    def attach_journal(
+        self, journal: Optional[MutationJournal] = None
+    ) -> MutationJournal:
+        """Attach (creating if needed) a journal recording every future op.
+
+        The journal captures only post-attach mutations; a replica must
+        start from the state the grid had at attach time (for an attach
+        right after construction: a fresh grid over the same design).
+        Re-attaching while a different journal is active raises -- two
+        concurrent journals would each hold an incomplete stream.
+        """
+        if journal is None:
+            journal = MutationJournal()
+        if self._journal is not None and self._journal is not journal:
+            raise RuntimeError("grid already has a different journal attached")
+        self._journal = journal
+        return journal
+
+    def detach_journal(self) -> Optional[MutationJournal]:
+        """Stop recording and return the previously attached journal."""
+        journal = self._journal
+        self._journal = None
+        return journal
+
+    def apply_op(self, op: Op):
+        """Apply one :mod:`repro.journal` op -- THE mutation choke point.
+
+        Every grid mutation flows through here, whether issued by a public
+        mutator, replayed from a commit log (:mod:`repro.sched.commit`), or
+        replayed from a journal (:func:`repro.journal.replay_ops`).  The op
+        is dispatched to its ``_apply_*`` handler, recorded in the attached
+        journal, and then tapped to the delta listeners of
+        :mod:`repro.check` -- so journal replicas and incremental checkers
+        observe the exact same event stream.  Returns the handler's result
+        (e.g. the new net id for ``intern`` ops).
+        """
+        kind = op[0]
+        handler = _OP_HANDLERS.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown journal op {op!r}")
+        result = handler(self, op)
+        if self._journal is not None:
+            self._journal.record(op)
+        # Delta-listener tap: the live consumers of the op stream.
+        if kind == OP_OCCUPY:
+            if self._occupy_hooks:
+                for callback in self._occupy_hooks:
+                    callback(op[1], op[2])
+        elif kind == OP_COLOR:
+            if self._color_hooks:
+                for callback in self._color_hooks:
+                    callback(op[1], op[2], op[3])
+        elif kind == OP_RELEASE:
+            if self._release_hooks and result[1]:
+                for callback in self._release_hooks:
+                    callback(op[1], result[1])
+        elif kind == OP_RESET:
+            for callback in self._reset_hooks:
+                callback()
+        return result
+
+    # ------------------------------------------------------------------
     # Net-name interning
     # ------------------------------------------------------------------
 
     def net_id(self, net_name: str) -> int:
-        """Return (creating if needed) the interned id of *net_name* (>= 1)."""
+        """Return (creating if needed) the interned id of *net_name* (>= 1).
+
+        First-time interning is journalled (an ``intern`` op) because the
+        occupancy buffer stores interned ids: a bit-identical replay must
+        assign ids in the exact order the live grid did.
+        """
+        net_id = self._net_ids.get(net_name)
+        if net_id is None:
+            net_id = self.apply_op((OP_INTERN, net_name))
+        return net_id
+
+    def _apply_intern(self, op: Op) -> int:
+        net_name = op[1]
         net_id = self._net_ids.get(net_name)
         if net_id is None:
             net_id = len(self._net_names)
@@ -509,12 +623,26 @@ class RoutingGrid:
 
     def block_vertex(self, vertex: GridPoint) -> None:
         """Mark a single vertex as unusable."""
-        self._mutation_epoch += 1
         if self.in_bounds(vertex):
-            self._blocked_buf[self.index_of(vertex)] = 1
+            self.apply_op((OP_BLOCK_VERTEX, self.index_of(vertex)))
+        else:
+            # Out-of-bounds blocks mutate nothing journal-worthy, but the
+            # epoch bump is preserved for cache-invalidation parity.
+            self._mutation_epoch += 1
+
+    def _apply_block_vertex(self, op: Op) -> None:
+        self._mutation_epoch += 1
+        self._blocked_buf[op[1]] = 1
 
     def block_rect(self, layer: int, rect: Rect, name: str = "blockage") -> int:
         """Block every vertex covered by *rect* on *layer*; return the count."""
+        return self.apply_op(
+            (OP_BLOCK_RECT, layer, rect.xlo, rect.ylo, rect.xhi, rect.yhi, name)
+        )
+
+    def _apply_block_rect(self, op: Op) -> int:
+        _kind, layer, xlo, ylo, xhi, yhi, name = op
+        rect = Rect(xlo, ylo, xhi, yhi)
         self._mutation_epoch += 1
         vertices = self.vertices_covering(layer, rect)
         for vertex in vertices:
@@ -762,6 +890,10 @@ class RoutingGrid:
 
     def occupy_index(self, index: int, net_id: int) -> None:
         """Index/net-id variant of :meth:`occupy`."""
+        self.apply_op((OP_OCCUPY, net_id, index))
+
+    def _apply_occupy(self, op: Op) -> None:
+        _kind, net_id, index = op
         self._mutation_epoch += 1
         owner = self._owner_buf[index]
         if owner == 0:
@@ -778,9 +910,6 @@ class RoutingGrid:
             occupied = set()
             self._net_occupied[net_id] = occupied
         occupied.add(index)
-        if self._occupy_hooks:
-            for callback in self._occupy_hooks:
-                callback(net_id, index)
 
     def release_net(self, net_name: str) -> int:
         """Remove all occupancy, colors and colored shapes of *net_name*.
@@ -791,6 +920,17 @@ class RoutingGrid:
         net_id = self.net_id_if_known(net_name)
         if net_id == 0:
             return 0
+        return self.apply_op((OP_RELEASE, net_id))[0]
+
+    def _apply_release(self, op: Op) -> Tuple[int, Optional[Set[int]]]:
+        """Release one net; return ``(released_count, delta_or_None)``.
+
+        The delta (every vertex the net occupied or colored) is what the
+        release hooks receive; it is built only when listeners exist --
+        :meth:`apply_op` fires them from the returned value.
+        """
+        net_id = op[1]
+        net_name = self._net_names[net_id]
         released = 0
         self._mutation_epoch += 1
         occupied_indices = sorted(self._net_occupied.pop(net_id, ()))
@@ -816,12 +956,11 @@ class RoutingGrid:
             stale = [item for _rect, item in spatial.items() if item.net_name == net_name]
             for item in stale:
                 spatial.remove_item(item)
+        delta: Optional[Set[int]] = None
         if self._release_hooks and (occupied_indices or colored_vertices):
             # The per-net reverse index makes the released delta O(|net|).
             delta = set(occupied_indices) | set(colored_vertices)
-            for callback in self._release_hooks:
-                callback(net_id, delta)
-        return released
+        return released, delta
 
     def occupants(self, vertex: GridPoint) -> Set[str]:
         """Return the set of net names with metal at *vertex*."""
@@ -886,9 +1025,13 @@ class RoutingGrid:
             raise ValueError(f"TPL mask color must be 0, 1 or 2, got {color}")
         if not self.in_bounds(vertex):
             return
-        index = self.index_of(vertex)
+        self.apply_op((OP_COLOR, self.net_id(net_name), self.index_of(vertex), color))
+
+    def _apply_color(self, op: Op) -> None:
+        _kind, net_id, index, color = op
+        net_name = self._net_names[net_id]
+        vertex = self.vertex_of(index)
         self._mutation_epoch += 1
-        net_id = self.net_id(net_name)
         registered = self._net_colored_vertices.get(net_id)
         if registered is None:
             registered = {}
@@ -920,9 +1063,6 @@ class RoutingGrid:
         self._colored_shapes[vertex.layer].insert(shape.rect, shape)
         registered[index] = color
         self._add_vertex_pressure_index(index, net_id, color, sign=1.0)
-        if self._color_hooks:
-            for callback in self._color_hooks:
-                callback(net_id, index, color)
 
     def vertex_color(self, vertex: GridPoint) -> Optional[int]:
         """Return the mask color of routed metal at *vertex*, if any."""
@@ -1005,6 +1145,10 @@ class RoutingGrid:
 
     def add_history_index(self, index: int, amount: float = 1.0) -> None:
         """Index variant of :meth:`add_history`."""
+        self.apply_op((OP_HISTORY, index, amount))
+
+    def _apply_history(self, op: Op) -> None:
+        _kind, index, amount = op
         self._mutation_epoch += 1
         self._history_buf[index] += amount
         self._history_touched.add(index)
@@ -1024,9 +1168,15 @@ class RoutingGrid:
 
         When *factor* is ``None`` the :attr:`DesignRules.history_decay`
         factor applies -- the value the rip-up-and-reroute loops pass.
+        The journalled op carries the resolved factor, so replay does not
+        depend on the rules object.
         """
         if factor is None:
             factor = self.rules.history_decay
+        self.apply_op((OP_DECAY, factor))
+
+    def _apply_decay(self, op: Op) -> None:
+        factor = op[1]
         self._mutation_epoch += 1
         history = self._history_buf
         dead: List[int] = []
@@ -1045,6 +1195,9 @@ class RoutingGrid:
 
     def reset_routing_state(self) -> None:
         """Drop all routing results (occupancy, colors, history) but keep blockages."""
+        self.apply_op((OP_RESET,))
+
+    def _apply_reset(self, op: Op) -> None:
         self._mutation_epoch += 1
         num_vertices = self.num_vertices
         self._owner_buf = array("i", [0]) * num_vertices
@@ -1076,8 +1229,6 @@ class RoutingGrid:
                     f"__fixed__{obstacle.name or id(obstacle)}",
                     obstacle.color,
                 )
-        for callback in self._reset_hooks:
-            callback()
 
     def snapshot_statistics(self) -> Dict[str, int]:
         """Return grid occupancy statistics (used by reports and tests)."""
@@ -1091,3 +1242,19 @@ class RoutingGrid:
                 1 for index in self._history_touched if history[index] != 0.0
             ),
         }
+
+
+#: Op kind -> unbound ``RoutingGrid`` handler; the dispatch table of
+#: :meth:`RoutingGrid.apply_op`.  Module-level (not per-instance) so the
+#: choke point pays one dict get per op and forked replicas share it.
+_OP_HANDLERS = {
+    OP_INTERN: RoutingGrid._apply_intern,
+    OP_OCCUPY: RoutingGrid._apply_occupy,
+    OP_RELEASE: RoutingGrid._apply_release,
+    OP_COLOR: RoutingGrid._apply_color,
+    OP_HISTORY: RoutingGrid._apply_history,
+    OP_DECAY: RoutingGrid._apply_decay,
+    OP_BLOCK_VERTEX: RoutingGrid._apply_block_vertex,
+    OP_BLOCK_RECT: RoutingGrid._apply_block_rect,
+    OP_RESET: RoutingGrid._apply_reset,
+}

@@ -6,9 +6,22 @@
   subset of the contest formats (die area, instances, nets, obstacles) that
   keeps the parsing code path of a real router exercised without shipping
   the multi-hundred-megabyte originals,
-* :mod:`repro.io.guide_io` -- ISPD-style ``.guide`` files for route guides.
+* :mod:`repro.io.guide_io` -- ISPD-style ``.guide`` files for route guides,
+* :mod:`repro.io.journal_io` -- grid mutation journals and campaign
+  checkpoints (design + journal + solution; the grid is rebuilt by journal
+  replay on load, making rip-up campaigns resume-able).
 """
 
+from repro.io.journal_io import (
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    journal_from_dict,
+    journal_to_dict,
+    load_checkpoint,
+    load_journal_json,
+    save_checkpoint,
+    save_journal_json,
+)
 from repro.io.json_io import (
     design_to_dict,
     design_from_dict,
@@ -35,4 +48,12 @@ __all__ = [
     "read_def_lite",
     "write_guides",
     "read_guides",
+    "checkpoint_from_dict",
+    "checkpoint_to_dict",
+    "journal_from_dict",
+    "journal_to_dict",
+    "load_checkpoint",
+    "load_journal_json",
+    "save_checkpoint",
+    "save_journal_json",
 ]

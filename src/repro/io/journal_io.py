@@ -1,0 +1,143 @@
+"""JSON persistence of grid mutation journals and campaign checkpoints.
+
+A :class:`~repro.journal.MutationJournal` is a list of flat op tuples, so it
+serialises to JSON with no custom encoders.  On top of the plain journal
+round-trip this module defines the **checkpoint**: one JSON document holding
+the design, the journal of every grid mutation since construction, and
+(optionally) the routing solution.  Loading a checkpoint rebuilds the grid
+by constructing it from the design and replaying the journal through
+:meth:`RoutingGrid.apply_op` -- bit-identical to the grid that was saved,
+by the journal replay guarantee -- which makes long rip-up campaigns
+resume-able (see :func:`repro.eval.experiments.route_with_checkpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.design import Design
+from repro.grid import RoutingGrid, RoutingSolution
+from repro.io.json_io import (
+    design_from_dict,
+    design_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.journal import MutationJournal, ops_from_jsonable, ops_to_jsonable
+
+PathLike = Union[str, Path]
+
+#: Schema tag written into every checkpoint document.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+
+def _write_atomic(path: PathLike, text: str) -> None:
+    """Write *text* to *path* via a same-directory temp file + rename.
+
+    A crash mid-write must never leave a truncated document behind: a
+    half-written checkpoint would make every later resume attempt fail
+    instead of falling back to routing.
+    """
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(text)
+    os.replace(scratch, target)
+
+
+# ----------------------------------------------------------------------
+# Journals
+# ----------------------------------------------------------------------
+
+def journal_to_dict(journal: MutationJournal) -> Dict[str, Any]:
+    """Serialise *journal* to a JSON-compatible dictionary.
+
+    Only complete logs may be persisted: a compacted journal (non-zero
+    :attr:`~repro.journal.MutationJournal.base`) has lost its prefix and
+    could no longer rebuild a fresh grid on load.
+    """
+    if journal.base:
+        raise ValueError(
+            "cannot persist a compacted journal "
+            f"(ops before cursor {journal.base} were dropped)"
+        )
+    return {"ops": ops_to_jsonable(journal.ops)}
+
+
+def journal_from_dict(data: Dict[str, Any]) -> MutationJournal:
+    """Rebuild (and validate) a journal from :func:`journal_to_dict` output."""
+    return MutationJournal(ops_from_jsonable(data["ops"]))
+
+
+def save_journal_json(journal: MutationJournal, path: PathLike) -> None:
+    """Write *journal* to *path* as JSON (atomically)."""
+    _write_atomic(path, json.dumps(journal_to_dict(journal)))
+
+
+def load_journal_json(path: PathLike) -> MutationJournal:
+    """Read a journal previously written by :func:`save_journal_json`."""
+    return journal_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Checkpoints (design + journal + optional solution)
+# ----------------------------------------------------------------------
+
+def checkpoint_to_dict(
+    design: Design,
+    journal: MutationJournal,
+    solution: Optional[RoutingSolution] = None,
+) -> Dict[str, Any]:
+    """Serialise a campaign checkpoint to a JSON-compatible dictionary."""
+    document: Dict[str, Any] = {
+        "format": CHECKPOINT_FORMAT,
+        "design": design_to_dict(design),
+        "journal": journal_to_dict(journal),
+    }
+    if solution is not None:
+        document["solution"] = solution_to_dict(solution)
+    return document
+
+
+def checkpoint_from_dict(
+    data: Dict[str, Any],
+) -> Tuple[Design, RoutingGrid, MutationJournal, Optional[RoutingSolution]]:
+    """Rebuild ``(design, grid, journal, solution)`` from a checkpoint dict.
+
+    The grid is reconstructed by replaying the journal onto a fresh grid
+    over the loaded design, then the journal is re-attached so a resumed
+    campaign keeps appending to the same log (saving again extends the
+    checkpoint instead of forgetting history).
+    """
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"not a {CHECKPOINT_FORMAT} document (format={data.get('format')!r})"
+        )
+    design = design_from_dict(data["design"])
+    journal = journal_from_dict(data["journal"])
+    grid = RoutingGrid(design)
+    journal.replay_onto(grid)
+    grid.attach_journal(journal)
+    solution = (
+        solution_from_dict(data["solution"]) if "solution" in data else None
+    )
+    return design, grid, journal, solution
+
+
+def save_checkpoint(
+    path: PathLike,
+    design: Design,
+    journal: MutationJournal,
+    solution: Optional[RoutingSolution] = None,
+) -> None:
+    """Write a campaign checkpoint to *path* as JSON (atomically)."""
+    _write_atomic(path, json.dumps(checkpoint_to_dict(design, journal, solution)))
+
+
+def load_checkpoint(
+    path: PathLike,
+) -> Tuple[Design, RoutingGrid, MutationJournal, Optional[RoutingSolution]]:
+    """Read a checkpoint previously written by :func:`save_checkpoint`."""
+    return checkpoint_from_dict(json.loads(Path(path).read_text()))

@@ -8,21 +8,35 @@ package converts the remaining serial outer loop into batched throughput:
   (order-preserving ``prefix`` policy, or ``greedy`` first-fit coloring);
 * :class:`BatchExecutor` routes each batch through a deterministic serial
   backend (bit-identical to the sequential loop -- the parity oracle) or a
-  speculative ``thread`` / fork-based ``process`` backend that routes the
-  whole batch against a frozen snapshot with per-worker search engines,
-  validates every result's explored region against batch-mates' committed
-  deltas, replays accepted commit logs through the grid's delta hooks (so
-  the incremental DRC/conflict checkers re-validate only the merged batch)
-  and falls back to live routing when regions touch.
+  speculative ``thread`` / fork-per-batch ``process`` / persistent ``pool``
+  backend that routes the whole batch against a frozen snapshot with
+  per-worker search engines, validates every result's explored region
+  against batch-mates' committed deltas, replays accepted commit logs
+  (plain :mod:`repro.journal` ops) through the grid's ``apply_op`` choke
+  point (so the attached journal and the incremental DRC/conflict checkers
+  see the merged batch) and falls back to live routing when regions touch.
+  The ``pool`` backend's workers fork **once** and re-synchronise between
+  batches by replaying the grid journal suffix past their cursor -- no
+  re-fork, no snapshot serialisation.
 
 All three rip-up loops (``dr/router``, ``tpl/mr_tpl``,
 ``baselines/dac2012``) wire in through their ``parallelism`` /
-``batch_size`` / ``batch_backend`` constructor knobs.
+``batch_size`` / ``batch_backend`` constructor knobs, plus the
+``min_fork_batch`` / ``batch_margin`` tuning knobs (also settable through
+the ``REPRO_MIN_FORK_BATCH`` / ``REPRO_BATCH_MARGIN`` environment).
 """
 
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import GridSink, RecordingSink, apply_route_ops
-from repro.sched.executor import BACKENDS, BatchExecutor, ExecutorStats, make_batch_executor
+from repro.sched.executor import (
+    BACKENDS,
+    BatchExecutor,
+    ExecutorStats,
+    PersistentWorkerPool,
+    make_batch_executor,
+    resolve_batch_margin,
+    resolve_min_fork_batch,
+)
 
 __all__ = [
     "BACKENDS",
@@ -31,8 +45,11 @@ __all__ = [
     "CellWindow",
     "ExecutorStats",
     "GridSink",
+    "PersistentWorkerPool",
     "make_batch_executor",
     "RecordingSink",
     "apply_route_ops",
+    "resolve_batch_margin",
+    "resolve_min_fork_batch",
     "windows_overlap",
 ]

@@ -1,4 +1,4 @@
-"""Route-commit sinks: immediate grid commits vs recorded commit logs.
+"""Route-commit sinks: immediate grid commits vs recorded journal ops.
 
 Every router separates *computing* a net's route (searches, backtraces --
 pure reads of the grid) from *committing* it (occupancy and mask-color
@@ -11,25 +11,30 @@ body serves both execution modes:
 * :class:`RecordingSink` only appends the operations, in order, to a
   *commit log*.  The speculative batch backends route whole batches against
   a frozen grid snapshot this way and later replay accepted logs through
-  :func:`apply_route_ops` -- the replay performs the exact same
-  ``occupy`` / ``set_vertex_color`` call sequence the sequential router
-  would have performed, so the resulting grid state (including the
-  incremental checkers fed by the grid's delta hooks) is bit-identical.
+  :func:`apply_route_ops`.
 
-Log entries are plain tuples of :class:`~repro.geometry.GridPoint` and
-ints, so logs cross process boundaries (the fork-based backend pickles
-them back to the parent) without custom reducers.
+Since the journal refactor the commit log **is** a slice of the
+:mod:`repro.journal` op model: a :class:`RecordingSink` records exactly the
+``("occupy", net_id, index)`` / ``("color", net_id, index, color)`` op
+tuples that :class:`GridSink`'s grid calls would have pushed through
+:meth:`RoutingGrid.apply_op`, and :func:`apply_route_ops` replays them
+through that same choke point -- so deferred and immediate commits produce
+identical grid state, fire identical delta-listener events, and land in the
+attached journal identically.  Ops are flat tuples of ints, so logs cross
+process boundaries (the fork and pool backends pickle them back to the
+parent) without custom reducers.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence
 
 from repro.geometry import GridPoint
 from repro.grid import RoutingGrid
+from repro.journal import OP_COLOR, OP_OCCUPY, Op, replay_ops
 
-#: One commit operation: ``("occupy", vertex)`` or ``("color", vertex, mask)``.
-CommitOp = Tuple
+#: One commit operation -- a :mod:`repro.journal` op (``occupy``/``color``).
+CommitOp = Op
 
 
 class GridSink:
@@ -51,38 +56,44 @@ class GridSink:
 
 
 class RecordingSink:
-    """Commit sink that records operations (in order) instead of applying them.
+    """Commit sink that records journal ops (in order) instead of applying.
 
-    The grid is never touched; :attr:`ops` is the commit log to replay with
-    :func:`apply_route_ops` once the route is accepted.
+    The grid is only consulted for geometry (vertex -> flat index) and the
+    net id -- never mutated; :attr:`ops` is the commit log to replay with
+    :func:`apply_route_ops` once the route is accepted.  The recorded ops
+    mirror :class:`GridSink` gating exactly (out-of-bounds commits are
+    dropped, invalid mask colors raise), so replaying the log is
+    bit-equivalent to having committed immediately.
     """
 
-    __slots__ = ("ops",)
+    __slots__ = ("grid", "net_id", "ops")
 
-    def __init__(self) -> None:
+    def __init__(self, grid: RoutingGrid, net_name: str) -> None:
+        self.grid = grid
+        # Interning here (not at replay) keeps id assignment in routing
+        # order, matching what the GridSink path would have produced.
+        self.net_id = grid.net_id(net_name)
         self.ops: List[CommitOp] = []
 
     def occupy(self, vertex: GridPoint) -> None:
-        """Append an occupancy commit to the log."""
-        self.ops.append(("occupy", vertex))
+        """Append an occupancy op to the log."""
+        if self.grid.in_bounds(vertex):
+            self.ops.append((OP_OCCUPY, self.net_id, self.grid.index_of(vertex)))
 
     def set_color(self, vertex: GridPoint, color: int) -> None:
-        """Append a mask-color commit to the log."""
-        self.ops.append(("color", vertex, color))
+        """Append a mask-color op to the log."""
+        if not 0 <= color <= 2:
+            raise ValueError(f"TPL mask color must be 0, 1 or 2, got {color}")
+        if self.grid.in_bounds(vertex):
+            self.ops.append((OP_COLOR, self.net_id, self.grid.index_of(vertex), color))
 
 
-def apply_route_ops(grid: RoutingGrid, net_name: str, ops: List[CommitOp]) -> None:
-    """Replay a recorded commit log of *net_name* onto *grid*, in order.
+def apply_route_ops(grid: RoutingGrid, ops: Sequence[CommitOp]) -> None:
+    """Replay a recorded commit log onto *grid*, in order.
 
-    The replay issues the same grid calls, in the same order, that a
-    :class:`GridSink` would have issued during routing, so deferred and
-    immediate commits produce identical grid state and fire identical
-    delta-listener events.
+    The ops flow through :meth:`RoutingGrid.apply_op` -- the same choke
+    point immediate commits use -- so deferred and immediate commits
+    produce identical grid state, identical delta-listener events, and
+    identical journal entries.
     """
-    occupy = grid.occupy
-    set_color = grid.set_vertex_color
-    for op in ops:
-        if op[0] == "occupy":
-            occupy(op[1], net_name)
-        else:
-            set_color(op[1], net_name, op[2])
+    replay_ops(grid, ops)

@@ -9,7 +9,7 @@ plans, through one of three backends:
     With the scheduler's order-preserving ``prefix`` policy this *is* the
     sequential loop, so results are bit-identical by construction.
 
-``"thread"`` / ``"process"`` (speculative snapshot routing)
+``"thread"`` / ``"process"`` / ``"pool"`` (speculative snapshot routing)
     All nets of a batch are routed concurrently against the grid state at
     batch start ("the snapshot"): workers call the router's
     ``compute_route`` with a :class:`~repro.sched.commit.RecordingSink`
@@ -18,6 +18,16 @@ plans, through one of three backends:
     thread backend shares the live buffers under the GIL; the process
     backend forks per batch, giving each worker a copy-on-write snapshot
     for free (fork keeps the batch state exact with no serialisation).
+
+    The ``pool`` backend keeps **persistent journal-replicated workers**:
+    processes fork *once* (attaching a :class:`repro.journal
+    .MutationJournal` to the grid first, so every later mutation is
+    logged), and between batches each worker catches up by replaying only
+    the journal suffix past its cursor through ``RoutingGrid.apply_op`` --
+    no re-fork, no snapshot serialisation.  Because replay is
+    bit-identical (the journal replay guarantee), a caught-up worker's
+    grid is byte-for-byte the parent's, and the same explored-region
+    validation + live-reroute fallback applies unchanged.
 
     Commits are then applied **serially in batch order** with a speculative
     validation step: a snapshot-computed route is exact iff the search
@@ -42,6 +52,8 @@ asserts the end-to-end guarantee per backend.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from queue import SimpleQueue
@@ -53,7 +65,42 @@ from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
 
 #: Backends accepted by :class:`BatchExecutor`.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "pool")
+
+#: Environment knobs (overridden by explicit arguments): the smallest batch
+#: worth forking for, and the scheduler's extra window margin in cells.
+MIN_FORK_BATCH_ENV = "REPRO_MIN_FORK_BATCH"
+BATCH_MARGIN_ENV = "REPRO_BATCH_MARGIN"
+
+#: Built-in defaults behind the env knobs.
+DEFAULT_MIN_FORK_BATCH = 3
+DEFAULT_BATCH_MARGIN = 0
+
+
+def _env_int(name: str, fallback: int) -> int:
+    value = os.environ.get(name)
+    if value is None or not value.strip():
+        return fallback
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"environment knob {name} must be an integer, got {value!r}"
+        ) from None
+
+
+def resolve_min_fork_batch(explicit: Optional[int] = None) -> int:
+    """Return the effective ``min_fork_batch`` knob (arg > env > default)."""
+    if explicit is not None:
+        return explicit
+    return _env_int(MIN_FORK_BATCH_ENV, DEFAULT_MIN_FORK_BATCH)
+
+
+def resolve_batch_margin(explicit: Optional[int] = None) -> int:
+    """Return the effective scheduler window margin in cells (arg > env > default)."""
+    if explicit is not None:
+        return explicit
+    return _env_int(BATCH_MARGIN_ENV, DEFAULT_BATCH_MARGIN)
 
 
 @dataclass
@@ -67,6 +114,11 @@ class ExecutorStats:
     speculative_accepted: int = 0
     speculative_fallbacks: int = 0
     worker_errors: int = 0
+    #: Processes forked over the executor's lifetime (pool backend: forked
+    #: once per pool creation; the whole point is that this stays small).
+    pool_forks: int = 0
+    #: Journal ops shipped to pool workers as catch-up suffixes.
+    replayed_ops: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict (benchmark JSON friendly)."""
@@ -78,6 +130,8 @@ class ExecutorStats:
             "speculative_accepted": self.speculative_accepted,
             "speculative_fallbacks": self.speculative_fallbacks,
             "worker_errors": self.worker_errors,
+            "pool_forks": self.pool_forks,
+            "replayed_ops": self.replayed_ops,
         }
 
 
@@ -138,13 +192,209 @@ def _fork_worker(index: int) -> Tuple[object, List[CommitOp], Optional[CellWindo
     return (spec.route, spec.ops, spec.explored_box)
 
 
+# -- pool-backend plumbing ---------------------------------------------------
+#
+# Persistent journal-replicated workers: each process forks once holding the
+# parent's grid state at fork time, then re-synchronises before every batch
+# by replaying the parent's journal suffix through the grid's apply_op choke
+# point -- bit-identical to the parent by the journal replay guarantee.  The
+# router is published in a module global immediately before the fork (same
+# trick as the per-batch fork backend); afterwards only small messages --
+# (journal suffix, net names) down, (route, ops, explored box) up -- cross
+# the pipe.
+
+_POOL_ROUTER: Optional[object] = None
+
+
+def _pool_worker_main(conn) -> None:
+    from repro.journal import replay_ops
+
+    router = _POOL_ROUTER
+    grid = router.grid
+    # The forked journal copy would only duplicate what the parent already
+    # holds; detach it so suffix replay is not re-recorded in the child.
+    grid.detach_journal()
+    # Likewise the forked incremental-checker listeners: nobody ever drains
+    # them in a worker, so their dirty-set bookkeeping per replayed op
+    # would be pure waste (and unbounded memory).
+    for listener in list(grid._delta_listeners):
+        grid.remove_delta_listener(listener)
+    engine = router.make_search_engine()
+    design = router.design
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message is None:
+                break
+            suffix_payload, net_names = message
+            try:
+                # The suffix arrives pre-pickled: the parent serialises
+                # each distinct catch-up suffix once, not once per worker.
+                replay_ops(grid, pickle.loads(suffix_payload))
+                payload = []
+                for name in net_names:
+                    spec = _compute_speculative(router, design.net_by_name(name), engine)
+                    payload.append((spec.route, spec.ops, spec.explored_box))
+                conn.send(("ok", payload))
+            except Exception as exc:  # surfaced to the parent as a worker error
+                conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+class _PoolWorker:
+    """One persistent worker: its process, pipe, and journal cursor."""
+
+    __slots__ = ("process", "conn", "cursor")
+
+    def __init__(self, process, conn, cursor: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.cursor = cursor
+
+
+class PersistentWorkerPool:
+    """A set of forked worker processes kept in sync by journal replay.
+
+    Workers inherit the parent's full state through ``fork`` exactly once
+    each -- **lazily**, as batches actually demand them, so a campaign
+    whose batches never grow past two nets only ever forks two workers.  A
+    late-forked worker needs no catch-up: it is born holding the parent's
+    current state, with its cursor set to the journal head at fork time.
+    The parent tracks one journal cursor per worker and, before assigning
+    a batch slice, ships the suffix of ops the worker has not yet seen.
+    Only workers that participate in a batch catch up -- idle workers
+    simply accumulate a longer suffix for next time.
+    """
+
+    def __init__(self, context, router, size: int) -> None:
+        if router.grid.journal is None:
+            raise RuntimeError("pool workers require a journal attached to the grid")
+        self.context = context
+        self.router = router
+        self.size = max(1, size)
+        self.journal = router.grid.journal
+        self.workers: List[_PoolWorker] = []
+        #: Processes forked over this pool's lifetime (stats accounting).
+        self.total_forks = 0
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def min_cursor(self) -> int:
+        """Return the oldest journal cursor any worker still needs.
+
+        Ops before it can never be shipped again: existing workers are
+        past them, and future workers fork from the live parent (needing
+        no ops at all).  With no workers yet, that is the journal head.
+        """
+        if not self.workers:
+            return self.journal.cursor
+        return min(worker.cursor for worker in self.workers)
+
+    def _ensure_workers(self, needed: int) -> None:
+        """Fork workers up to ``min(needed, size)``, one at a time.
+
+        A failed fork leaves the already-started workers registered in
+        :attr:`workers`, so :meth:`close` (via the caller's pool discard)
+        reaps them -- no orphaned processes or pipes on partial failure.
+        """
+        target = min(needed, self.size)
+        global _POOL_ROUTER
+        while len(self.workers) < target:
+            parent_conn, child_conn = self.context.Pipe()
+            _POOL_ROUTER = self.router
+            try:
+                process = self.context.Process(
+                    target=_pool_worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+            except Exception:
+                parent_conn.close()
+                child_conn.close()
+                raise
+            finally:
+                _POOL_ROUTER = None
+            child_conn.close()
+            # Born in sync: the child holds the parent's state as of now.
+            self.workers.append(_PoolWorker(process, parent_conn, self.journal.cursor))
+            self.total_forks += 1
+
+    def compute(self, net_names: Sequence[str]) -> Tuple[List[Tuple], int]:
+        """Compute speculative routes for *net_names* across the workers.
+
+        Nets are dealt round-robin over the workers actually needed; the
+        result list is reassembled in input order.  Returns ``(results,
+        replayed_ops)`` where each result is the worker's ``(route, ops,
+        explored_box)`` tuple.  Raises on any worker error -- the caller
+        must then discard the pool (a worker that failed mid-replay can be
+        out of sync; a fresh fork re-synchronises by construction).
+        """
+        self._ensure_workers(len(net_names))
+        head = self.journal.cursor
+        count = min(len(self.workers), len(net_names))
+        active = self.workers[:count]
+        # Rotate so a campaign of small batches still cycles through every
+        # worker: otherwise trailing workers would idle forever with frozen
+        # cursors, pinning min_cursor() and defeating journal compaction.
+        self.workers = self.workers[count:] + active
+        stride = len(active)
+        replayed = 0
+        # Workers that were active together share a cursor, so the common
+        # case serialises one suffix once and ships the same bytes to all.
+        payload_cache: Dict[int, Tuple[bytes, int]] = {}
+        for slot, worker in enumerate(active):
+            cached = payload_cache.get(worker.cursor)
+            if cached is None:
+                # suffix() honours the compaction base; nothing mutates the
+                # grid between the head snapshot and these sends, so the
+                # suffix past each worker's cursor ends exactly at `head`.
+                suffix = self.journal.suffix(worker.cursor)
+                cached = (pickle.dumps(suffix), len(suffix))
+                payload_cache[worker.cursor] = cached
+            worker.conn.send((cached[0], list(net_names[slot::stride])))
+            worker.cursor = head
+            replayed += cached[1]
+        results: List[Optional[Tuple]] = [None] * len(net_names)
+        failure: Optional[str] = None
+        for slot, worker in enumerate(active):
+            try:
+                status, payload = worker.conn.recv()
+            except EOFError:
+                status, payload = "error", "worker pipe closed unexpectedly"
+            if status != "ok":
+                failure = failure or str(payload)
+                continue
+            results[slot::stride] = payload
+        if failure is not None:
+            raise RuntimeError(f"pool worker failed: {failure}")
+        return results, replayed
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - hung worker safety net
+                worker.process.terminate()
+            worker.conn.close()
+        self.workers = []
+
+
 def _compute_speculative(router, net: Net, engine) -> SpeculativeRoute:
     """Route *net* against the current grid state without mutating it."""
     tracker = ExploredTracker(router.grid, getattr(engine, "node_stride", 1))
     core = getattr(engine, "core", None)
     if core is not None:
         core.on_result = tracker
-    sink = RecordingSink()
+    sink = RecordingSink(router.grid, net.name)
     try:
         route = router.compute_route(net, engine=engine, sink=sink)
     finally:
@@ -159,20 +409,34 @@ def make_batch_executor(
     batch_size: Optional[int] = None,
     backend: str = "serial",
     policy: str = "prefix",
+    min_fork_batch: Optional[int] = None,
+    margin_cells: Optional[int] = None,
 ) -> Optional["BatchExecutor"]:
     """Build a router's executor from its constructor knobs.
 
     Batching engages when any knob leaves its default (``parallelism > 1``,
     an explicit ``batch_size``, or a non-serial backend); otherwise ``None``
     is returned and the router keeps its plain sequential loop.
+    ``min_fork_batch`` and ``margin_cells`` fall back to the
+    ``REPRO_MIN_FORK_BATCH`` / ``REPRO_BATCH_MARGIN`` environment knobs so
+    multi-core hosts can tune them without touching call sites.
     """
     if parallelism <= 1 and batch_size is None and backend == "serial":
         return None
     parallelism = max(1, parallelism)
     max_batch = batch_size if batch_size is not None else 4 * parallelism
-    scheduler = BatchScheduler(router.grid, policy=policy, max_batch=max_batch)
+    scheduler = BatchScheduler(
+        router.grid,
+        policy=policy,
+        max_batch=max_batch,
+        margin_cells=resolve_batch_margin(margin_cells),
+    )
     return BatchExecutor(
-        router, backend=backend, parallelism=parallelism, scheduler=scheduler
+        router,
+        backend=backend,
+        parallelism=parallelism,
+        scheduler=scheduler,
+        min_fork_batch=resolve_min_fork_batch(min_fork_batch),
     )
 
 
@@ -186,7 +450,9 @@ class BatchExecutor:
         ``compute_route(net, engine=..., sink=...)`` and
         ``make_search_engine()``.
     backend:
-        ``"serial"`` (deterministic default), ``"thread"`` or ``"process"``.
+        ``"serial"`` (deterministic default), ``"thread"``, ``"process"``
+        (fork per batch) or ``"pool"`` (persistent journal-replicated
+        workers: fork once, catch up by journal-suffix replay).
     parallelism:
         Worker count for the concurrent backends (also the default
         scheduler batch cap when *scheduler* is not supplied).
@@ -195,8 +461,10 @@ class BatchExecutor:
         order-preserving prefix scheduler capped at ``4 * parallelism``
         nets per batch.
     min_fork_batch:
-        Smallest batch worth forking a process pool for; smaller batches
-        route serially (fork setup would dominate).
+        Smallest batch worth forking for.  The per-batch ``process``
+        backend routes smaller batches serially (fork setup would
+        dominate); the ``pool`` backend applies it only to pool *creation*
+        -- once forked, workers serve every parallel batch.
     """
 
     def __init__(
@@ -205,7 +473,7 @@ class BatchExecutor:
         backend: str = "serial",
         parallelism: int = 1,
         scheduler: Optional[BatchScheduler] = None,
-        min_fork_batch: int = 3,
+        min_fork_batch: int = DEFAULT_MIN_FORK_BATCH,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown batch backend {backend!r}; expected one of {BACKENDS}")
@@ -221,11 +489,17 @@ class BatchExecutor:
         # many cells away (color-pressure spread at the interaction radius).
         grid = router.grid
         self._influence_reach = grid.interaction_reach_cells(grid.interaction_radius())
+        self._plane_size = grid.plane_size
+        self._num_rows = grid.num_rows
         # Lazily built per-worker engines (thread backend).
         self._engine_queue: Optional[SimpleQueue] = None
         self._thread_pool: Optional[ThreadPoolExecutor] = None
+        # Persistent worker pool (pool backend) and the journal the
+        # executor attached for it (detached again when the pool closes).
+        self._pool: Optional[PersistentWorkerPool] = None
+        self._owned_journal = None
         self._fork_context = None
-        if backend == "process":
+        if backend in ("process", "pool"):
             methods = multiprocessing.get_all_start_methods()
             self._fork_context = (
                 multiprocessing.get_context("fork") if "fork" in methods else None
@@ -238,6 +512,7 @@ class BatchExecutor:
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
+        self._discard_pool()
 
     def route_nets(self, nets: Sequence[Net], solution: RoutingSolution) -> None:
         """Route *nets* batch by batch, adding every route to *solution*.
@@ -277,9 +552,18 @@ class BatchExecutor:
             self._fork_context is None or len(batch) < self.min_fork_batch
         ):
             return False
+        if self.backend == "pool" and (
+            self._fork_context is None
+            or (self._pool is None and len(batch) < self.min_fork_batch)
+        ):
+            # Don't pay the one-time fork for a campaign of tiny batches;
+            # once the pool exists it serves every parallel batch.
+            return False
         try:
             if self.backend == "thread":
                 results = self._compute_batch_threaded(batch)
+            elif self.backend == "pool":
+                results = self._compute_batch_pooled(batch)
             else:
                 results = self._compute_batch_forked(batch)
         except Exception:
@@ -347,6 +631,63 @@ class BatchExecutor:
             for route, ops, box in raw
         ]
 
+    # -- pool (persistent journal-replicated workers) backend ------------------
+
+    def _ensure_pool(self) -> Optional[PersistentWorkerPool]:
+        if self._pool is not None:
+            return self._pool
+        if self._fork_context is None:
+            return None
+        if self.router.make_search_engine() is None:
+            return None  # legacy engine: speculative routing unsupported
+        grid = self.router.grid
+        if grid.journal is None:
+            # The journal must exist *before* the first fork: workers
+            # re-sync by replaying everything recorded past their cursor.
+            self._owned_journal = grid.attach_journal()
+        self._pool = PersistentWorkerPool(self._fork_context, self.router, self.parallelism)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._owned_journal is not None:
+            # Only detach what we attached; a caller-provided journal keeps
+            # recording (checkpoint/resume wants the full campaign log).
+            if self.router.grid.journal is self._owned_journal:
+                self.router.grid.detach_journal()
+            self._owned_journal = None
+
+    def _compute_batch_pooled(
+        self, batch: Sequence[Net]
+    ) -> Optional[List[SpeculativeRoute]]:
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        forks_before = pool.total_forks
+        try:
+            raw, replayed = pool.compute([net.name for net in batch])
+        except Exception:
+            # A failed worker may have died mid-replay; its grid can no
+            # longer be trusted, so drop the whole pool.  The next parallel
+            # batch re-forks from the (authoritative) parent state.
+            self.stats.pool_forks += pool.total_forks - forks_before
+            self._discard_pool()
+            raise
+        self.stats.pool_forks += pool.total_forks - forks_before
+        self.stats.replayed_ops += replayed
+        if self._owned_journal is not None:
+            # The executor's own journal exists solely to feed the pool;
+            # ops every worker has consumed can never be shipped again, so
+            # drop them to bound a long campaign's memory.  (A
+            # caller-attached journal is a campaign log -- never touched.)
+            self._owned_journal.compact(pool.min_cursor())
+        return [
+            SpeculativeRoute(route=route, ops=ops, explored_box=box)
+            for route, ops, box in raw
+        ]
+
     # -- validation + commit --------------------------------------------------
 
     def _commit_batch(
@@ -360,7 +701,7 @@ class BatchExecutor:
         for net, spec in zip(batch, results):
             if self._speculation_valid(spec, committed):
                 self.stats.speculative_accepted += 1
-                apply_route_ops(grid, net.name, spec.ops)
+                apply_route_ops(grid, spec.ops)
                 route = spec.route
                 influence = self._ops_influence_box(spec.ops)
             else:
@@ -391,18 +732,21 @@ class BatchExecutor:
         return not any(windows_overlap(box, other) for other in committed)
 
     def _ops_influence_box(self, ops: Sequence[CommitOp]) -> Optional[CellWindow]:
-        return self._influence_box(op[1] for op in ops)
+        # Journal ops address vertices by flat index (op[2]); decode the
+        # planar cell in place of building GridPoints.
+        rows = self._num_rows
+        plane = self._plane_size
+        return self._influence_box(divmod(op[2] % plane, rows) for op in ops)
 
     def _vertices_influence_box(self, vertices) -> Optional[CellWindow]:
-        return self._influence_box(vertices)
+        return self._influence_box((vertex.col, vertex.row) for vertex in vertices)
 
-    def _influence_box(self, vertices) -> Optional[CellWindow]:
+    def _influence_box(self, cells) -> Optional[CellWindow]:
         """Return the planar box the given commits can influence, expanded
         by the interaction reach (color pressure spreads that far)."""
         col_lo = row_lo = None
         col_hi = row_hi = None
-        for vertex in vertices:
-            col, row = vertex.col, vertex.row
+        for col, row in cells:
             if col_lo is None:
                 col_lo = col_hi = col
                 row_lo = row_hi = row

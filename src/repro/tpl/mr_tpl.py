@@ -59,6 +59,8 @@ class MrTPLRouter:
         batch_size: Optional[int] = None,
         batch_backend: str = "serial",
         batch_policy: str = "prefix",
+        min_fork_batch: Optional[int] = None,
+        batch_margin: Optional[int] = None,
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -87,7 +89,13 @@ class MrTPLRouter:
             else design.tech.rules.max_ripup_iterations
         )
         self.batch_executor = make_batch_executor(
-            self, parallelism, batch_size, batch_backend, batch_policy
+            self,
+            parallelism,
+            batch_size,
+            batch_backend,
+            batch_policy,
+            min_fork_batch=min_fork_batch,
+            margin_cells=batch_margin,
         )
 
     # ------------------------------------------------------------------

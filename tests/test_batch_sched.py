@@ -38,7 +38,7 @@ ROUTERS = {
 
 HAVE_FORK = sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
 
-BACKENDS = ["serial", "thread"] + (["process"] if HAVE_FORK else [])
+BACKENDS = ["serial", "thread"] + (["process", "pool"] if HAVE_FORK else [])
 
 
 def build_case(suite="ispd18", number=2, scale=0.5):
@@ -203,13 +203,13 @@ def test_recorded_commit_log_replays_to_identical_grid_state(router_key):
     for net_d, net_r in zip(nets_direct, nets_replay):
         route_d = direct.route_net(net_d)
         before = replay.grid.mutation_epoch
-        sink = RecordingSink()
+        sink = RecordingSink(replay.grid, net_r.name)
         route_r = replay.compute_route(net_r, sink=sink)
         # Pure snapshot computation: the grid must be untouched...
         assert replay.grid.mutation_epoch == before
         # ...and replaying the log must land in the exact same state the
         # direct commit produced.
-        apply_route_ops(replay.grid, net_r.name, sink.ops)
+        apply_route_ops(replay.grid, sink.ops)
         assert solution_fingerprint_one(route_d) == solution_fingerprint_one(route_r)
     assert grid_state_digest(direct.grid) == grid_state_digest(replay.grid)
 
@@ -341,12 +341,15 @@ def test_grid_sink_and_recording_sink_agree():
     design = build_case("ispd18", 1, 0.5)
     grid = RoutingGrid(design)
     vertex = grid.vertex_of(grid.plane_size // 2)
-    recording = RecordingSink()
+    recording = RecordingSink(grid, "netX")
     recording.occupy(vertex)
     recording.set_color(vertex, 1)
     direct = GridSink(grid, "netX")
     direct.occupy(vertex)
     direct.set_color(vertex, 1)
+    # The ops carry the interned net id; an identically constructed grid
+    # interns identically (the executor pre-interns batch nets the same way).
     replay_grid = RoutingGrid(build_case("ispd18", 1, 0.5))
-    apply_route_ops(replay_grid, "netX", recording.ops)
+    assert replay_grid.net_id("netX") == recording.net_id
+    apply_route_ops(replay_grid, recording.ops)
     assert grid_state_digest(grid) == grid_state_digest(replay_grid)
