@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Build (or verify) the compiled relaxation kernel ahead of time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/build_native.py [--check]
+
+Without flags the script compiles ``repro.native._relaxation`` with the
+interpreter's own toolchain and reports where the binary landed.  With
+``--check`` it only reports the loader's view -- whether a usable kernel
+is already importable and, if not, why -- without building anything (it
+sets ``REPRO_NATIVE_AUTOBUILD=0`` for the probe).
+
+The build is optional by design: the routers run bit-identically on the
+buffered Python tier when no kernel is available.  Exit status: 0 when a
+kernel is (now) loadable, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only probe for an existing binary; never compile",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        os.environ["REPRO_NATIVE_AUTOBUILD"] = "0"
+
+    from repro.native import (
+        build_extension,
+        kernel_load_error,
+        load_kernel,
+        reset_loader_state,
+        NativeBuildError,
+    )
+
+    if not args.check:
+        try:
+            target = build_extension()
+        except NativeBuildError as exc:
+            print(f"build failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"built {target}")
+        reset_loader_state()
+
+    kernel = load_kernel()
+    if kernel is None:
+        print(f"no usable kernel: {kernel_load_error()}", file=sys.stderr)
+        return 1
+    print(f"kernel loaded: {kernel.__file__} (ABI {kernel.KERNEL_ABI_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

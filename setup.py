@@ -1,13 +1,31 @@
 """Legacy setup script.
 
-The project is fully described by ``pyproject.toml``; this file only exists
-so that ``pip install -e .`` keeps working on offline machines whose
-setuptools/pip combination cannot build PEP 660 editable wheels (no ``wheel``
-package available).  In that situation use::
+The project is fully described by ``pyproject.toml``; this file additionally
+declares the optional compiled relaxation kernel
+(``repro.native._relaxation``) so ``python setup.py build_ext --inplace``
+builds it ahead of time.  The extension is strictly optional: when it is
+absent (or the build fails -- see the ``optional`` flag) the engines run on
+the buffered Python tier with identical results, and
+``repro.native.load_kernel`` can still auto-build it lazily at runtime.
+
+On offline machines whose setuptools/pip combination cannot build PEP 660
+editable wheels (no ``wheel`` package available) use::
 
     pip install -e . --no-build-isolation --no-use-pep517
 """
 
-from setuptools import setup
+from setuptools import Extension, find_packages, setup
 
-setup()
+_relaxation = Extension(
+    "repro.native._relaxation",
+    sources=["src/repro/native/_relaxation.c"],
+    extra_compile_args=["-O2", "-ffp-contract=off"],
+    optional=True,
+)
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    ext_modules=[_relaxation],
+)

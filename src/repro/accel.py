@@ -1,40 +1,58 @@
-"""Optional numpy acceleration gate.
+"""Acceleration tier registry and runtime gates.
 
-The routing engines vectorise a handful of O(num_vertices) kernels with
-numpy when it is importable: the color-pressure neighbourhood update, the
-per-search congestion / color-pressure / A*-heuristic snapshots.  Every
-vectorised kernel has a pure-Python twin producing bit-identical results
-(same IEEE-754 operations in the same order), kept both as the fallback on
-numpy-free installs and as the differential oracle in the tests.
+The search/cost hot paths run on a three-tier stack, every tier producing
+bit-identical results:
 
-The gate is process-global and runtime-switchable:
+``native``
+    The compiled relaxation kernel (:mod:`repro.native`): the whole
+    Dijkstra/A* inner loop of :meth:`repro.search.SearchCore.run` executes
+    in C over the flat label buffers.  Needs a built extension *and* the
+    numpy tier below it (the per-search snapshot tables the kernel reads
+    are numpy-hoisted).
+``buffered`` (the default engine path)
+    The zero-allocation Python loop over epoch-stamped flat buffers, with
+    the O(num_vertices) kernels (color-pressure update, per-search
+    congestion / pressure / heuristic snapshots) vectorised through numpy
+    when importable; every vectorised kernel has a pure-Python twin
+    producing bit-identical results (same IEEE-754 operations in the same
+    order) used on numpy-free installs.
+``legacy``
+    The frozen GridPoint-dict reference engines
+    (:mod:`repro.search.legacy`), selected only explicitly
+    (``engine="legacy"``) as the parity oracle.
 
-* ``REPRO_PURE_PYTHON=1`` in the environment disables numpy at import time
-  (the CI fallback leg uses this / uninstalls numpy outright);
-* :func:`set_numpy_enabled` toggles it at runtime (the differential tests
-  force the pure path on a numpy-capable interpreter and compare).
+Gates are process-global and runtime-switchable:
 
-Hot paths call :func:`get_numpy` once per kernel invocation and branch on
-``None``, so toggling takes effect immediately.
+* ``REPRO_PURE_PYTHON=1`` disables numpy *and* the native kernel at import
+  time (the CI fallback leg);
+* ``REPRO_NO_NATIVE=1`` disables only the native kernel;
+* :func:`set_numpy_enabled` / :func:`set_native_enabled` toggle at runtime
+  (the differential tests force lower tiers on a fully-equipped
+  interpreter and compare).
+
+Hot paths call :func:`get_numpy` / :func:`get_native_kernel` once per
+kernel invocation and branch on ``None``, so toggling takes effect
+immediately.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Optional
+
+from repro.utils.env import env_flag
 
 try:  # pragma: no cover - exercised indirectly by both CI legs
     import numpy as _numpy
 except ImportError:  # pragma: no cover - numpy-free environments
     _numpy = None
 
-_DISABLED_BY_ENV = os.environ.get("REPRO_PURE_PYTHON", "").strip().lower() in (
-    "1",
-    "true",
-    "yes",
-)
+#: Tier names, fastest first (``repro.bench.micro`` records the active one).
+SEARCH_TIERS = ("native", "buffered", "legacy")
 
-_enabled = _numpy is not None and not _DISABLED_BY_ENV
+_PURE_PYTHON = env_flag("REPRO_PURE_PYTHON", False)
+
+_enabled = _numpy is not None and not _PURE_PYTHON
+_native_enabled = not _PURE_PYTHON and not env_flag("REPRO_NO_NATIVE", False)
 
 
 def have_numpy() -> bool:
@@ -62,3 +80,62 @@ def set_numpy_enabled(enabled: bool) -> bool:
 def get_numpy() -> Optional[object]:
     """Return the numpy module when acceleration is on, else ``None``."""
     return _numpy if _enabled else None
+
+
+# ----------------------------------------------------------------------
+# Native kernel tier
+# ----------------------------------------------------------------------
+
+def native_available() -> bool:
+    """Return ``True`` when a usable kernel binary is loaded/loadable.
+
+    Unlike :func:`get_native_kernel` this ignores the runtime gates -- it
+    answers "could the native tier run here at all?" (bench/CI reporting).
+    """
+    from repro.native import load_kernel
+
+    return load_kernel() is not None
+
+
+def native_enabled() -> bool:
+    """Return ``True`` when the native tier gate is open (kernel may still
+    be unbuilt -- combine with :func:`native_available`)."""
+    return _native_enabled
+
+
+def set_native_enabled(enabled: bool) -> bool:
+    """Enable/disable the native kernel tier; return the previous setting.
+
+    Tests and benchmarks use this to force the buffered tier on an
+    interpreter that has the extension built, then compare bit for bit.
+    """
+    global _native_enabled
+    previous = _native_enabled
+    _native_enabled = bool(enabled)
+    return previous
+
+
+def get_native_kernel() -> Optional[object]:
+    """Return the loaded kernel module when the native tier is active.
+
+    ``None`` when gated off (env overrides, :func:`set_native_enabled`),
+    when no binary could be loaded or built, or when the numpy tier is off
+    (the kernel consumes numpy-hoisted snapshot tables).  The underlying
+    load attempt is made once per process and cached either way.
+    """
+    if not _native_enabled or not _enabled:
+        return None
+    from repro.native import load_kernel
+
+    return load_kernel()
+
+
+def active_search_tier() -> str:
+    """Return the name of the fastest tier currently active.
+
+    ``legacy`` never appears here: it is only ever selected explicitly as
+    the parity oracle, not by the registry.
+    """
+    if get_native_kernel() is not None:
+        return "native"
+    return "buffered-numpy" if _enabled else "buffered-python"

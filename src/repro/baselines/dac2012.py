@@ -31,6 +31,7 @@ from repro.geometry import GridPoint, Point
 from repro.gr import GlobalRouter, GuideSet
 from repro.gr.steiner import rectilinear_mst
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.native.spec import MODE_MASK_EXPANDED, attach_native_spec
 from repro.sched import GridSink, make_batch_executor
 from repro.search import SearchCore
 from repro.tpl.color_state import ALL_COLORS
@@ -165,7 +166,15 @@ class MaskExpandedSearch:
                     count += 1
                 return count
 
-            return expand
+            return attach_native_spec(
+                expand,
+                MODE_MASK_EXPANDED,
+                grid,
+                cost_model,
+                net_name,
+                net_id,
+                stitch=stitch_penalty,
+            )
 
         # Pure-Python fallback: per-successor pressure/overlay reads, grid
         # moves delegated to the shared traditional expand.

@@ -25,6 +25,14 @@ produce bit-identical solutions and reporting the wall-clock speedup.
 and the emitted JSON records the repeat count and numpy availability so a
 recorded baseline documents the configuration that produced it.
 
+:func:`run_native_kernel_benchmarks` (``--native``) benchmarks the
+compiled relaxation kernel (:mod:`repro.native`) against the buffered
+flat-label loop with the kernel forced off, asserting bit-identical
+solutions and recording the tier actually active per leg (baseline:
+``BENCH_native_kernel.json``).  Any benchmark mode runs under cProfile
+with ``--profile N`` (top-N cumulative functions printed, raw stats
+dumped next to the JSON output).
+
 :func:`run_incremental_check_benchmarks` (``--incremental``) replays the
 rip-up loop's check workload and times the :mod:`repro.check` delta tallies
 against the full-scan ``DRCChecker``/``ConflictChecker`` oracle, asserting
@@ -54,10 +62,17 @@ import time
 from statistics import median
 from typing import Dict, List, Optional, Tuple
 
-from repro.accel import have_numpy, numpy_enabled
+from repro.accel import (
+    active_search_tier,
+    have_numpy,
+    native_available,
+    numpy_enabled,
+    set_native_enabled,
+)
 from repro.design import Design, Net, Obstacle, Pin
 from repro.geometry import Point, Rect
 from repro.tech import DesignRules, make_default_tech
+from repro.utils.env import env_float
 
 #: Default suite scale of the micro-benchmarks; overridable through the
 #: ``REPRO_BENCH_SCALE`` environment knob shared with ``benchmarks/``.
@@ -76,7 +91,7 @@ SPARSE_CASES: Tuple[Tuple[str, int], ...] = (("sparse", 1), ("sparse", 2), ("spa
 
 def default_bench_scale() -> float:
     """Return the suite scale factor (``REPRO_BENCH_SCALE`` env override)."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_BENCH_SCALE)))
+    return env_float("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE)
 
 
 def _port(name: str, layer: int, x: int, y: int, half: int = 1) -> Pin:
@@ -297,6 +312,119 @@ def run_engine_benchmarks(
         "repeat": repeat,
         "numpy_available": have_numpy(),
         "numpy_enabled": numpy_enabled(),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_solutions"] for entry in results),
+    }
+
+
+# ----------------------------------------------------------------------
+# Native-kernel micro-benchmark (compiled relaxation loop vs buffered)
+# ----------------------------------------------------------------------
+
+def run_native_kernel_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: Optional[float] = None,
+    routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
+    repeat: int = 1,
+    dense_cases: Tuple[Tuple[str, int], ...] = DENSE_CASES,
+) -> Dict[str, object]:
+    """Benchmark the compiled relaxation kernel against the buffered tier.
+
+    For every suite case and router the same design is routed *repeat*
+    times on the flat engine with the native tier enabled and *repeat*
+    times with it forced off (:func:`repro.accel.set_native_enabled`), i.e.
+    on the PR 3 flat-label Python loop.  Each row records the tier that was
+    actually active per leg (:func:`repro.accel.active_search_tier`) -- on
+    a host without a compiler both legs legitimately report a buffered
+    tier and the speedup hovers around 1.0 -- and the run asserts the two
+    legs produce bit-identical solutions.  Returns the result document
+    that :func:`main` serialises to ``BENCH_native_kernel.json``.
+    """
+    from repro.baselines.dac2012 import Dac2012Router
+    from repro.bench.suites import suite_case
+    from repro.dr.router import DetailedRouter
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    if scale is None:
+        scale = default_bench_scale()
+    repeat = max(1, repeat)
+    router_classes = {
+        "maze": DetailedRouter,
+        "color-state": MrTPLRouter,
+        "dac2012": Dac2012Router,
+    }
+    case_list = [(suite, number) for number in cases]
+    case_list.extend(dense_cases)
+    results: List[Dict[str, object]] = []
+    for case_suite, number in case_list:
+        for router_key in routers:
+            router_class = router_classes[router_key]
+            timings: Dict[str, float] = {}
+            tiers: Dict[str, str] = {}
+            outcome: Dict[str, object] = {}
+            identical_repeats = True
+            for leg, native in (("native", True), ("buffered", False)):
+                previous = set_native_enabled(native)
+                try:
+                    tiers[leg] = active_search_tier()
+                    samples: List[float] = []
+                    digests: List[object] = []
+                    for _round in range(repeat):
+                        design = suite_case(case_suite, number, scale).build()
+                        router = router_class(design, engine="flat")
+                        start = time.perf_counter()
+                        solution = router.run()
+                        samples.append(time.perf_counter() - start)
+                        digests.append(
+                            (
+                                solution_fingerprint(solution),
+                                solution_metrics(solution),
+                            )
+                        )
+                finally:
+                    set_native_enabled(previous)
+                timings[leg] = median(samples)
+                outcome[leg] = digests[0]
+                identical_repeats = identical_repeats and all(
+                    digest == digests[0] for digest in digests
+                )
+            native_digest, native_metrics = outcome["native"]
+            buffered_digest, buffered_metrics = outcome["buffered"]
+            results.append(
+                {
+                    "suite": case_suite,
+                    "case": number,
+                    "router": router_key,
+                    "native_tier": tiers["native"],
+                    "buffered_tier": tiers["buffered"],
+                    "buffered_seconds": round(timings["buffered"], 4),
+                    "native_seconds": round(timings["native"], 4),
+                    "speedup": round(
+                        timings["buffered"] / max(timings["native"], 1e-9), 3
+                    ),
+                    "identical_solutions": identical_repeats
+                    and native_digest == buffered_digest
+                    and native_metrics == buffered_metrics,
+                    "metrics": native_metrics,
+                }
+            )
+    speedups = [entry["speedup"] for entry in results]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(speedups), 1)
+    return {
+        "benchmark": "native relaxation kernel vs buffered flat-label loop",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "dense_cases": [list(entry) for entry in dense_cases],
+        "repeat": repeat,
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
+        "native_available": native_available(),
         "results": results,
         "geomean_speedup": round(geomean, 3),
         "all_identical": all(entry["identical_solutions"] for entry in results),
@@ -609,6 +737,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "executor) against the sequential loop instead of the search engines",
     )
     parser.add_argument(
+        "--native",
+        action="store_true",
+        help="benchmark the compiled relaxation kernel against the buffered "
+        "flat-label loop instead of the legacy/flat engine comparison "
+        "(default output: BENCH_native_kernel.json)",
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="run the selected benchmark under cProfile and print the top N "
+        "functions by cumulative time (default N: 25); the raw stats are "
+        "dumped next to the JSON output as <out>.prof",
+    )
+    parser.add_argument(
         "--parallelism",
         type=int,
         default=4,
@@ -634,8 +780,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="extra scheduler window margin in cells (default: "
         "REPRO_BATCH_MARGIN or 0; --batched only)",
     )
-    parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_native_kernel.json with "
+        "--native, BENCH_micro.json otherwise)",
+    )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_native_kernel.json" if args.native else "BENCH_micro.json"
 
     cases = tuple(int(token) for token in args.cases.split(",") if token.strip())
     backends = tuple(token.strip() for token in args.backend.split(",") if token.strip())
@@ -658,31 +811,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         cases, scale, dense_cases, sparse_cases = (1,), 0.5, (), ()
     if not cases:
         parser.error("--cases selected no case numbers")
-    if args.incremental:
-        report = run_incremental_check_benchmarks(
-            suite=args.suite, cases=cases, scale=scale
-        )
-    elif args.batched:
-        report = run_batch_sched_benchmarks(
+    def produce_report():
+        if args.incremental:
+            return run_incremental_check_benchmarks(
+                suite=args.suite, cases=cases, scale=scale
+            )
+        if args.batched:
+            return run_batch_sched_benchmarks(
+                suite=args.suite,
+                cases=cases,
+                scale=scale,
+                repeat=args.repeat,
+                parallelism=args.parallelism,
+                backends=backends,
+                min_fork_batch=args.min_fork_batch,
+                margin_cells=args.margin_cells,
+                dense_cases=dense_cases,
+                sparse_cases=sparse_cases,
+            )
+        if args.native:
+            return run_native_kernel_benchmarks(
+                suite=args.suite,
+                cases=cases,
+                scale=scale,
+                repeat=args.repeat,
+                dense_cases=dense_cases,
+            )
+        return run_engine_benchmarks(
             suite=args.suite,
             cases=cases,
             scale=scale,
             repeat=args.repeat,
-            parallelism=args.parallelism,
-            backends=backends,
-            min_fork_batch=args.min_fork_batch,
-            margin_cells=args.margin_cells,
             dense_cases=dense_cases,
-            sparse_cases=sparse_cases,
         )
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = produce_report()
+        finally:
+            profiler.disable()
+        stats_path = f"{args.out}.prof"
+        profiler.dump_stats(stats_path)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(max(1, args.profile))
+        print(f"profile stats dumped to {stats_path}")
     else:
-        report = run_engine_benchmarks(
-            suite=args.suite,
-            cases=cases,
-            scale=scale,
-            repeat=args.repeat,
-            dense_cases=dense_cases,
-        )
+        report = produce_report()
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -708,6 +887,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"/fb={stats.get('speculative_fallbacks', 0)} "
                 f"forks={stats.get('pool_forks', 0)} "
                 f"replayed={stats.get('replayed_ops', 0)}"
+            )
+        elif args.native:
+            print(
+                f"{entry['suite']} case{entry['case']:>2} {entry['router']:<12} "
+                f"buffered={entry['buffered_seconds']:.3f}s "
+                f"native={entry['native_seconds']:.3f}s "
+                f"speedup={entry['speedup']:.2f}x "
+                f"tier={entry['native_tier']} "
+                f"identical={entry['identical_solutions']}"
             )
         else:
             print(

@@ -20,6 +20,7 @@ delegate), so legacy and flat-index searches produce bit-identical costs.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -100,6 +101,16 @@ class CostModel:
         self._pressure_base: Optional[object] = None
         self._congestion_lists: Dict[int, List[float]] = {}
         self._pressure_lists: Dict[int, List[float]] = {}
+        # ``array('d')`` twins of the snapshot tables and guide tables for
+        # the native kernel (C reads them through the buffer protocol; the
+        # Python expand closures keep indexing the plain lists, whose reads
+        # return cached float objects).  Same cache keying/eviction as the
+        # list caches; the flattened base-cost table never invalidates.
+        self._congestion_arrs: Dict[int, array] = {}
+        self._pressure_arrs: Dict[int, array] = {}
+        self._guide_arrs: Dict[str, array] = {}
+        self._unguided_arr: Optional[array] = None
+        self._base_cost_flat: Optional[array] = None
 
     #: Cap on cached per-net snapshot lists per epoch; a batch larger than
     #: this simply rebuilds the oldest tables (correctness is unaffected).
@@ -113,12 +124,16 @@ class CostModel:
             self._pressure_base = None
             self._congestion_lists.clear()
             self._pressure_lists.clear()
+            self._congestion_arrs.clear()
+            self._pressure_arrs.clear()
         elif (
             len(self._congestion_lists) > self._SNAPSHOT_CACHE_LIMIT
             or len(self._pressure_lists) > self._SNAPSHOT_CACHE_LIMIT
         ):
             self._congestion_lists.clear()
             self._pressure_lists.clear()
+            self._congestion_arrs.clear()
+            self._pressure_arrs.clear()
 
     # ------------------------------------------------------------------
     # Flat-index query surface (search hot path)
@@ -323,6 +338,66 @@ class CostModel:
             weighted[base + 2] = gamma * max(pressure[base + 2] - own[2], 0.0)
         self._pressure_lists[net_id] = weighted
         return weighted
+
+    # -- array('d') twins for the native kernel -------------------------
+
+    def base_cost_flat(self) -> array:
+        """Return :meth:`base_cost_table` flattened to one ``array('d')``.
+
+        ``num_layers * 6`` entries, row-major by layer; built once.
+        """
+        if self._base_cost_flat is None:
+            flat = array("d")
+            for row in self.base_cost_table():
+                flat.extend(row)
+            self._base_cost_flat = flat
+        return self._base_cost_flat
+
+    def congestion_snapshot_flat(self, net_id: int) -> Optional[array]:
+        """Return :meth:`congestion_snapshot` as an ``array('d')`` buffer.
+
+        Same values, caching and ``None``-when-numpy-off contract as the
+        list variant (the conversion is one C-level copy per net/epoch).
+        """
+        cached = self._congestion_arrs.get(net_id)
+        if cached is not None:
+            return cached
+        table = self.congestion_snapshot(net_id)
+        if table is None:
+            return None
+        buffer = array("d", table)
+        self._congestion_arrs[net_id] = buffer
+        return buffer
+
+    def color_pressure_snapshot_flat(self, net_id: int) -> Optional[array]:
+        """Return :meth:`color_pressure_snapshot` as an ``array('d')`` buffer."""
+        cached = self._pressure_arrs.get(net_id)
+        if cached is not None:
+            return cached
+        table = self.color_pressure_snapshot(net_id)
+        if table is None:
+            return None
+        buffer = array("d", table)
+        self._pressure_arrs[net_id] = buffer
+        return buffer
+
+    def guide_penalty_flat(self, net_name: str) -> array:
+        """Return :meth:`guide_penalty_table` as an ``array('d')`` buffer.
+
+        Cached for the life of the model like the list variant (guide
+        regions never change); unguided nets share one all-zero buffer.
+        """
+        cached = self._guide_arrs.get(net_name)
+        if cached is not None:
+            return cached
+        table = self.guide_penalty_table(net_name)
+        if table is self._unguided_table:
+            if self._unguided_arr is None:
+                self._unguided_arr = array("d", table)
+            return self._unguided_arr
+        buffer = array("d", table)
+        self._guide_arrs[net_name] = buffer
+        return buffer
 
     def out_of_guide_cost_index(self, index: int, net_name: str) -> float:
         """Compute (uncached) the out-of-guide penalty at flat *index*."""

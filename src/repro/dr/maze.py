@@ -21,6 +21,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.dr.cost import CostModel, TargetBounds
 from repro.geometry import GridPoint
 from repro.grid import NUM_DIRECTIONS, RoutingGrid
+from repro.native.spec import (
+    MODE_TRADITIONAL,
+    attach_accept_spec,
+    attach_native_spec,
+)
 from repro.search import CoreResult, SearchCore
 
 
@@ -165,6 +170,8 @@ class MazeRouter:
             def accept(node: int) -> bool:
                 return not is_other(node, net_id)
 
+            attach_accept_spec(accept, grid, net_id)
+
         expand = make_traditional_expand(grid, self.cost_model, net_name, net_id)
         self.core.max_expansions = self.max_expansions
         core = self.core.run(
@@ -228,7 +235,9 @@ def make_traditional_expand(
                 count += 1
             return count
 
-        return expand
+        return attach_native_spec(
+            expand, MODE_TRADITIONAL, grid, cost_model, net_name, net_id
+        )
 
     # Pure-Python fallback: per-successor congestion reads from the live
     # buffers (identical arithmetic to the snapshot, evaluated lazily).

@@ -1,0 +1,147 @@
+"""Optional compiled relaxation kernel (the top acceleration tier).
+
+The package holds the C source of the Dijkstra/A* inner loop
+(``_relaxation.c``), the build machinery (:mod:`repro.native.build`) and
+the runtime loader.  Nothing here is required: when the extension is
+absent and cannot be built, :func:`load_kernel` returns ``None`` and the
+engines keep running on the buffered-Python tier, bit-identically.
+
+Loading order:
+
+1. import the extension from the package directory (the ``build_ext
+   --inplace`` / wheel layout);
+2. probe the per-user cache directory (read-only installs build there);
+3. unless auto-build is disabled (``REPRO_NATIVE_AUTOBUILD=0``), compile
+   the source once with the interpreter's own toolchain and import the
+   result.
+
+A loaded binary is accepted only when its ``KERNEL_ABI_VERSION`` matches
+this checkout's :data:`EXPECTED_ABI_VERSION`; a stale binary (older
+checkout, changed argument contract) triggers one rebuild attempt and is
+otherwise rejected.  Every outcome is cached for the process lifetime --
+a missing compiler costs one failed probe per process, not one per search.
+
+Tier *selection* (env overrides, runtime toggles, interplay with the numpy
+gate) lives in :mod:`repro.accel`; this module only answers "is there a
+usable binary?".
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from typing import Optional
+
+from repro.native.build import (
+    NativeBuildError,
+    build_extension,
+    candidate_paths,
+    package_target,
+    source_path,
+)
+from repro.utils.env import env_flag
+
+#: The argument contract of ``_relaxation.run_search`` this checkout's
+#: Python wrapper speaks; must match the binary's ``KERNEL_ABI_VERSION``.
+EXPECTED_ABI_VERSION = 1
+
+#: Auto-build gate: on by default, ``REPRO_NATIVE_AUTOBUILD=0`` restricts
+#: the loader to pre-built binaries.
+AUTOBUILD_ENV = "REPRO_NATIVE_AUTOBUILD"
+
+_kernel: Optional[object] = None
+_load_attempted = False
+_load_error: Optional[str] = None
+
+
+def _import_from(path: str) -> Optional[object]:
+    """Import a built kernel binary from an explicit *path*, or ``None``."""
+    if not os.path.exists(path):
+        return None
+    try:
+        if path == package_target():
+            # The canonical location imports as a normal submodule (keeps
+            # pickling/fork semantics boring).
+            importlib.invalidate_caches()
+            return importlib.import_module("repro.native._relaxation")
+        spec = importlib.util.spec_from_file_location("repro.native._relaxation", path)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    except ImportError:
+        return None
+
+
+def _abi_ok(module: object) -> bool:
+    return getattr(module, "KERNEL_ABI_VERSION", None) == EXPECTED_ABI_VERSION
+
+
+def load_kernel() -> Optional[object]:
+    """Return the compiled kernel module, or ``None`` when unavailable.
+
+    The first call does the real work (probe, optionally build); the
+    outcome -- either way -- is cached for the process lifetime.
+    :func:`reset_loader_state` un-caches it (tests only).
+    """
+    global _kernel, _load_attempted, _load_error
+    if _load_attempted:
+        return _kernel
+    _load_attempted = True
+
+    for path in candidate_paths():
+        module = _import_from(path)
+        if module is not None:
+            if _abi_ok(module):
+                _kernel = module
+                return _kernel
+            _load_error = f"stale kernel ABI at {path}"
+            break  # stale binary: fall through to a rebuild attempt
+
+    if not env_flag(AUTOBUILD_ENV, True):
+        if _load_error is None:
+            _load_error = "no pre-built kernel and auto-build disabled"
+        return None
+    try:
+        built = build_extension()
+    except NativeBuildError as exc:
+        _load_error = str(exc)
+        return None
+    module = _import_from(built)
+    if module is not None and _abi_ok(module):
+        _kernel = module
+        return _kernel
+    _load_error = f"freshly built kernel unusable at {built}"
+    return None
+
+
+def kernel_load_error() -> Optional[str]:
+    """Return why the last load attempt yielded no kernel (diagnostics)."""
+    return _load_error
+
+
+def reset_loader_state() -> None:
+    """Forget the cached load outcome so the next call probes again.
+
+    Test hook: the forced-fallback suites flip environments and need the
+    loader to re-evaluate.
+    """
+    global _kernel, _load_attempted, _load_error
+    _kernel = None
+    _load_attempted = False
+    _load_error = None
+
+
+__all__ = [
+    "AUTOBUILD_ENV",
+    "EXPECTED_ABI_VERSION",
+    "NativeBuildError",
+    "build_extension",
+    "candidate_paths",
+    "kernel_load_error",
+    "load_kernel",
+    "reset_loader_state",
+    "source_path",
+]

@@ -1,0 +1,616 @@
+/* Native relaxation kernel: the compiled Dijkstra/A* inner loop behind
+ * repro.search.SearchCore.run.
+ *
+ * One call executes a whole multi-source search -- heap pops, target
+ * acceptance, successor expansion and label relaxation -- over the exact
+ * flat buffers the Python engine uses (array('d') cost, array('i')
+ * aux/parent, array('q') epoch stamps), without crossing the Python
+ * boundary per node.  The three expansion modes mirror the three adapter
+ * callbacks bit for bit:
+ *
+ *   MODE_TRADITIONAL  dr/maze's Cost_trad expand (6 grid moves),
+ *   MODE_COLOR_STATE  tpl/search's Alg. 2 per-mask expand (6 moves, 3x1
+ *                     mask costs, stitch on planar moves, min + state set),
+ *   MODE_MASK_EXPANDED baselines/dac2012's mask-expanded graph (2 in-place
+ *                     mask switches + 6 moves, node = vertex * 3 + mask).
+ *
+ * Bit-exactness contract: every floating-point expression below copies the
+ * Python adapters' operation order exactly (each step is an IEEE-754
+ * double operation in both runtimes), the binary heap orders entries by
+ * the same (f, push counter) key heapq compares first, and that key is a
+ * strict total order (the counter is unique) -- so pop order, tie-breaks,
+ * labels and backtraced paths are identical to the interpreted loop.  The
+ * build deliberately disables FP contraction (-ffp-contract=off): a fused
+ * multiply-add would round differently from Python's separate ops.
+ *
+ * The GIL is released for the duration of the loop: the kernel only
+ * touches the caller-owned label buffers (exclusive to one SearchCore) and
+ * read-only snapshot tables, so concurrent thread-backend searches run
+ * truly in parallel, each inside its own kernel call.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdlib.h>
+#include <string.h>
+
+/* Bumped whenever the run_search argument contract changes; the Python
+ * loader refuses (and rebuilds) a stale binary whose ABI does not match. */
+#define KERNEL_ABI_VERSION 1
+
+#define MODE_TRADITIONAL 0
+#define MODE_COLOR_STATE 1
+#define MODE_MASK_EXPANDED 2
+
+#define NUM_DIRECTIONS 6
+
+/* ------------------------------------------------------------------ */
+/* Binary min-heap over (f, counter) -- the prefix of the (f, counter,  */
+/* node, g) tuples heapq compares; counter is unique, so the order is   */
+/* total and any correct heap pops the same sequence heapq does.        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    double f;
+    long long counter;
+    int node;
+    double g;
+} HeapEntry;
+
+typedef struct {
+    HeapEntry *items;
+    Py_ssize_t size;
+    Py_ssize_t capacity;
+} Heap;
+
+static int
+heap_init(Heap *heap, Py_ssize_t capacity)
+{
+    heap->items = (HeapEntry *)malloc((size_t)capacity * sizeof(HeapEntry));
+    heap->size = 0;
+    heap->capacity = capacity;
+    return heap->items == NULL ? -1 : 0;
+}
+
+static void
+heap_free(Heap *heap)
+{
+    free(heap->items);
+    heap->items = NULL;
+    heap->size = heap->capacity = 0;
+}
+
+static inline int
+entry_less(const HeapEntry *a, const HeapEntry *b)
+{
+    if (a->f != b->f) {
+        return a->f < b->f;
+    }
+    return a->counter < b->counter;
+}
+
+static int
+heap_push(Heap *heap, double f, long long counter, int node, double g)
+{
+    Py_ssize_t child, parent;
+    HeapEntry entry;
+
+    if (heap->size == heap->capacity) {
+        Py_ssize_t grown = heap->capacity * 2;
+        HeapEntry *items =
+            (HeapEntry *)realloc(heap->items, (size_t)grown * sizeof(HeapEntry));
+        if (items == NULL) {
+            return -1;
+        }
+        heap->items = items;
+        heap->capacity = grown;
+    }
+    entry.f = f;
+    entry.counter = counter;
+    entry.node = node;
+    entry.g = g;
+    child = heap->size++;
+    while (child > 0) {
+        parent = (child - 1) >> 1;
+        if (!entry_less(&entry, &heap->items[parent])) {
+            break;
+        }
+        heap->items[child] = heap->items[parent];
+        child = parent;
+    }
+    heap->items[child] = entry;
+    return 0;
+}
+
+static HeapEntry
+heap_pop(Heap *heap)
+{
+    HeapEntry top = heap->items[0];
+    HeapEntry last = heap->items[--heap->size];
+    Py_ssize_t hole = 0, child;
+
+    while ((child = 2 * hole + 1) < heap->size) {
+        if (child + 1 < heap->size &&
+            entry_less(&heap->items[child + 1], &heap->items[child])) {
+            child += 1;
+        }
+        if (!entry_less(&heap->items[child], &last)) {
+            break;
+        }
+        heap->items[hole] = heap->items[child];
+        hole = child;
+    }
+    heap->items[hole] = last;
+    return top;
+}
+
+/* ------------------------------------------------------------------ */
+/* Search context: every pointer and scalar one run needs.             */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    /* Label buffers (exclusive to the calling SearchCore). */
+    double *cost;
+    int *aux;
+    int *parent;
+    long long *stamp;
+    double *exp_cost;
+    int *exp_aux;
+    long long *exp_stamp;
+    long long epoch;
+    /* Read-only grid/cost tables. */
+    const int *neighbor;
+    const unsigned char *blocked;
+    const double *base_costs;   /* num_layers * 6 */
+    const double *congestion;   /* per vertex */
+    const double *guide;        /* per vertex */
+    const double *pressure;     /* 3 per vertex, or NULL */
+    const int *owner;           /* per vertex, or NULL */
+    const unsigned char *target_flags;
+    /* Scalars. */
+    int mode;
+    int node_stride;
+    int plane;
+    int rows;
+    double alpha;
+    double via_cost;
+    double improve_eps;
+    double tie_eps;
+    double stitch;
+    double tolerance;
+    int merge_aux;
+    int use_bounds;
+    int min_layer, max_layer, min_col, max_col, min_row, max_row;
+    int accept_mode;
+    int net_id;
+    long long counter;
+    Heap heap;
+} SearchCtx;
+
+/* A* lower bound -- the exact arithmetic of SearchCore._heuristic_table
+ * and its scalar twin: alpha * (planar + dlayer * via_cost). */
+static inline double
+heur_of(const SearchCtx *ctx, int node)
+{
+    int vertex, layer, rem, col, row, dcol, drow, dlayer;
+
+    if (!ctx->use_bounds) {
+        return 0.0;
+    }
+    vertex = ctx->node_stride != 1 ? node / ctx->node_stride : node;
+    layer = vertex / ctx->plane;
+    rem = vertex % ctx->plane;
+    col = rem / ctx->rows;
+    row = rem % ctx->rows;
+    dcol = ctx->min_col - col;
+    if (dcol < 0) {
+        dcol = 0;
+    }
+    if (col - ctx->max_col > dcol) {
+        dcol = col - ctx->max_col;
+    }
+    drow = ctx->min_row - row;
+    if (drow < 0) {
+        drow = 0;
+    }
+    if (row - ctx->max_row > drow) {
+        drow = row - ctx->max_row;
+    }
+    dlayer = ctx->min_layer - layer;
+    if (dlayer < 0) {
+        dlayer = 0;
+    }
+    if (layer - ctx->max_layer > dlayer) {
+        dlayer = layer - ctx->max_layer;
+    }
+    return ctx->alpha * ((double)(dcol + drow) + (double)dlayer * ctx->via_cost);
+}
+
+/* One relaxation -- the exact body of SearchCore.run's buffered successor
+ * loop (fresh label / strict improvement / equal-cost aux merge). */
+static inline int
+relax(SearchCtx *ctx, int succ, double g_new, int a_new, int node)
+{
+    double g_old;
+
+    if (ctx->stamp[succ] != ctx->epoch) {
+        ctx->stamp[succ] = ctx->epoch;
+        ctx->cost[succ] = g_new;
+        ctx->aux[succ] = a_new;
+        ctx->parent[succ] = node;
+        return heap_push(&ctx->heap, g_new + heur_of(ctx, succ), ctx->counter++,
+                         succ, g_new);
+    }
+    g_old = ctx->cost[succ];
+    if (g_new < g_old - ctx->improve_eps) {
+        ctx->cost[succ] = g_new;
+        ctx->aux[succ] = a_new;
+        ctx->parent[succ] = node;
+        return heap_push(&ctx->heap, g_new + heur_of(ctx, succ), ctx->counter++,
+                         succ, g_new);
+    }
+    if (ctx->merge_aux && g_new <= g_old + ctx->tie_eps &&
+        (a_new | ctx->aux[succ]) != ctx->aux[succ]) {
+        ctx->aux[succ] |= a_new;
+        if (ctx->exp_stamp[succ] == ctx->epoch) {
+            return heap_push(&ctx->heap, g_old + heur_of(ctx, succ),
+                             ctx->counter++, succ, g_old);
+        }
+    }
+    return 0;
+}
+
+/* dr/maze make_traditional_expand: 6 grid moves at Cost_trad. */
+static inline int
+expand_traditional(SearchCtx *ctx, int node, double g)
+{
+    const double *base_row = ctx->base_costs + (size_t)(node / ctx->plane) * NUM_DIRECTIONS;
+    size_t slot = (size_t)node * NUM_DIRECTIONS;
+    int direction, succ;
+    double step;
+
+    for (direction = 0; direction < NUM_DIRECTIONS; direction++) {
+        succ = ctx->neighbor[slot + direction];
+        if (succ < 0 || ctx->blocked[succ]) {
+            continue;
+        }
+        step = base_row[direction] + ctx->congestion[succ];
+        step = step + ctx->guide[succ];
+        if (relax(ctx, succ, g + ctx->alpha * step, 0, node) < 0) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+/* tpl/search make_color_state_expand: Alg. 2 lines 9-17 per direction. */
+static inline int
+expand_color_state(SearchCtx *ctx, int node, double g, int bits)
+{
+    const double *base_row = ctx->base_costs + (size_t)(node / ctx->plane) * NUM_DIRECTIONS;
+    size_t slot = (size_t)node * NUM_DIRECTIONS;
+    int direction, succ, nbits;
+    double step, base_step, cost_red, cost_green, cost_blue, minimum, limit;
+    size_t pressure_slot;
+
+    for (direction = 0; direction < NUM_DIRECTIONS; direction++) {
+        succ = ctx->neighbor[slot + direction];
+        if (succ < 0 || ctx->blocked[succ]) {
+            continue;
+        }
+        step = base_row[direction] + ctx->congestion[succ];
+        step = step + ctx->guide[succ];
+        base_step = ctx->alpha * step;
+
+        pressure_slot = 3 * (size_t)succ;
+        cost_red = base_step + ctx->pressure[pressure_slot];
+        cost_green = base_step + ctx->pressure[pressure_slot + 1];
+        cost_blue = base_step + ctx->pressure[pressure_slot + 2];
+        if (direction < 4) { /* planar move: stitch for masks outside the state */
+            if (!(bits & 0x4)) {
+                cost_red += ctx->stitch;
+            }
+            if (!(bits & 0x2)) {
+                cost_green += ctx->stitch;
+            }
+            if (!(bits & 0x1)) {
+                cost_blue += ctx->stitch;
+            }
+        }
+        minimum = cost_red <= cost_green ? cost_red : cost_green;
+        if (cost_blue < minimum) {
+            minimum = cost_blue;
+        }
+        limit = minimum + ctx->tolerance;
+        nbits = (cost_red <= limit ? 0x4 : 0) | (cost_green <= limit ? 0x2 : 0) |
+                (cost_blue <= limit ? 0x1 : 0);
+        if (relax(ctx, succ, g + minimum, nbits, node) < 0) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+/* baselines/dac2012 MaskExpandedSearch._make_expand: 2 in-place mask
+ * switches (a stitch on the expanded graph) then 6 moves keeping the mask,
+ * each charged the mask's color conflict cost at the destination. */
+static inline int
+expand_mask_expanded(SearchCtx *ctx, int node, double g)
+{
+    int vertex = node / 3;
+    int color = node % 3;
+    int vertex_base = 3 * vertex;
+    const double *base_row = ctx->base_costs + (size_t)(vertex / ctx->plane) * NUM_DIRECTIONS;
+    size_t slot = (size_t)vertex * NUM_DIRECTIONS;
+    int other, direction, succ;
+    double step, g_new;
+
+    for (other = 0; other < 3; other++) {
+        if (other != color) {
+            if (relax(ctx, vertex_base + other, g + ctx->stitch, 0, node) < 0) {
+                return -1;
+            }
+        }
+    }
+    for (direction = 0; direction < NUM_DIRECTIONS; direction++) {
+        succ = ctx->neighbor[slot + direction];
+        if (succ < 0 || ctx->blocked[succ]) {
+            continue;
+        }
+        step = base_row[direction] + ctx->congestion[succ];
+        step = step + ctx->guide[succ];
+        g_new = (g + ctx->alpha * step) + ctx->pressure[3 * (size_t)succ + color];
+        if (relax(ctx, succ * 3 + color, g_new, 0, node) < 0) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+/* The relaxation loop proper; returns 0/-1 (OOM), reports through *out. */
+static int
+run_loop(SearchCtx *ctx, const int *seed_node, const int *seed_aux,
+         Py_ssize_t num_seeds, Py_ssize_t max_expansions,
+         int *reached_out, Py_ssize_t *expansions_out)
+{
+    Py_ssize_t seed, expansions = 0;
+    int reached = -1;
+
+    for (seed = 0; seed < num_seeds; seed++) {
+        int node = seed_node[seed];
+        ctx->cost[node] = 0.0;
+        ctx->aux[node] = seed_aux[seed];
+        ctx->parent[node] = -1;
+        ctx->stamp[node] = ctx->epoch;
+        if (heap_push(&ctx->heap, heur_of(ctx, node), ctx->counter++, node, 0.0) < 0) {
+            return -1;
+        }
+    }
+
+    while (ctx->heap.size > 0) {
+        HeapEntry entry = heap_pop(&ctx->heap);
+        int node = entry.node;
+        double g_cur = ctx->cost[node];
+        int a_cur;
+
+        if (entry.g - g_cur > ctx->improve_eps) {
+            continue; /* stale entry superseded by a strict improvement */
+        }
+        a_cur = ctx->aux[node];
+        if (ctx->exp_stamp[node] == ctx->epoch && ctx->exp_cost[node] == g_cur &&
+            ctx->exp_aux[node] == a_cur) {
+            continue; /* already expanded with this exact label */
+        }
+        ctx->exp_stamp[node] = ctx->epoch;
+        ctx->exp_cost[node] = g_cur;
+        ctx->exp_aux[node] = a_cur;
+        expansions += 1;
+        if (ctx->target_flags[node]) {
+            int accepted = 1;
+            if (ctx->accept_mode == 1) {
+                /* maze's occupied-target rule: reject vertices another
+                 * net's metal already owns (grid.is_occupied_by_other). */
+                int holder = ctx->owner[node];
+                accepted = !(holder != 0 && holder != ctx->net_id);
+            }
+            if (accepted) {
+                reached = node;
+                break;
+            }
+        }
+        if (expansions > max_expansions) {
+            break;
+        }
+        switch (ctx->mode) {
+        case MODE_TRADITIONAL:
+            if (expand_traditional(ctx, node, g_cur) < 0) {
+                return -1;
+            }
+            break;
+        case MODE_COLOR_STATE:
+            if (expand_color_state(ctx, node, g_cur, a_cur) < 0) {
+                return -1;
+            }
+            break;
+        default:
+            if (expand_mask_expanded(ctx, node, g_cur) < 0) {
+                return -1;
+            }
+            break;
+        }
+    }
+    *reached_out = reached;
+    *expansions_out = expansions;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Python binding                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_buffer view;
+    int held;
+} BufferSlot;
+
+static int
+acquire(PyObject *obj, BufferSlot *slot, int writable, void **ptr)
+{
+    slot->held = 0;
+    if (obj == Py_None) {
+        *ptr = NULL;
+        return 0;
+    }
+    if (PyObject_GetBuffer(obj, &slot->view,
+                           writable ? PyBUF_WRITABLE : PyBUF_SIMPLE) < 0) {
+        return -1;
+    }
+    slot->held = 1;
+    *ptr = slot->view.buf;
+    return 0;
+}
+
+static PyObject *
+run_search(PyObject *self, PyObject *args)
+{
+    SearchCtx ctx;
+    PyObject *cost_obj, *aux_obj, *parent_obj, *stamp_obj;
+    PyObject *exp_cost_obj, *exp_aux_obj, *exp_stamp_obj;
+    PyObject *seed_node_obj, *seed_aux_obj, *flags_obj;
+    PyObject *owner_obj, *neighbor_obj, *blocked_obj, *base_obj;
+    PyObject *congestion_obj, *guide_obj, *pressure_obj;
+    Py_ssize_t num_nodes, num_seeds, max_expansions, expansions = 0;
+    int reached = -1, status = 0, i;
+    BufferSlot slots[17];
+    void *ptrs[17];
+    const int *seed_node = NULL, *seed_aux = NULL;
+
+    memset(&ctx, 0, sizeof(ctx));
+    if (!PyArg_ParseTuple(
+            args,
+            "ini"      /* mode, num_nodes, node_stride */
+            "OOOO"     /* cost, aux, parent, stamp */
+            "OOO"      /* exp_cost, exp_aux, exp_stamp */
+            "L"        /* epoch */
+            "OOn"      /* seed_node, seed_aux, num_seeds */
+            "O"        /* target_flags */
+            "iiiiiii"  /* use_bounds, min/max layer, col, row */
+            "dd"       /* alpha, via_cost */
+            "ii"       /* plane, rows */
+            "dd"       /* improve_eps, tie_eps */
+            "in"       /* merge_aux, max_expansions */
+            "iOi"      /* accept_mode, owner, net_id */
+            "OO"       /* neighbor, blocked */
+            "OOOO"     /* base_costs, congestion, guide, pressure */
+            "dd",      /* stitch, tolerance */
+            &ctx.mode, &num_nodes, &ctx.node_stride,
+            &cost_obj, &aux_obj, &parent_obj, &stamp_obj,
+            &exp_cost_obj, &exp_aux_obj, &exp_stamp_obj,
+            &ctx.epoch,
+            &seed_node_obj, &seed_aux_obj, &num_seeds,
+            &flags_obj,
+            &ctx.use_bounds, &ctx.min_layer, &ctx.max_layer, &ctx.min_col,
+            &ctx.max_col, &ctx.min_row, &ctx.max_row,
+            &ctx.alpha, &ctx.via_cost,
+            &ctx.plane, &ctx.rows,
+            &ctx.improve_eps, &ctx.tie_eps,
+            &ctx.merge_aux, &max_expansions,
+            &ctx.accept_mode, &owner_obj, &ctx.net_id,
+            &neighbor_obj, &blocked_obj,
+            &base_obj, &congestion_obj, &guide_obj, &pressure_obj,
+            &ctx.stitch, &ctx.tolerance)) {
+        return NULL;
+    }
+
+    {
+        PyObject *objects[17] = {
+            cost_obj, aux_obj, parent_obj, stamp_obj,
+            exp_cost_obj, exp_aux_obj, exp_stamp_obj,
+            seed_node_obj, seed_aux_obj, flags_obj,
+            owner_obj, neighbor_obj, blocked_obj,
+            base_obj, congestion_obj, guide_obj, pressure_obj,
+        };
+        int writable[17] = {1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+        for (i = 0; i < 17; i++) {
+            if (acquire(objects[i], &slots[i], writable[i], &ptrs[i]) < 0) {
+                while (--i >= 0) {
+                    if (slots[i].held) {
+                        PyBuffer_Release(&slots[i].view);
+                    }
+                }
+                return NULL;
+            }
+        }
+    }
+    ctx.cost = (double *)ptrs[0];
+    ctx.aux = (int *)ptrs[1];
+    ctx.parent = (int *)ptrs[2];
+    ctx.stamp = (long long *)ptrs[3];
+    ctx.exp_cost = (double *)ptrs[4];
+    ctx.exp_aux = (int *)ptrs[5];
+    ctx.exp_stamp = (long long *)ptrs[6];
+    seed_node = (const int *)ptrs[7];
+    seed_aux = (const int *)ptrs[8];
+    ctx.target_flags = (const unsigned char *)ptrs[9];
+    ctx.owner = (const int *)ptrs[10];
+    ctx.neighbor = (const int *)ptrs[11];
+    ctx.blocked = (const unsigned char *)ptrs[12];
+    ctx.base_costs = (const double *)ptrs[13];
+    ctx.congestion = (const double *)ptrs[14];
+    ctx.guide = (const double *)ptrs[15];
+    ctx.pressure = (const double *)ptrs[16];
+
+    if (heap_init(&ctx.heap, num_seeds > 256 ? num_seeds : 256) < 0) {
+        status = -1;
+    }
+    else {
+        Py_BEGIN_ALLOW_THREADS
+        status = run_loop(&ctx, seed_node, seed_aux, num_seeds, max_expansions,
+                          &reached, &expansions);
+        Py_END_ALLOW_THREADS
+        heap_free(&ctx.heap);
+    }
+
+    for (i = 0; i < 17; i++) {
+        if (slots[i].held) {
+            PyBuffer_Release(&slots[i].view);
+        }
+    }
+    if (status < 0) {
+        return PyErr_NoMemory();
+    }
+    return Py_BuildValue("in", reached, expansions);
+}
+
+static PyMethodDef relaxation_methods[] = {
+    {"run_search", run_search, METH_VARARGS,
+     "Run one compiled multi-source Dijkstra/A* search over flat buffers."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef relaxation_module = {
+    PyModuleDef_HEAD_INIT,
+    "_relaxation",
+    "Compiled relaxation kernel behind repro.search.SearchCore.run.",
+    -1,
+    relaxation_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__relaxation(void)
+{
+    PyObject *module = PyModule_Create(&relaxation_module);
+    if (module == NULL) {
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(module, "KERNEL_ABI_VERSION",
+                                KERNEL_ABI_VERSION) < 0 ||
+        PyModule_AddIntConstant(module, "MODE_TRADITIONAL", MODE_TRADITIONAL) < 0 ||
+        PyModule_AddIntConstant(module, "MODE_COLOR_STATE", MODE_COLOR_STATE) < 0 ||
+        PyModule_AddIntConstant(module, "MODE_MASK_EXPANDED", MODE_MASK_EXPANDED) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

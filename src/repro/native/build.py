@@ -1,0 +1,125 @@
+"""Build machinery for the compiled relaxation kernel.
+
+The extension is a single C file with no dependencies beyond the Python
+headers, so the build is one compiler invocation -- done either ahead of
+time (``python setup.py build_ext --inplace``, ``scripts/build_native.py``,
+the CI matrix) or lazily on first import by :func:`repro.native.load_kernel`
+when a compiler is present.
+
+The compile uses the interpreter's own toolchain configuration
+(``sysconfig``) with fused multiply-add contraction disabled
+(``-ffp-contract=off``): the kernel's bit-exactness contract requires every
+floating-point operation to round exactly as the interpreted loop does, and
+an FMA contracts two of those roundings into one.
+
+The binary lands next to the source inside the package when that directory
+is writable (the dev/CI layout); read-only installs fall back to a per-user
+cache directory, which :func:`repro.native.load_kernel` also probes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from typing import List, Optional
+
+#: Module name of the compiled kernel inside ``repro.native``.
+EXTENSION_NAME = "_relaxation"
+
+
+class NativeBuildError(RuntimeError):
+    """Raised when the kernel cannot be compiled (no compiler, bad flags...)."""
+
+
+def extension_filename() -> str:
+    """Return the platform binary filename (``_relaxation.cpython-*.so``)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return EXTENSION_NAME + suffix
+
+
+def source_path() -> str:
+    """Return the absolute path of the kernel's C source."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), EXTENSION_NAME + ".c")
+
+
+def package_target() -> str:
+    """Return the in-package build target path (preferred location)."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), extension_filename())
+
+
+def cache_target() -> str:
+    """Return the fallback build target for read-only package directories.
+
+    Scoped per user, interpreter tag and ABI so unrelated environments
+    never pick up each other's binaries.
+    """
+    try:
+        scope = f"uid{os.getuid()}"
+    except AttributeError:  # pragma: no cover - non-POSIX
+        scope = "user"
+    tag = f"repro-native-{scope}-py{sys.version_info[0]}.{sys.version_info[1]}"
+    return os.path.join(tempfile.gettempdir(), tag, extension_filename())
+
+
+def candidate_paths() -> List[str]:
+    """Return every path the loader should probe for a built kernel."""
+    return [package_target(), cache_target()]
+
+
+def _compiler_command(target: str) -> List[str]:
+    cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "cc"
+    command = cc.split()
+    command += ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+    include = sysconfig.get_paths().get("include")
+    if include:
+        command += ["-I", include]
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        command += ["-undefined", "dynamic_lookup"]
+    command += [source_path(), "-o", target]
+    return command
+
+
+def build_extension(target: Optional[str] = None) -> str:
+    """Compile the kernel and return the binary's path.
+
+    Writes to a temporary file first and renames atomically, so concurrent
+    builders (parallel pytest workers, forked pool workers racing on a cold
+    cache) never import a half-written binary.  Raises
+    :class:`NativeBuildError` on any failure.
+    """
+    source = source_path()
+    if not os.path.exists(source):
+        raise NativeBuildError(f"kernel source missing: {source}")
+    if target is None:
+        target = package_target()
+        if not os.access(os.path.dirname(target), os.W_OK):
+            target = cache_target()
+    directory = os.path.dirname(target)
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise NativeBuildError(f"cannot create build directory {directory}: {exc}")
+    staging = target + f".build-{os.getpid()}"
+    command = _compiler_command(staging)
+    try:
+        completed = subprocess.run(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=300,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeBuildError(f"compiler invocation failed: {exc}")
+    if completed.returncode != 0:
+        output = completed.stdout.decode(errors="replace") if completed.stdout else ""
+        raise NativeBuildError(
+            f"compiler exited with {completed.returncode}: {' '.join(command)}\n{output}"
+        )
+    try:
+        os.replace(staging, target)
+    except OSError as exc:
+        raise NativeBuildError(f"cannot move built kernel into place: {exc}")
+    return target

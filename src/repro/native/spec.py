@@ -1,0 +1,144 @@
+"""Native-dispatch descriptors bridging adapters and the compiled kernel.
+
+The router adapters express their expansion logic as Python closures; the
+compiled kernel re-implements the same three expansions natively.  To let
+:meth:`repro.search.SearchCore.run` switch between them transparently, each
+adapter factory *attaches* a :class:`NativeExpandSpec` to the closure it
+returns (``expand.native_spec = ...``): a declarative bundle of the flat
+tables and scalars the kernel needs to reproduce that closure bit for bit.
+The core dispatches natively only when a spec is present, the kernel is
+loaded, and every run argument is representable -- otherwise the closure
+runs as before, so the Python path remains the always-available fallback
+and the differential oracle.
+
+Specs are built only when the native tier is active
+(:func:`repro.accel.get_native_kernel`), so Python-tier runs never pay the
+table materialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: Expansion modes -- values mirror the C kernel's constants.
+MODE_TRADITIONAL = 0
+MODE_COLOR_STATE = 1
+MODE_MASK_EXPANDED = 2
+
+#: Accept-predicate modes: no predicate, or the maze router's
+#: free-or-own-occupancy target rule.
+ACCEPT_ALWAYS = 0
+ACCEPT_FREE_OR_OWN = 1
+
+
+class NativeExpandSpec:
+    """Everything the kernel needs to run one adapter's expansion natively.
+
+    All table attributes are flat buffers (``array``/``bytearray``) the C
+    side reads through the buffer protocol; they alias the exact objects
+    the Python closure reads, so the two paths can never diverge on data.
+    """
+
+    __slots__ = (
+        "mode",
+        "node_stride",
+        "neighbor",
+        "blocked",
+        "base_costs",
+        "congestion",
+        "guide",
+        "pressure",
+        "stitch",
+        "tolerance",
+    )
+
+    def __init__(
+        self,
+        mode: int,
+        node_stride: int,
+        neighbor,
+        blocked,
+        base_costs,
+        congestion,
+        guide,
+        pressure=None,
+        stitch: float = 0.0,
+        tolerance: float = 0.0,
+    ) -> None:
+        self.mode = mode
+        self.node_stride = node_stride
+        self.neighbor = neighbor
+        self.blocked = blocked
+        self.base_costs = base_costs
+        self.congestion = congestion
+        self.guide = guide
+        self.pressure = pressure
+        self.stitch = stitch
+        self.tolerance = tolerance
+
+
+class NativeAcceptSpec:
+    """Native form of a target-accept predicate (see ``ACCEPT_*``)."""
+
+    __slots__ = ("kind", "owner", "net_id")
+
+    def __init__(self, kind: int, owner=None, net_id: int = 0) -> None:
+        self.kind = kind
+        self.owner = owner
+        self.net_id = net_id
+
+
+def attach_native_spec(
+    expand: Callable,
+    mode: int,
+    grid,
+    cost_model,
+    net_name: str,
+    net_id: int,
+    stitch: float = 0.0,
+    tolerance: float = 0.0,
+) -> Callable:
+    """Attach a :class:`NativeExpandSpec` to *expand* when the tier is active.
+
+    Returns *expand* either way, so factories can ``return
+    attach_native_spec(expand, ...)``.  A spec is attached only when the
+    kernel is loaded *and* the per-search snapshot tables exist (they
+    require the numpy tier; without them the scalar closure is the fastest
+    correct path anyway).
+    """
+    from repro.accel import get_native_kernel
+
+    if get_native_kernel() is None:
+        return expand
+    congestion = cost_model.congestion_snapshot_flat(net_id)
+    if congestion is None:
+        return expand
+    pressure = None
+    if mode in (MODE_COLOR_STATE, MODE_MASK_EXPANDED):
+        pressure = cost_model.color_pressure_snapshot_flat(net_id)
+        if pressure is None:
+            return expand
+    expand.native_spec = NativeExpandSpec(
+        mode=mode,
+        node_stride=3 if mode == MODE_MASK_EXPANDED else 1,
+        neighbor=grid.neighbor_table(),
+        blocked=grid.blocked_buffer(),
+        base_costs=cost_model.base_cost_flat(),
+        congestion=congestion,
+        guide=cost_model.guide_penalty_flat(net_name),
+        pressure=pressure,
+        stitch=stitch,
+        tolerance=tolerance,
+    )
+    return expand
+
+
+def attach_accept_spec(accept: Callable, grid, net_id: int) -> Callable:
+    """Attach the free-or-own occupancy accept spec to *accept*."""
+    from repro.accel import get_native_kernel
+
+    if get_native_kernel() is not None:
+        accept.native_spec = NativeAcceptSpec(
+            kind=ACCEPT_FREE_OR_OWN, owner=grid.owner_buffer(), net_id=net_id
+        )
+    return accept

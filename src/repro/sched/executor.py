@@ -52,17 +52,18 @@ asserts the end-to-end guarantee per backend.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from queue import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.accel import get_native_kernel
 from repro.design import Net
 from repro.grid import RoutingSolution
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
+from repro.utils.env import env_int
 
 #: Backends accepted by :class:`BatchExecutor`.
 BACKENDS = ("serial", "thread", "process", "pool")
@@ -77,30 +78,18 @@ DEFAULT_MIN_FORK_BATCH = 3
 DEFAULT_BATCH_MARGIN = 0
 
 
-def _env_int(name: str, fallback: int) -> int:
-    value = os.environ.get(name)
-    if value is None or not value.strip():
-        return fallback
-    try:
-        return int(value)
-    except ValueError:
-        raise ValueError(
-            f"environment knob {name} must be an integer, got {value!r}"
-        ) from None
-
-
 def resolve_min_fork_batch(explicit: Optional[int] = None) -> int:
     """Return the effective ``min_fork_batch`` knob (arg > env > default)."""
     if explicit is not None:
         return explicit
-    return _env_int(MIN_FORK_BATCH_ENV, DEFAULT_MIN_FORK_BATCH)
+    return env_int(MIN_FORK_BATCH_ENV, DEFAULT_MIN_FORK_BATCH)
 
 
 def resolve_batch_margin(explicit: Optional[int] = None) -> int:
     """Return the effective scheduler window margin in cells (arg > env > default)."""
     if explicit is not None:
         return explicit
-    return _env_int(BATCH_MARGIN_ENV, DEFAULT_BATCH_MARGIN)
+    return env_int(BATCH_MARGIN_ENV, DEFAULT_BATCH_MARGIN)
 
 
 @dataclass
@@ -504,6 +493,14 @@ class BatchExecutor:
             self._fork_context = (
                 multiprocessing.get_context("fork") if "fork" in methods else None
             )
+        if backend != "serial":
+            # Warm the native kernel in the parent before any worker
+            # exists: threads share the loaded module outright, and forked
+            # workers (per-batch or persistent pool) inherit the mapped
+            # .so through fork -- no per-worker build attempt, no N
+            # compilers racing on first use.  A no-op when the tier is
+            # gated off or the extension cannot be built.
+            get_native_kernel()
 
     # ------------------------------------------------------------------
 

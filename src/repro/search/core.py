@@ -56,7 +56,8 @@ from array import array
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.accel import get_numpy
+from repro.accel import get_native_kernel, get_numpy
+from repro.native.spec import ACCEPT_ALWAYS
 
 if TYPE_CHECKING:  # imported lazily to keep this module dependency-free
     from repro.dr.cost import CostModel, TargetBounds
@@ -291,6 +292,15 @@ class SearchCore:
         self._last_result: Optional[weakref.ref] = None
         # Cached per-vertex coordinate arrays for the vectorised heuristic.
         self._coord_cache: Optional[Tuple[object, object, object]] = None
+        # Per-(target bounds, stride) heuristic tables, reused across the
+        # searches of one net and across rip-up iterations: the lower bound
+        # reads only the target box and the grid's immutable geometry/rules,
+        # never mutable grid state, so entries stay exact for the life of
+        # the core regardless of RoutingGrid.mutation_epoch.
+        self._heur_tables: Dict[Tuple["TargetBounds", int], List[float]] = {}
+        # Per-node target flags for the native kernel (set before a kernel
+        # call, cleared right after; allocated lazily with the labels).
+        self._target_flags: Optional[bytearray] = None
         # Optional observer called with every finished CoreResult while its
         # label buffers are guaranteed live (the batch executor's explored-
         # region tracker hooks in here without forcing buffer snapshots).
@@ -310,19 +320,33 @@ class SearchCore:
         self._exp_aux_buf = array("i", [0]) * num_nodes
         self._exp_stamp_buf = array("q", [0]) * num_nodes
 
+    #: Cap on cached per-bounds heuristic tables; a router cycling through
+    #: more distinct target boxes than this simply rebuilds (correctness is
+    #: unaffected, the cache only saves the O(V) vectorised pass).
+    _HEUR_CACHE_LIMIT = 128
+
     def _heuristic_table(
         self, bounds: "TargetBounds", node_stride: int
     ) -> Optional[List[float]]:
         """Return per-node A* lower bounds as a flat list, or ``None``.
 
-        Vectorised per-run hoist of the inline heuristic: the bounding box
-        changes per search, but the per-vertex coordinate decomposition is
-        fixed, so one numpy pass produces every node's ``h`` value with the
-        exact scalar arithmetic (``alpha * (planar + dlayer * via_cost)``).
+        Vectorised hoist of the inline heuristic: the bounding box changes
+        per *net*, but the per-vertex coordinate decomposition is fixed, so
+        one numpy pass produces every node's ``h`` value with the exact
+        scalar arithmetic (``alpha * (planar + dlayer * via_cost)``).
+        Tables are cached per ``(bounds, stride)`` -- a net's target box
+        recurs across its multi-pin searches and across every rip-up
+        iteration that reroutes it, and the bound depends on no mutable
+        grid state, so the rebuild-per-search of earlier revisions was
+        pure waste.
         """
         np = get_numpy()
         if np is None:
             return None
+        key = (bounds, node_stride)
+        cached = self._heur_tables.get(key)
+        if cached is not None:
+            return cached
         grid = self.grid
         if self._coord_cache is None:
             indices = np.arange(grid.num_vertices)
@@ -341,7 +365,134 @@ class SearchCore:
         table = rules.alpha * heights
         if node_stride != 1:
             table = np.repeat(table, node_stride)
-        return table.tolist()
+        result = table.tolist()
+        if len(self._heur_tables) >= self._HEUR_CACHE_LIMIT:
+            self._heur_tables.clear()
+        self._heur_tables[key] = result
+        return result
+
+    def _try_run_native(
+        self,
+        seeds: Iterable[Tuple[int, int]],
+        targets: "set[int]",
+        expand: Callable[..., object],
+        bounds: Optional[TargetBounds],
+        node_stride: int,
+        merge_aux: bool,
+        improve_eps: float,
+        tie_eps: float,
+        accept: Optional[Callable[[int], bool]],
+        epoch: int,
+    ) -> Optional[CoreResult]:
+        """Run the search on the compiled kernel, or ``None`` to fall back.
+
+        Dispatches only when the kernel is loaded, the expand closure
+        carries a :class:`repro.native.spec.NativeExpandSpec` whose stride
+        matches the call, and the accept predicate (if any) carries a
+        native descriptor.  The kernel mutates the exact label buffers the
+        Python loop would, so the returned :class:`CoreResult` is
+        indistinguishable from an interpreted run.
+        """
+        spec = getattr(expand, "native_spec", None)
+        if spec is None or spec.node_stride != node_stride:
+            return None
+        kernel = get_native_kernel()
+        if kernel is None:
+            return None
+        if accept is None:
+            accept_kind = ACCEPT_ALWAYS
+            owner = None
+            net_id = 0
+        else:
+            accept_spec = getattr(accept, "native_spec", None)
+            if accept_spec is None:
+                return None
+            accept_kind = accept_spec.kind
+            owner = accept_spec.owner
+            net_id = accept_spec.net_id
+
+        seed_node = array("i")
+        seed_aux = array("i")
+        for node, node_aux in seeds:
+            seed_node.append(node)
+            seed_aux.append(node_aux)
+
+        flags = self._target_flags
+        if flags is None or len(flags) < self._capacity:
+            flags = self._target_flags = bytearray(self._capacity)
+        for node in targets:
+            flags[node] = 1
+        try:
+            grid = self.grid
+            rules = grid.rules
+            if bounds is not None:
+                use_bounds = 1
+                min_layer, max_layer = bounds.min_layer, bounds.max_layer
+                min_col, max_col = bounds.min_col, bounds.max_col
+                min_row, max_row = bounds.min_row, bounds.max_row
+            else:
+                use_bounds = 0
+                min_layer = max_layer = min_col = max_col = min_row = max_row = 0
+            reached, expansions = kernel.run_search(
+                spec.mode,
+                grid.num_vertices * node_stride,
+                node_stride,
+                self._cost_buf,
+                self._aux_buf,
+                self._parent_buf,
+                self._stamp_buf,
+                self._exp_cost_buf,
+                self._exp_aux_buf,
+                self._exp_stamp_buf,
+                epoch,
+                seed_node,
+                seed_aux,
+                len(seed_node),
+                flags,
+                use_bounds,
+                min_layer,
+                max_layer,
+                min_col,
+                max_col,
+                min_row,
+                max_row,
+                rules.alpha,
+                rules.via_cost,
+                grid.plane_size,
+                grid.num_rows,
+                improve_eps,
+                tie_eps,
+                1 if merge_aux else 0,
+                self.max_expansions,
+                accept_kind,
+                owner,
+                net_id,
+                spec.neighbor,
+                spec.blocked,
+                spec.base_costs,
+                spec.congestion,
+                spec.guide,
+                spec.pressure,
+                spec.stitch,
+                spec.tolerance,
+            )
+        finally:
+            for node in targets:
+                flags[node] = 0
+
+        result = CoreResult(
+            reached,
+            expansions,
+            self._cost_buf,
+            self._aux_buf,
+            self._parent_buf,
+            self._stamp_buf,
+            epoch,
+        )
+        self._last_result = weakref.ref(result)
+        if self.on_result is not None:
+            self.on_result(result)
+        return result
 
     def run(
         self,
@@ -401,6 +552,29 @@ class SearchCore:
         self._ensure_buffers(grid.num_vertices * node_stride)
         self._epoch += 1
         epoch = self._epoch
+
+        if buffered:
+            # Native tier: when the adapter attached a kernel descriptor to
+            # its expand closure (and the accept predicate, if any, is
+            # representable), the whole relaxation loop runs compiled over
+            # the same buffers -- bit-identical by the kernel's contract,
+            # proven by tests/test_native_kernel.py.  Any missing piece
+            # falls through to the interpreted loop below.
+            result = self._try_run_native(
+                seeds,
+                targets,
+                expand,
+                bounds,
+                node_stride,
+                merge_aux,
+                improve_eps,
+                tie_eps,
+                accept,
+                epoch,
+            )
+            if result is not None:
+                return result
+
         cost = self._cost_buf
         aux = self._aux_buf
         parent = self._parent_buf

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 from repro.dr.cost import CostModel, TargetBounds
 from repro.geometry import GridPoint
 from repro.grid import INDEX_DIRECTION, NUM_DIRECTIONS, Direction, RoutingGrid
+from repro.native.spec import MODE_COLOR_STATE, attach_native_spec
 from repro.search import CoreResult, SearchCore
 from repro.tpl.color_state import ColorState
 
@@ -303,7 +304,16 @@ def make_color_state_expand(
                 count += 1
             return count
 
-        return expand
+        return attach_native_spec(
+            expand,
+            MODE_COLOR_STATE,
+            grid,
+            cost_model,
+            net_name,
+            net_id,
+            stitch=stitch_penalty,
+            tolerance=tolerance,
+        )
 
     # Pure-Python fallback: per-successor congestion / pressure reads from
     # the live buffers (identical arithmetic to the snapshots).

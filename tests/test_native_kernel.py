@@ -1,0 +1,348 @@
+"""Differential tests for the compiled relaxation kernel (repro.native).
+
+The native tier's one promise is *bit-identical* behaviour: running the
+same search compiled must produce exactly the labels, parents, aux bits,
+tie-breaks and therefore solutions the buffered Python loop produces.
+These tests enforce it three ways:
+
+* seeded fuzz parity -- randomized designs routed through every router
+  with the kernel on, the kernel off, numpy off (buffered-python), and
+  the frozen legacy oracle, all four compared digest-for-digest;
+* label-level parity -- single searches compared on the raw CoreResult
+  cost / parent / aux maps (tie-breaks live in parents, the Alg. 2
+  color-state merge lives in aux);
+* fallback behaviour -- gating the tier off mid-process, and loading with
+  no binary and auto-build disabled, must leave the engines running (and
+  agreeing) on the buffered tier.
+
+Every native leg is skipped cleanly when no kernel can be built (no
+compiler in the environment): the remaining legs still differentially
+test the buffered tiers against the legacy oracle.
+"""
+
+import random
+
+import pytest
+
+from repro import accel
+from repro.bench.micro import solution_fingerprint, solution_metrics
+from repro.design import Design, Net, Obstacle, Pin
+from repro.dr.cost import CostModel
+from repro.geometry import GridPoint, Rect
+from repro.grid import RoutingGrid
+from repro.tech import make_default_tech
+
+HAVE_KERNEL = accel.native_available()
+needs_kernel = pytest.mark.skipif(
+    not HAVE_KERNEL, reason="native kernel unavailable (no compiler?)"
+)
+
+
+def _pin(name, layer, x, y):
+    pin = Pin(name=name)
+    pin.add_shape(layer, Rect(x - 1, y - 1, x + 1, y + 1))
+    return pin
+
+
+def random_design(seed: int) -> Design:
+    """Return a randomized small design (die, nets, colored obstacles)."""
+    rng = random.Random(seed)
+    size = rng.choice((48, 64, 80))
+    tech = make_default_tech(num_layers=3, color_spacing=8)
+    design = Design(name=f"fuzz_{seed}", tech=tech, die_area=Rect(0, 0, size, size))
+    for index in range(rng.randint(2, 4)):
+        x0 = rng.randrange(8, size - 16, 4)
+        y0 = rng.randrange(8, size - 16, 4)
+        design.add_obstacle(
+            Obstacle(
+                layer=rng.randint(0, 1),
+                rect=Rect(x0, y0, x0 + rng.randrange(4, 13, 4), y0 + 4),
+                name=f"obs_{index}",
+                color=rng.choice((-1, 0, 1, 2)),
+            )
+        )
+    for index in range(rng.randint(3, 7)):
+        net = Net(name=f"n{index}")
+        for pin_index in range(rng.randint(2, 4)):
+            x = rng.randrange(4, size - 3, 4)
+            y = rng.randrange(4, size - 3, 4)
+            net.add_pin(_pin(f"n{index}_p{pin_index}", 0, x, y))
+        design.add_net(net)
+    return design
+
+
+def route_with_tier(router_class, design, native=True, numpy=True, engine="flat"):
+    """Route *design* with the given tier gates forced, restoring them after."""
+    prev_native = accel.set_native_enabled(native)
+    prev_numpy = accel.set_numpy_enabled(numpy)
+    try:
+        solution = router_class(design, engine=engine).run()
+        return solution_fingerprint(solution), solution_metrics(solution)
+    finally:
+        accel.set_numpy_enabled(prev_numpy)
+        accel.set_native_enabled(prev_native)
+
+
+def router_classes():
+    from repro.baselines.dac2012 import Dac2012Router
+    from repro.dr.router import DetailedRouter
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    return {
+        "maze": DetailedRouter,
+        "color-state": MrTPLRouter,
+        "dac2012": Dac2012Router,
+    }
+
+
+@needs_kernel
+class TestFuzzParity:
+    """Randomized designs, every tier, identical solutions."""
+
+    @pytest.mark.parametrize("router_key", ["maze", "color-state", "dac2012"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_native_vs_buffered(self, router_key, seed):
+        router_class = router_classes()[router_key]
+        native = route_with_tier(router_class, random_design(seed), native=True)
+        buffered = route_with_tier(router_class, random_design(seed), native=False)
+        assert native == buffered
+
+    @pytest.mark.parametrize("router_key", ["maze", "color-state", "dac2012"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_native_vs_buffered_python(self, router_key, seed):
+        """The kernel must also agree with the numpy-free scalar loop."""
+        router_class = router_classes()[router_key]
+        native = route_with_tier(router_class, random_design(seed), native=True)
+        scalar = route_with_tier(
+            router_class, random_design(seed), native=False, numpy=False
+        )
+        assert native == scalar
+
+    @pytest.mark.parametrize("router_key", ["maze", "color-state", "dac2012"])
+    def test_native_vs_legacy_oracle(self, router_key):
+        """End-to-end: compiled loop vs the frozen GridPoint reference."""
+        router_class = router_classes()[router_key]
+        native = route_with_tier(router_class, random_design(1), native=True)
+        legacy = route_with_tier(
+            router_class, random_design(1), native=False, engine="legacy"
+        )
+        assert native == legacy
+
+
+@needs_kernel
+class TestLabelParity:
+    """Single searches compared on the raw label buffers."""
+
+    def _design(self):
+        tech = make_default_tech(num_layers=3, color_spacing=8)
+        design = Design(name="labels", tech=tech, die_area=Rect(0, 0, 64, 64))
+        design.add_obstacle(Obstacle(layer=0, rect=Rect(24, 24, 40, 28), name="o"))
+        net = Net(name="n1", pins=[_pin("a", 0, 4, 4), _pin("b", 0, 60, 60)])
+        design.add_net(net)
+        return design
+
+    def _maze_result(self, native, allow_occupied=True):
+        from repro.dr.maze import MazeRouter
+
+        prev = accel.set_native_enabled(native)
+        try:
+            grid = RoutingGrid(self._design())
+            # A squatter owner exercises the congestion read and, with
+            # allow_occupied_targets=False, the native accept predicate.
+            grid.occupy(GridPoint(0, 8, 5), "squatter")
+            result = MazeRouter(grid, CostModel(grid)).search(
+                [GridPoint(0, 1, 1)],
+                {GridPoint(0, 15, 15), GridPoint(0, 8, 5)},
+                "n1",
+                allow_occupied_targets=allow_occupied,
+            )
+            core = result._core
+            return result.reached, dict(core.cost), dict(core.parent)
+        finally:
+            accel.set_native_enabled(prev)
+
+    @pytest.mark.parametrize("allow_occupied", [True, False])
+    def test_maze_labels_bitwise(self, allow_occupied):
+        native = self._maze_result(True, allow_occupied)
+        python = self._maze_result(False, allow_occupied)
+        assert native == python  # reached node, every cost, every parent
+
+    def _color_result(self, native):
+        from repro.tpl.search import ColorStateSearch
+        from repro.tpl.color_state import ColorState
+
+        prev = accel.set_native_enabled(native)
+        try:
+            grid = RoutingGrid(self._design())
+            search = ColorStateSearch(grid, CostModel(grid))
+            result = search.search(
+                {GridPoint(0, 1, 1): ColorState(0b111)},
+                {GridPoint(0, 15, 15)},
+                "n1",
+            )
+            core = result._core
+            return result.reached, dict(core.cost), dict(core.aux), dict(core.parent)
+        finally:
+            accel.set_native_enabled(prev)
+
+    def test_color_state_labels_bitwise(self):
+        """Aux bits carry the Alg. 2 mask merge; they must match exactly."""
+        assert self._color_result(True) == self._color_result(False)
+
+    def test_tie_breaks_follow_insertion_order(self):
+        """Many equal-cost paths: parents must still agree node for node
+        (the kernel's heap reproduces heapq's (f, counter) pop order)."""
+        from repro.dr.maze import MazeRouter
+
+        def run(native):
+            prev = accel.set_native_enabled(native)
+            try:
+                tech = make_default_tech(num_layers=2, color_spacing=8)
+                design = Design(
+                    name="ties", tech=tech, die_area=Rect(0, 0, 40, 40)
+                )
+                design.add_net(
+                    Net(name="n1", pins=[_pin("a", 0, 4, 4), _pin("b", 0, 36, 36)])
+                )
+                grid = RoutingGrid(design)
+                # An open grid maximises equal-cost path multiplicity.
+                result = MazeRouter(grid, CostModel(grid)).search(
+                    [GridPoint(0, 1, 1)], {GridPoint(0, 9, 9)}, "n1"
+                )
+                return result.reached, dict(result._core.parent)
+            finally:
+                accel.set_native_enabled(prev)
+
+        assert run(True) == run(False)
+
+
+class TestFallback:
+    """The engines must run correctly with the native tier unavailable."""
+
+    def test_gate_off_routes_identically(self):
+        router_class = router_classes()["maze"]
+        prev = accel.set_native_enabled(False)
+        try:
+            assert accel.get_native_kernel() is None
+            assert accel.active_search_tier() != "native"
+            fingerprint, metrics = route_with_tier(
+                router_class, random_design(2), native=False
+            )
+        finally:
+            accel.set_native_enabled(prev)
+        assert metrics["failed_nets"] == 0 or fingerprint  # routed something
+
+    def test_spec_not_attached_when_gated(self):
+        from repro.dr.maze import make_traditional_expand
+
+        prev = accel.set_native_enabled(False)
+        try:
+            grid = RoutingGrid(random_design(0))
+            expand = make_traditional_expand(grid, CostModel(grid), "n0", 1)
+            assert not hasattr(expand, "native_spec")
+        finally:
+            accel.set_native_enabled(prev)
+
+    def test_loader_without_binary_or_autobuild(self, monkeypatch, tmp_path):
+        """No binary anywhere + auto-build off => load_kernel() is None."""
+        import repro.native as native
+        import repro.native.build as build
+
+        monkeypatch.setenv(native.AUTOBUILD_ENV, "0")
+        monkeypatch.setattr(build, "candidate_paths", lambda: [])
+        monkeypatch.setattr(native, "candidate_paths", lambda: [])
+        native.reset_loader_state()
+        try:
+            assert native.load_kernel() is None
+            assert native.kernel_load_error() is not None
+        finally:
+            native.reset_loader_state()
+
+    @needs_kernel
+    def test_loader_rejects_stale_abi(self, monkeypatch):
+        """A binary with the wrong ABI version must not be accepted."""
+        import repro.native as native
+
+        monkeypatch.setattr(native, "EXPECTED_ABI_VERSION", -999)
+        native.reset_loader_state()
+        try:
+            assert native.load_kernel() is None
+        finally:
+            monkeypatch.undo()
+            native.reset_loader_state()
+        assert native.load_kernel() is not None  # sanity: recovers
+
+
+class TestEnvKnobs:
+    """Shared REPRO_* environment parsing (repro.utils.env)."""
+
+    def test_flag_spellings(self, monkeypatch):
+        from repro.utils.env import env_flag
+
+        for value, expected in [
+            ("1", True), ("true", True), ("YES", True), (" on ", True),
+            ("0", False), ("false", False), ("no", False), ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_TEST_FLAG", value)
+            assert env_flag("REPRO_TEST_FLAG") is expected
+        monkeypatch.delenv("REPRO_TEST_FLAG")
+        assert env_flag("REPRO_TEST_FLAG", True) is True
+        monkeypatch.setenv("REPRO_TEST_FLAG", "maybe")
+        with pytest.raises(ValueError):
+            env_flag("REPRO_TEST_FLAG")
+
+    def test_int_and_float(self, monkeypatch):
+        from repro.utils.env import env_float, env_int
+
+        monkeypatch.setenv("REPRO_TEST_INT", "7")
+        assert env_int("REPRO_TEST_INT", 3) == 7
+        monkeypatch.setenv("REPRO_TEST_INT", "  ")
+        assert env_int("REPRO_TEST_INT", 3) == 3
+        monkeypatch.setenv("REPRO_TEST_INT", "seven")
+        with pytest.raises(ValueError):
+            env_int("REPRO_TEST_INT", 3)
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.25")
+        assert env_float("REPRO_TEST_FLOAT", 1.0) == 0.25
+        monkeypatch.delenv("REPRO_TEST_FLOAT", raising=False)
+        assert env_float("REPRO_TEST_FLOAT", 1.0) == 1.0
+
+    def test_resolvers_use_shared_parser(self, monkeypatch):
+        from repro.sched import resolve_min_fork_batch
+
+        monkeypatch.setenv("REPRO_MIN_FORK_BATCH", "5")
+        assert resolve_min_fork_batch() == 5
+        assert resolve_min_fork_batch(2) == 2
+        monkeypatch.setenv("REPRO_MIN_FORK_BATCH", "soon")
+        with pytest.raises(ValueError):
+            resolve_min_fork_batch()
+
+
+@pytest.mark.skipif(
+    accel.get_numpy() is None,
+    reason="heuristic tables exist only on the numpy tier",
+)
+class TestHeuristicCache:
+    """Satellite: per-(bounds, stride) heuristic tables are reused."""
+
+    def test_cache_hit_across_runs(self):
+        from repro.search import SearchCore
+        from repro.dr.cost import TargetBounds
+        from repro.dr.maze import make_traditional_expand
+
+        grid = RoutingGrid(random_design(0))
+        core = SearchCore(grid, CostModel(grid))
+        bounds = TargetBounds(0, 1, 2, 10, 2, 10)
+        table_a = core._heuristic_table(bounds, 1)
+        table_b = core._heuristic_table(bounds, 1)
+        assert table_a is table_b  # same object: no rebuild
+        assert core._heuristic_table(bounds, 3) is not table_a  # stride keyed
+
+    def test_cache_bounded(self):
+        from repro.search import SearchCore
+        from repro.dr.cost import TargetBounds
+
+        grid = RoutingGrid(random_design(0))
+        core = SearchCore(grid, CostModel(grid))
+        for index in range(core._HEUR_CACHE_LIMIT + 5):
+            core._heuristic_table(TargetBounds(0, 0, 0, index % 11, 0, 5), 1)
+        assert len(core._heur_tables) <= core._HEUR_CACHE_LIMIT
