@@ -1,0 +1,102 @@
+"""CI smoke: SIGKILL a checkpointed campaign mid-rip-up, resume, compare.
+
+Routes the Fig. 1(a) dense-cluster case once uninterrupted as the
+reference, then reruns it in a child process whose ``on_checkpoint`` hook
+SIGKILLs the process right after the iteration-2 checkpoint lands — the
+preemption scenario checkpoint-v2 exists for.  The parent then resumes
+from the surviving ``repro-checkpoint-v2`` document and asserts the
+finished solution is identical to the reference (routes, colors, stitches
+— everything but wall-clock).  Exits non-zero on any divergence.
+
+Usage: PYTHONPATH=src python scripts/checkpoint_smoke.py
+"""
+
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench.micro import fig1_dense_cluster, solution_fingerprint
+from repro.eval.experiments import route_with_checkpoint
+from repro.io.journal_io import load_checkpoint_document
+from repro.tpl.mr_tpl import MrTPLRouter
+
+KILL_AFTER_ITERATION = 2
+
+
+def _interrupted_child(path):
+    def die_after_checkpoint(campaign):
+        if campaign.iteration >= KILL_AFTER_ITERATION and not campaign.done:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    route_with_checkpoint(
+        fig1_dense_cluster(),
+        MrTPLRouter,
+        path,
+        on_checkpoint=die_after_checkpoint,
+        use_global_router=False,
+    )
+
+
+def main() -> int:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("checkpoint smoke: fork start method unavailable; skipping")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="ckpt_smoke_") as scratch:
+        reference_path = Path(scratch) / "reference.json"
+        reference, _grid, _resumed = route_with_checkpoint(
+            fig1_dense_cluster(), MrTPLRouter, reference_path, use_global_router=False
+        )
+        if reference.iterations <= KILL_AFTER_ITERATION:
+            print(
+                f"checkpoint smoke: case finished in {reference.iterations} "
+                f"iterations; nothing to interrupt after {KILL_AFTER_ITERATION}"
+            )
+            return 1
+
+        interrupted_path = Path(scratch) / "interrupted.json"
+        context = multiprocessing.get_context("fork")
+        child = context.Process(target=_interrupted_child, args=(interrupted_path,))
+        child.start()
+        child.join(timeout=300)
+        if child.exitcode != -signal.SIGKILL:
+            print(f"checkpoint smoke: child exit {child.exitcode}, expected SIGKILL")
+            return 1
+
+        document = load_checkpoint_document(interrupted_path)
+        if document["format"] != "repro-checkpoint-v2":
+            print(f"checkpoint smoke: unexpected format {document['format']!r}")
+            return 1
+        if document["campaign"]["done"] or (
+            document["campaign"]["iteration"] != KILL_AFTER_ITERATION
+        ):
+            print(f"checkpoint smoke: unexpected campaign state {document['campaign']}")
+            return 1
+
+        resumed_solution, _grid, resumed = route_with_checkpoint(
+            fig1_dense_cluster(), MrTPLRouter, interrupted_path, use_global_router=False
+        )
+        if not resumed:
+            print("checkpoint smoke: resume path did not engage")
+            return 1
+        if solution_fingerprint(resumed_solution) != solution_fingerprint(reference):
+            print("checkpoint smoke: resumed solution differs from reference")
+            return 1
+        if not load_checkpoint_document(interrupted_path)["campaign"]["done"]:
+            print("checkpoint smoke: resumed campaign not marked done")
+            return 1
+
+        print(
+            "checkpoint smoke: SIGKILLed at iteration "
+            f"{KILL_AFTER_ITERATION}, resumed to iteration "
+            f"{resumed_solution.iterations}, solution identical to the "
+            "uninterrupted reference"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.campaign import CampaignState
 from repro.check import IncrementalConflictChecker
 from repro.design import Design, Net
 from repro.dr.cost import CostModel, TargetBounds
@@ -287,15 +288,35 @@ class Dac2012Router:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> RoutingSolution:
-        """Route and color every net; negotiate conflicts like the host router."""
+    def run(
+        self,
+        *,
+        campaign: Optional[CampaignState] = None,
+        on_iteration: Optional[Callable[[CampaignState], None]] = None,
+    ) -> RoutingSolution:
+        """Route and color every net; negotiate conflicts like the host router.
+
+        *campaign* / *on_iteration* follow the shared resumable-campaign
+        protocol (see :class:`~repro.campaign.CampaignState`): the hook
+        fires after initial routing and after every completed rip-up round,
+        and a campaign loaded from a checkpoint resumes at its last
+        completed iteration.
+        """
         timer = Timer()
         timer.start()
-        solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
-        self._route_many(self.schedule_nets(), solution)
+        if campaign is None:
+            campaign = CampaignState()
+        if campaign.started:
+            solution = campaign.solution
+        else:
+            solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
+            campaign.solution = solution
+            self._route_many(self.schedule_nets(), solution)
+            if on_iteration is not None:
+                on_iteration(campaign)
 
-        iterations = 0
-        for iteration in range(self.max_iterations):
+        iterations = campaign.iteration
+        for iteration in range(campaign.iteration, self.max_iterations):
             report = self.incremental_conflicts.check(solution)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
@@ -313,6 +334,10 @@ class Dac2012Router:
             self._route_many(
                 [self.design.net_by_name(name) for name in sorted(offenders)], solution
             )
+            campaign.iteration = iterations
+            if on_iteration is not None:
+                on_iteration(campaign)
+        campaign.done = True
 
         for route in solution.routes.values():
             route.recount_stitches()
@@ -347,6 +372,20 @@ class Dac2012Router:
         if self._engine_kind != "flat":
             return None
         return MaskExpandedSearch(self.grid, self.cost_model, self.max_expansions)
+
+    def worker_spec(self) -> Tuple[type, Dict[str, object]]:
+        """Return ``(router_cls, kwargs)`` rebuilding this router in a worker.
+
+        Used by the snapshot-bootstrapped pool workers, which construct
+        their own router over a grid rebuilt from the journal's fold
+        snapshot instead of inheriting the parent's through fork.
+        """
+        return type(self), {
+            "guides": self.guides,
+            "use_global_router": False,
+            "max_iterations": self.max_iterations,
+            "engine": self._engine_kind,
+        }
 
     # ------------------------------------------------------------------
 

@@ -50,6 +50,13 @@ fork and journal-replay counters) and the host ``cpu_count`` (baseline:
 run appends the production-shaped :data:`SPARSE_CASES`, whose small
 net-span/die ratios let batches actually grow toward the parallelism cap.
 
+:func:`run_checkpoint_benchmarks` (``--checkpoint``) checkpoints a full
+Mr.TPL campaign both as the complete journal op log and as the
+checkpoint-v2 snapshot-folded document, restores each through
+``checkpoint_from_dict`` asserting the rebuilt grids state-identical, and
+records document sizes, op counts and restore wall-clocks (baseline:
+``BENCH_checkpoint.json``).
+
 ``python -m repro.bench.micro`` writes either result set as a
 ``BENCH_*.json`` perf baseline so CI and future PRs can track regressions.
 """
@@ -701,6 +708,97 @@ def run_incremental_check_benchmarks(
     }
 
 
+def run_checkpoint_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: Optional[float] = None,
+    repeat: int = 1,
+) -> Dict[str, object]:
+    """Benchmark snapshot-folded (v2) checkpoints against full journal replay.
+
+    For every suite case a full Mr.TPL rip-up campaign runs with a journal
+    attached, then the same campaign is checkpointed both ways: the
+    complete op log (what a v1-era document carried -- restore cost grows
+    with campaign age) and the checkpoint-v2 form after
+    :meth:`MutationJournal.fold` (grid snapshot + empty suffix -- restore
+    cost bounded by the grid).  Both documents are restored through
+    :func:`repro.io.journal_io.checkpoint_from_dict` and the rebuilt grids
+    asserted state-identical; the report records document sizes, op counts
+    and the best-of-*repeat* restore wall-clocks.  Returns the result
+    document that :func:`main` serialises to JSON.
+    """
+    from repro.campaign import CampaignState
+    from repro.bench.suites import suite_case
+    from repro.grid import RoutingGrid
+    from repro.io.journal_io import checkpoint_from_dict, checkpoint_to_dict
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    if scale is None:
+        scale = default_bench_scale()
+
+    def timed_restore(document_text: str) -> Tuple[float, RoutingGrid]:
+        best = float("inf")
+        restored_grid = None
+        for _ in range(max(repeat, 1)):
+            document = json.loads(document_text)  # fresh doc: restore mutates nothing, but stay honest
+            start = time.perf_counter()
+            _design, restored_grid, _journal, _solution = checkpoint_from_dict(document)
+            best = min(best, time.perf_counter() - start)
+        return best, restored_grid
+
+    results: List[Dict[str, object]] = []
+    for number in cases:
+        design = suite_case(suite, number, scale).build()
+        grid = RoutingGrid(design)
+        journal = grid.attach_journal()
+        router = MrTPLRouter(design, grid=grid, use_global_router=False)
+        campaign = CampaignState()
+        solution = router.run(campaign=campaign)
+
+        replay_text = json.dumps(checkpoint_to_dict(design, journal, solution, campaign))
+        campaign_ops = len(journal)
+        replay_seconds, replay_grid = timed_restore(replay_text)
+
+        journal.fold(grid.snapshot_state())
+        folded_text = json.dumps(checkpoint_to_dict(design, journal, solution, campaign))
+        folded_seconds, folded_grid = timed_restore(folded_text)
+
+        results.append(
+            {
+                "suite": suite,
+                "case": number,
+                "iterations": solution.iterations,
+                "campaign_ops": campaign_ops,
+                "folded_suffix_ops": len(journal.ops),
+                "replay_bytes": len(replay_text),
+                "folded_bytes": len(folded_text),
+                "size_ratio": round(len(replay_text) / max(len(folded_text), 1), 3),
+                "replay_restore_seconds": round(replay_seconds, 4),
+                "folded_restore_seconds": round(folded_seconds, 4),
+                "restore_speedup": round(replay_seconds / max(folded_seconds, 1e-9), 3),
+                "identical_restores": replay_grid.snapshot_state()
+                == folded_grid.snapshot_state(),
+            }
+        )
+    speedups = [entry["restore_speedup"] for entry in results]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(speedups), 1)
+    return {
+        "benchmark": "checkpoint-v2 snapshot-folded restore vs full journal replay",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "repeat": repeat,
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_restores"] for entry in results),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: run the micro-benchmarks and write a JSON baseline."""
     import argparse
@@ -742,6 +840,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="benchmark the compiled relaxation kernel against the buffered "
         "flat-label loop instead of the legacy/flat engine comparison "
         "(default output: BENCH_native_kernel.json)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="benchmark checkpoint-v2 snapshot-folded restore against full "
+        "journal replay instead of the search engines (default output: "
+        "BENCH_checkpoint.json)",
     )
     parser.add_argument(
         "--profile",
@@ -788,7 +893,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.out is None:
-        args.out = "BENCH_native_kernel.json" if args.native else "BENCH_micro.json"
+        if args.checkpoint:
+            args.out = "BENCH_checkpoint.json"
+        elif args.native:
+            args.out = "BENCH_native_kernel.json"
+        else:
+            args.out = "BENCH_micro.json"
 
     cases = tuple(int(token) for token in args.cases.split(",") if token.strip())
     backends = tuple(token.strip() for token in args.backend.split(",") if token.strip())
@@ -815,6 +925,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.incremental:
             return run_incremental_check_benchmarks(
                 suite=args.suite, cases=cases, scale=scale
+            )
+        if args.checkpoint:
+            return run_checkpoint_benchmarks(
+                suite=args.suite, cases=cases, scale=scale, repeat=args.repeat
             )
         if args.batched:
             return run_batch_sched_benchmarks(
@@ -872,6 +986,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"full={entry['full_seconds']:.3f}s "
                 f"incremental={entry['incremental_seconds']:.3f}s "
                 f"speedup={entry['speedup']:.2f}x identical={entry['identical_reports']}"
+            )
+        elif args.checkpoint:
+            print(
+                f"{entry['suite']} case{entry['case']:>2} "
+                f"ops={entry['campaign_ops']}->{entry['folded_suffix_ops']} "
+                f"bytes={entry['replay_bytes']}->{entry['folded_bytes']} "
+                f"({entry['size_ratio']:.2f}x) "
+                f"restore replay={entry['replay_restore_seconds']:.3f}s "
+                f"folded={entry['folded_restore_seconds']:.3f}s "
+                f"speedup={entry['restore_speedup']:.2f}x "
+                f"identical={entry['identical_restores']}"
             )
         elif args.batched:
             stats = entry["batch_stats"]

@@ -1,0 +1,57 @@
+"""Resumable rip-up campaign state shared by all three routers.
+
+A routing campaign is the outer negotiation loop: initial routing, then up
+to ``max_ripup_iterations`` rounds of check / rip-up / reroute.  Before
+checkpoint v2 that loop was invisible from outside ``run()`` -- a campaign
+either finished or its work was lost.  :class:`CampaignState` reifies the
+loop position so it can be checkpointed **every iteration** and a
+preempted campaign resumed from its last completed round:
+
+* ``iteration`` -- completed rip-up rounds (``0`` right after initial
+  routing; the loop resumes at pass ``iteration``).
+* ``solution`` -- the live solution object the loop mutates.  ``None``
+  until initial routing has run, which is how ``run()`` distinguishes a
+  fresh campaign from a resumed one.
+* ``best_defects`` / ``best_routes`` -- the keep-the-best-iteration
+  tracking of :class:`~repro.tpl.MrTPLRouter` (``(failed, conflicts)``
+  tuple and the route snapshot it belongs to).  Plain routers leave them
+  ``None``.  They must travel with the checkpoint: a resumed campaign that
+  forgot a better earlier iteration would return a different solution than
+  the uninterrupted run.
+* ``done`` -- set by ``run()`` on normal completion, so a checkpoint of a
+  finished campaign is returned as-is instead of re-entering the loop.
+
+The dataclass itself is storage-only; (de)serialisation lives in
+:mod:`repro.io.journal_io` (``campaign_to_dict`` / ``campaign_from_dict``)
+next to the checkpoint document code.
+
+Resumability contract (what makes resume bit-identical): every router
+mutates grid state only through journalled ops, iterates rip-up /reroute
+sets in sorted order wherever order can reach a search result, and keeps
+all remaining cross-iteration state in this object.  The incremental
+checkers need no persistence -- rebuilt fresh over the restored grid they
+produce the same tallies as the warm ones (their differential guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.grid import NetRoute, RoutingSolution
+
+
+@dataclass
+class CampaignState:
+    """Position and carried state of one rip-up/reroute campaign."""
+
+    iteration: int = 0
+    solution: Optional[RoutingSolution] = None
+    best_defects: Optional[Tuple[int, int]] = None
+    best_routes: Optional[Dict[str, NetRoute]] = None
+    done: bool = False
+
+    @property
+    def started(self) -> bool:
+        """Return whether initial routing has already happened."""
+        return self.solution is not None

@@ -443,28 +443,54 @@ def route_with_checkpoint(
     design: Design,
     router_cls,
     checkpoint_path: Union[str, Path],
+    checkpoint_every: int = 1,
+    on_checkpoint=None,
     **router_kwargs,
 ) -> Tuple["RoutingSolution", RoutingGrid, bool]:
-    """Route *design* with *router_cls*, checkpointing the campaign to disk.
+    """Route *design* with *router_cls*, checkpointing **every iteration**.
 
     When *checkpoint_path* does not exist the design is routed with a
     :class:`~repro.journal.MutationJournal` attached to the grid, and the
-    finished campaign (design + journal + solution) is saved there.  When
-    it exists, the campaign is **resumed** instead: the checkpoint is
-    loaded, verified to describe the *same* design (a stale checkpoint for
-    a different case/scale raises rather than silently returning the
-    wrong campaign), the grid rebuilt by replaying the journal
-    (bit-identical to the grid that was saved), and the stored solution
-    returned without routing anything.  Returns ``(solution, grid,
-    resumed)``.
-    """
-    from repro.io.json_io import design_to_dict
-    from repro.io.journal_io import load_checkpoint, save_checkpoint
+    campaign is checkpointed after initial routing and after every
+    *checkpoint_every*-th completed rip-up iteration (plus once more at the
+    end): each save folds the journal into a grid snapshot
+    (:meth:`MutationJournal.fold`, after catching up any live pool
+    workers) and atomically writes a ``repro-checkpoint-v2`` document with
+    the in-progress solution and the campaign cursor -- so checkpoint size
+    and restore time stay bounded by the grid, not by campaign age.
 
+    When the path exists, the campaign is **resumed**: the checkpoint is
+    loaded, verified to describe the *same* design and router (a stale
+    checkpoint for a different case/scale raises rather than silently
+    returning the wrong campaign), and the grid rebuilt bit-identically
+    (snapshot restore + journal suffix replay).  A finished campaign's
+    solution is returned without routing anything; an **interrupted** one
+    (the process died mid-campaign -- preemption, SIGKILL) re-enters the
+    rip-up loop at its last completed iteration and finishes the campaign,
+    producing a solution bit-identical to the uninterrupted run's.
+
+    *on_checkpoint* (called with the :class:`~repro.campaign.CampaignState`
+    after each save) exists for tests and progress streaming.  Returns
+    ``(solution, grid, resumed)``.
+    """
+    from repro.campaign import CampaignState
+    from repro.io.json_io import design_to_dict
+    from repro.io.journal_io import (
+        checkpoint_campaign,
+        checkpoint_from_dict,
+        load_checkpoint_document,
+        save_checkpoint,
+    )
+
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     path = Path(checkpoint_path)
+    campaign = None
+    resumed = False
     if path.exists():
         _LOG.info("resuming campaign from checkpoint %s", path)
-        saved_design, grid, _journal, solution = load_checkpoint(path)
+        document = load_checkpoint_document(path)
+        saved_design, grid, journal, solution = checkpoint_from_dict(document)
         if design_to_dict(saved_design) != design_to_dict(design):
             raise ValueError(
                 f"checkpoint {path} was recorded for design "
@@ -480,13 +506,40 @@ def route_with_checkpoint(
                 f"campaign, not the requested {expected_router!r}; "
                 "delete the checkpoint to reroute"
             )
-        return solution, grid, True
-    grid = RoutingGrid(design)
-    journal = grid.attach_journal()
+        campaign = checkpoint_campaign(document, solution)
+        if campaign is None or campaign.done:
+            # v1 documents (no campaign section) were only written for
+            # finished campaigns; v2 documents say so explicitly.
+            return solution, grid, True
+        _LOG.info(
+            "checkpoint holds an interrupted campaign; resuming at iteration %d",
+            campaign.iteration,
+        )
+        resumed = True
+    else:
+        grid = RoutingGrid(design)
+        journal = grid.attach_journal()
+        campaign = CampaignState()
     router = router_cls(design, grid=grid, **router_kwargs)
-    solution = router.run()
-    save_checkpoint(path, design, journal, solution)
-    return solution, grid, False
+
+    def _checkpoint(state) -> None:
+        if state.iteration % checkpoint_every and not state.done:
+            return
+        executor = getattr(router, "batch_executor", None)
+        if executor is not None:
+            # Folding compacts the journal; every pool worker cursor must
+            # be at the head first or the pool could never re-sync.
+            executor.sync_pool_cursors()
+        journal.fold(grid.snapshot_state())
+        save_checkpoint(path, design, journal, state.solution, state)
+        if on_checkpoint is not None:
+            on_checkpoint(state)
+
+    solution = router.run(campaign=campaign, on_iteration=_checkpoint)
+    # Final save: records done=True (and the best-iteration swap /
+    # post-processing the routers apply after their loop).
+    _checkpoint(campaign)
+    return solution, grid, resumed
 
 
 # ----------------------------------------------------------------------

@@ -1230,6 +1230,168 @@ class RoutingGrid:
                     obstacle.color,
                 )
 
+    # ------------------------------------------------------------------
+    # Dense state snapshots (checkpoint v2 / worker bootstrap)
+    # ------------------------------------------------------------------
+
+    #: Schema tag of :meth:`snapshot_state` documents.
+    SNAPSHOT_FORMAT = "repro-grid-snapshot-v1"
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Export the complete mutable grid state as a flat document.
+
+        The document is JSON- and pickle-clean (dense buffers as base64
+        strings, sparse side tables as sorted pair lists) and, fed back
+        through :meth:`restore_state` on a fresh grid over the same design,
+        reproduces every buffer and side table **bit-identically** --
+        including the exact IEEE-754 pressure/history doubles, which travel
+        as raw bytes rather than decimal round-trips.  This is the
+        checkpoint-v2 alternative to replaying a whole campaign journal:
+        O(grid) instead of O(campaign ops).
+        """
+        colored_shapes: List[list] = []
+        for layer in range(self.num_layers):
+            colored_shapes.append([
+                [item.net_name, item.color, rect.xlo, rect.ylo, rect.xhi, rect.yhi]
+                for rect, item in self._colored_shapes[layer].items()
+            ])
+        blockage_shapes: List[list] = []
+        for layer in range(self.num_layers):
+            blockage_shapes.append([
+                [rect.xlo, rect.ylo, rect.xhi, rect.yhi, name]
+                for rect, name in self._blockage_shapes[layer].items()
+            ])
+        from base64 import b64encode
+
+        def encode(buffer) -> str:
+            raw = buffer if isinstance(buffer, (bytes, bytearray)) else buffer.tobytes()
+            return b64encode(bytes(raw)).decode("ascii")
+
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "design_name": self.design.name,
+            "dims": [self.num_layers, self.num_cols, self.num_rows],
+            "pitch": self.pitch,
+            "epoch": self._mutation_epoch,
+            "blocked": encode(self._blocked_buf),
+            "owner": encode(self._owner_buf),
+            "color": encode(self._color_buf),
+            "history": encode(self._history_buf),
+            "pressure": encode(self._pressure_buf),
+            "net_names": list(self._net_names[1:]),
+            "multi_owners": [
+                [index, sorted(owners)]
+                for index, owners in sorted(self._multi_owners.items())
+            ],
+            "net_occupied": [
+                [net_id, sorted(indices)]
+                for net_id, indices in sorted(self._net_occupied.items())
+            ],
+            "history_touched": sorted(self._history_touched),
+            "net_pressure": [
+                [net_id, [[index, list(rgb)] for index, rgb in sorted(overlay.items())]]
+                for net_id, overlay in sorted(self._net_pressure.items())
+            ],
+            "net_colored": [
+                [net_id, [[index, color] for index, color in sorted(registered.items())]]
+                for net_id, registered in sorted(self._net_colored_vertices.items())
+            ],
+            "colored_shapes": colored_shapes,
+            "blockage_shapes": blockage_shapes,
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Overwrite this grid's mutable state with a :meth:`snapshot_state` doc.
+
+        The grid must be built over the same design geometry (dimensions and
+        pitch are validated) and must not have a journal attached -- a bulk
+        restore is a bootstrap, not a journalled mutation, and recording it
+        as none would silently desynchronise any replica of that journal.
+        Restoring fires the delta listeners' ``on_reset`` hooks so attached
+        incremental checkers drop their now-stale tallies.
+        """
+        if snapshot.get("format") != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"not a {self.SNAPSHOT_FORMAT} document "
+                f"(format={snapshot.get('format')!r})"
+            )
+        if self._journal is not None:
+            raise RuntimeError(
+                "cannot restore_state while a journal is attached; "
+                "detach it first and re-attach (or attach the checkpoint "
+                "journal) afterwards"
+            )
+        dims = list(snapshot["dims"])
+        if dims != [self.num_layers, self.num_cols, self.num_rows]:
+            raise ValueError(
+                f"snapshot dimensions {dims} do not match this grid "
+                f"{[self.num_layers, self.num_cols, self.num_rows]}"
+            )
+        if snapshot["pitch"] != self.pitch:
+            raise ValueError(
+                f"snapshot pitch {snapshot['pitch']} does not match {self.pitch}"
+            )
+        from base64 import b64decode
+
+        num_vertices = self.num_vertices
+        blocked = bytearray(b64decode(snapshot["blocked"]))
+        owner = array("i")
+        owner.frombytes(b64decode(snapshot["owner"]))
+        color = bytearray(b64decode(snapshot["color"]))
+        history = array("d")
+        history.frombytes(b64decode(snapshot["history"]))
+        pressure = array("d")
+        pressure.frombytes(b64decode(snapshot["pressure"]))
+        if (
+            len(blocked) != num_vertices
+            or len(owner) != num_vertices
+            or len(color) != num_vertices
+            or len(history) != num_vertices
+            or len(pressure) != 3 * num_vertices
+        ):
+            raise ValueError("snapshot buffer sizes do not match this grid")
+        self._blocked_buf = blocked
+        self._owner_buf = owner
+        self._color_buf = color
+        self._history_buf = history
+        self._pressure_buf = pressure
+        self._pressure_np_view = None
+        self._net_names = [""] + [str(name) for name in snapshot["net_names"]]
+        self._net_ids = {name: i for i, name in enumerate(self._net_names) if i}
+        self._multi_owners = {
+            int(index): set(owners) for index, owners in snapshot["multi_owners"]
+        }
+        self._net_occupied = {
+            int(net_id): set(indices) for net_id, indices in snapshot["net_occupied"]
+        }
+        self._history_touched = set(snapshot["history_touched"])
+        self._net_pressure = {
+            int(net_id): {int(index): list(rgb) for index, rgb in overlay}
+            for net_id, overlay in snapshot["net_pressure"]
+        }
+        self._net_colored_vertices = {
+            int(net_id): {int(index): color for index, color in registered}
+            for net_id, registered in snapshot["net_colored"]
+        }
+        for layer in range(self.num_layers):
+            spatial = self._colored_shapes[layer]
+            spatial.clear()
+            for net_name, shape_color, xlo, ylo, xhi, yhi in snapshot["colored_shapes"][layer]:
+                rect = Rect(xlo, ylo, xhi, yhi)
+                spatial.insert(
+                    rect,
+                    ColoredShape(
+                        net_name=net_name, color=shape_color, rect=rect, layer=layer
+                    ),
+                )
+            blockages = self._blockage_shapes[layer]
+            blockages.clear()
+            for xlo, ylo, xhi, yhi, name in snapshot["blockage_shapes"][layer]:
+                blockages.insert(Rect(xlo, ylo, xhi, yhi), name)
+        self._mutation_epoch = snapshot["epoch"]
+        for callback in self._reset_hooks:
+            callback()
+
     def snapshot_statistics(self) -> Dict[str, int]:
         """Return grid occupancy statistics (used by reports and tests)."""
         history = self._history_buf

@@ -13,11 +13,15 @@
 """
 
 from repro.io.journal_io import (
+    campaign_from_dict,
+    campaign_to_dict,
+    checkpoint_campaign,
     checkpoint_from_dict,
     checkpoint_to_dict,
     journal_from_dict,
     journal_to_dict,
     load_checkpoint,
+    load_checkpoint_document,
     load_journal_json,
     save_checkpoint,
     save_journal_json,
@@ -27,6 +31,8 @@ from repro.io.json_io import (
     design_from_dict,
     save_design_json,
     load_design_json,
+    route_to_dict,
+    route_from_dict,
     solution_to_dict,
     solution_from_dict,
     save_solution_json,
@@ -40,6 +46,8 @@ __all__ = [
     "design_from_dict",
     "save_design_json",
     "load_design_json",
+    "route_to_dict",
+    "route_from_dict",
     "solution_to_dict",
     "solution_from_dict",
     "save_solution_json",
@@ -48,11 +56,15 @@ __all__ = [
     "read_def_lite",
     "write_guides",
     "read_guides",
+    "campaign_from_dict",
+    "campaign_to_dict",
+    "checkpoint_campaign",
     "checkpoint_from_dict",
     "checkpoint_to_dict",
     "journal_from_dict",
     "journal_to_dict",
     "load_checkpoint",
+    "load_checkpoint_document",
     "load_journal_json",
     "save_checkpoint",
     "save_journal_json",

@@ -3,26 +3,48 @@
 A :class:`~repro.journal.MutationJournal` is a list of flat op tuples, so it
 serialises to JSON with no custom encoders.  On top of the plain journal
 round-trip this module defines the **checkpoint**: one JSON document holding
-the design, the journal of every grid mutation since construction, and
-(optionally) the routing solution.  Loading a checkpoint rebuilds the grid
-by constructing it from the design and replaying the journal through
-:meth:`RoutingGrid.apply_op` -- bit-identical to the grid that was saved,
-by the journal replay guarantee -- which makes long rip-up campaigns
-resume-able (see :func:`repro.eval.experiments.route_with_checkpoint`).
+the design, the journal of every grid mutation since construction, the
+(possibly in-progress) routing solution and the campaign cursor.  Loading a
+checkpoint rebuilds the grid bit-identically to the one that was saved --
+by full journal replay for complete logs, or snapshot-restore plus suffix
+replay for folded ones -- which makes long rip-up campaigns resume-able
+(see :func:`repro.eval.experiments.route_with_checkpoint`).
+
+Checkpoint formats
+------------------
+
+``repro-checkpoint-v1``
+    Design + complete journal (+ optional finished solution).  Still
+    loaded; a v1 document is simply a v2 document with no fold snapshot
+    and no campaign section.
+
+``repro-checkpoint-v2`` (written by :func:`save_checkpoint`)
+    The journal dictionary may carry a **fold snapshot** (``base`` +
+    ``snapshot``; see :meth:`MutationJournal.fold`), so the document holds
+    *snapshot + suffix* instead of the whole campaign history -- size and
+    restore time are bounded by the grid plus the ops since the last fold,
+    not by campaign age.  An optional ``campaign`` section records the
+    rip-up loop position (iteration cursor, best-iteration tracking,
+    completion flag) so a preempted campaign resumes from its last
+    completed iteration.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.campaign import CampaignState
 from repro.design import Design
 from repro.grid import RoutingGrid, RoutingSolution
 from repro.io.json_io import (
     design_from_dict,
     design_to_dict,
+    route_from_dict,
+    route_to_dict,
     solution_from_dict,
     solution_to_dict,
 )
@@ -30,21 +52,54 @@ from repro.journal import MutationJournal, ops_from_jsonable, ops_to_jsonable
 
 PathLike = Union[str, Path]
 
-#: Schema tag written into every checkpoint document.
-CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+#: Schema tags of the checkpoint document generations.
+CHECKPOINT_FORMAT_V1 = "repro-checkpoint-v1"
+CHECKPOINT_FORMAT_V2 = "repro-checkpoint-v2"
+
+#: The tag :func:`save_checkpoint` writes (newest generation).
+CHECKPOINT_FORMAT = CHECKPOINT_FORMAT_V2
+
+#: Every tag :func:`load_checkpoint` accepts.
+CHECKPOINT_FORMATS = (CHECKPOINT_FORMAT_V1, CHECKPOINT_FORMAT_V2)
 
 
 def _write_atomic(path: PathLike, text: str) -> None:
-    """Write *text* to *path* via a same-directory temp file + rename.
+    """Durably write *text* to *path* via a same-directory temp file + rename.
 
-    A crash mid-write must never leave a truncated document behind: a
-    half-written checkpoint would make every later resume attempt fail
-    instead of falling back to routing.
+    A crash mid-write must never leave a truncated or stale document
+    behind: a half-written checkpoint would make every later resume
+    attempt fail instead of falling back to routing.  Three properties
+    make the write preemption-safe:
+
+    * the scratch name is unique per call (``mkstemp``), so concurrent
+      writers to the same target never clobber each other's temp file;
+    * the temp file is flushed **and fsynced before** ``os.replace`` --
+      rename-before-data-reaches-disk is exactly the crash window that
+      surfaces a zero-length file under the final name after power loss;
+    * the directory is fsynced after the rename so the new directory
+      entry itself is durable.
     """
     target = Path(path)
-    scratch = target.with_name(target.name + ".tmp")
-    scratch.write_text(text)
-    os.replace(scratch, target)
+    fd, scratch = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(str(target.parent) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 # ----------------------------------------------------------------------
@@ -54,21 +109,37 @@ def _write_atomic(path: PathLike, text: str) -> None:
 def journal_to_dict(journal: MutationJournal) -> Dict[str, Any]:
     """Serialise *journal* to a JSON-compatible dictionary.
 
-    Only complete logs may be persisted: a compacted journal (non-zero
-    :attr:`~repro.journal.MutationJournal.base`) has lost its prefix and
-    could no longer rebuild a fresh grid on load.
+    Only journals that can still rebuild a fresh grid may be persisted: a
+    complete log, or a **folded** one (:meth:`MutationJournal.fold`), which
+    serialises as its fold snapshot plus the op suffix past it.  A journal
+    compacted without (or past) its fold snapshot has lost its prefix for
+    good and is refused.
     """
-    if journal.base:
+    if journal.base and journal.snapshot is None:
         raise ValueError(
             "cannot persist a compacted journal "
-            f"(ops before cursor {journal.base} were dropped)"
+            f"(ops before cursor {journal.base} were dropped); "
+            "fold() it instead of compact() to keep it persistable"
         )
-    return {"ops": ops_to_jsonable(journal.ops)}
+    if journal.snapshot is not None and journal.snapshot_cursor < journal.base:
+        raise ValueError(
+            "cannot persist a journal compacted past its fold snapshot "
+            f"(snapshot at {journal.snapshot_cursor}, base {journal.base})"
+        )
+    document: Dict[str, Any] = {"ops": ops_to_jsonable(journal.ops)}
+    if journal.snapshot is not None:
+        document["base"] = journal.base
+        document["snapshot"] = journal.snapshot
+    return document
 
 
 def journal_from_dict(data: Dict[str, Any]) -> MutationJournal:
     """Rebuild (and validate) a journal from :func:`journal_to_dict` output."""
-    return MutationJournal(ops_from_jsonable(data["ops"]))
+    return MutationJournal(
+        ops_from_jsonable(data["ops"]),
+        base=data.get("base", 0),
+        snapshot=data.get("snapshot"),
+    )
 
 
 def save_journal_json(journal: MutationJournal, path: PathLike) -> None:
@@ -82,13 +153,57 @@ def load_journal_json(path: PathLike) -> MutationJournal:
 
 
 # ----------------------------------------------------------------------
-# Checkpoints (design + journal + optional solution)
+# Campaign state
+# ----------------------------------------------------------------------
+
+def campaign_to_dict(campaign: CampaignState) -> Dict[str, Any]:
+    """Serialise the rip-up loop position (without the solution).
+
+    The in-progress solution travels in the checkpoint's own ``solution``
+    slot -- the campaign section holds only the cursor and the
+    best-iteration tracking.
+    """
+    return {
+        "iteration": campaign.iteration,
+        "done": campaign.done,
+        "best_defects": (
+            list(campaign.best_defects) if campaign.best_defects is not None else None
+        ),
+        "best_routes": (
+            [route_to_dict(route) for route in campaign.best_routes.values()]
+            if campaign.best_routes is not None
+            else None
+        ),
+    }
+
+
+def campaign_from_dict(
+    data: Dict[str, Any], solution: Optional[RoutingSolution]
+) -> CampaignState:
+    """Rebuild a :class:`CampaignState` around the checkpoint's *solution*."""
+    best_routes = None
+    if data.get("best_routes") is not None:
+        routes = [route_from_dict(route_data) for route_data in data["best_routes"]]
+        best_routes = {route.net_name: route for route in routes}
+    best_defects = data.get("best_defects")
+    return CampaignState(
+        iteration=data.get("iteration", 0),
+        solution=solution,
+        best_defects=tuple(best_defects) if best_defects is not None else None,
+        best_routes=best_routes,
+        done=data.get("done", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Checkpoints (design + journal + solution + campaign)
 # ----------------------------------------------------------------------
 
 def checkpoint_to_dict(
     design: Design,
     journal: MutationJournal,
     solution: Optional[RoutingSolution] = None,
+    campaign: Optional[CampaignState] = None,
 ) -> Dict[str, Any]:
     """Serialise a campaign checkpoint to a JSON-compatible dictionary."""
     document: Dict[str, Any] = {
@@ -98,6 +213,8 @@ def checkpoint_to_dict(
     }
     if solution is not None:
         document["solution"] = solution_to_dict(solution)
+    if campaign is not None:
+        document["campaign"] = campaign_to_dict(campaign)
     return document
 
 
@@ -106,19 +223,24 @@ def checkpoint_from_dict(
 ) -> Tuple[Design, RoutingGrid, MutationJournal, Optional[RoutingSolution]]:
     """Rebuild ``(design, grid, journal, solution)`` from a checkpoint dict.
 
-    The grid is reconstructed by replaying the journal onto a fresh grid
-    over the loaded design, then the journal is re-attached so a resumed
-    campaign keeps appending to the same log (saving again extends the
-    checkpoint instead of forgetting history).
+    Accepts both checkpoint generations.  The grid is reconstructed by
+    :meth:`MutationJournal.bootstrap` -- full replay for a complete log
+    (every v1 document), snapshot-restore + suffix replay for a folded v2
+    journal; bit-identical to the grid that was saved either way.  The
+    journal is then re-attached so a resumed campaign keeps appending to
+    the same log (saving again extends the checkpoint instead of
+    forgetting history).  Use :func:`checkpoint_campaign` for the campaign
+    section.
     """
-    if data.get("format") != CHECKPOINT_FORMAT:
+    if data.get("format") not in CHECKPOINT_FORMATS:
         raise ValueError(
-            f"not a {CHECKPOINT_FORMAT} document (format={data.get('format')!r})"
+            f"not a {' / '.join(CHECKPOINT_FORMATS)} document "
+            f"(format={data.get('format')!r})"
         )
     design = design_from_dict(data["design"])
     journal = journal_from_dict(data["journal"])
     grid = RoutingGrid(design)
-    journal.replay_onto(grid)
+    journal.bootstrap(grid)
     grid.attach_journal(journal)
     solution = (
         solution_from_dict(data["solution"]) if "solution" in data else None
@@ -126,18 +248,39 @@ def checkpoint_from_dict(
     return design, grid, journal, solution
 
 
+def checkpoint_campaign(
+    data: Dict[str, Any], solution: Optional[RoutingSolution]
+) -> Optional[CampaignState]:
+    """Return the checkpoint's campaign state, or ``None`` when absent.
+
+    v1 documents have no campaign section: they were only ever written for
+    finished campaigns, so absence means "complete".
+    """
+    if "campaign" not in data:
+        return None
+    return campaign_from_dict(data["campaign"], solution)
+
+
 def save_checkpoint(
     path: PathLike,
     design: Design,
     journal: MutationJournal,
     solution: Optional[RoutingSolution] = None,
+    campaign: Optional[CampaignState] = None,
 ) -> None:
-    """Write a campaign checkpoint to *path* as JSON (atomically)."""
-    _write_atomic(path, json.dumps(checkpoint_to_dict(design, journal, solution)))
+    """Write a campaign checkpoint to *path* as JSON (atomically + durably)."""
+    _write_atomic(
+        path, json.dumps(checkpoint_to_dict(design, journal, solution, campaign))
+    )
 
 
 def load_checkpoint(
     path: PathLike,
 ) -> Tuple[Design, RoutingGrid, MutationJournal, Optional[RoutingSolution]]:
     """Read a checkpoint previously written by :func:`save_checkpoint`."""
-    return checkpoint_from_dict(json.loads(Path(path).read_text()))
+    return checkpoint_from_dict(load_checkpoint_document(path))
+
+
+def load_checkpoint_document(path: PathLike) -> Dict[str, Any]:
+    """Read a checkpoint file as its raw JSON dictionary (no rebuild)."""
+    return json.loads(Path(path).read_text())

@@ -186,6 +186,51 @@ def _vertex_from_list(data: List[int]) -> GridPoint:
     return GridPoint(data[0], data[1], data[2])
 
 
+def route_to_dict(route: NetRoute) -> Dict[str, Any]:
+    """Serialise one net route to a JSON-compatible dictionary.
+
+    The round-trip through :func:`route_from_dict` is lossless (every
+    ``NetRoute`` field travels), which the campaign checkpoints rely on:
+    a resumed rip-up loop must see exactly the routes the interrupted
+    process held.
+    """
+    return {
+        "net": route.net_name,
+        "routed": route.routed,
+        "failure_reason": route.failure_reason,
+        "vertices": [_vertex_to_list(v) for v in sorted(route.vertices)],
+        "edges": [
+            [_vertex_to_list(a), _vertex_to_list(b)] for a, b in sorted(route.edges)
+        ],
+        "colors": [
+            [_vertex_to_list(v), color]
+            for v, color in sorted(route.vertex_colors.items())
+        ],
+        "stitches": [
+            [_vertex_to_list(s.a), _vertex_to_list(s.b)]
+            for s in sorted(route.stitches, key=lambda s: (s.a, s.b))
+        ],
+    }
+
+
+def route_from_dict(route_data: Dict[str, Any]) -> NetRoute:
+    """Rebuild one net route from :func:`route_to_dict` output."""
+    route = NetRoute(
+        net_name=route_data["net"],
+        routed=route_data["routed"],
+        failure_reason=route_data.get("failure_reason", ""),
+    )
+    for vertex in route_data["vertices"]:
+        route.vertices.add(_vertex_from_list(vertex))
+    for a, b in route_data["edges"]:
+        route.add_edge(_vertex_from_list(a), _vertex_from_list(b))
+    for vertex, color in route_data["colors"]:
+        route.set_color(_vertex_from_list(vertex), color)
+    for a, b in route_data.get("stitches", []):
+        route.add_stitch(_vertex_from_list(a), _vertex_from_list(b))
+    return route
+
+
 def solution_to_dict(solution: RoutingSolution) -> Dict[str, Any]:
     """Serialise a routing solution to a JSON-compatible dictionary."""
     return {
@@ -193,26 +238,7 @@ def solution_to_dict(solution: RoutingSolution) -> Dict[str, Any]:
         "router_name": solution.router_name,
         "runtime_seconds": solution.runtime_seconds,
         "iterations": solution.iterations,
-        "routes": [
-            {
-                "net": route.net_name,
-                "routed": route.routed,
-                "failure_reason": route.failure_reason,
-                "vertices": [_vertex_to_list(v) for v in sorted(route.vertices)],
-                "edges": [
-                    [_vertex_to_list(a), _vertex_to_list(b)] for a, b in sorted(route.edges)
-                ],
-                "colors": [
-                    [_vertex_to_list(v), color]
-                    for v, color in sorted(route.vertex_colors.items())
-                ],
-                "stitches": [
-                    [_vertex_to_list(s.a), _vertex_to_list(s.b)]
-                    for s in sorted(route.stitches, key=lambda s: (s.a, s.b))
-                ],
-            }
-            for route in solution.routes.values()
-        ],
+        "routes": [route_to_dict(route) for route in solution.routes.values()],
     }
 
 
@@ -225,20 +251,7 @@ def solution_from_dict(data: Dict[str, Any]) -> RoutingSolution:
         iterations=data.get("iterations", 0),
     )
     for route_data in data["routes"]:
-        route = NetRoute(
-            net_name=route_data["net"],
-            routed=route_data["routed"],
-            failure_reason=route_data.get("failure_reason", ""),
-        )
-        for vertex in route_data["vertices"]:
-            route.vertices.add(_vertex_from_list(vertex))
-        for a, b in route_data["edges"]:
-            route.add_edge(_vertex_from_list(a), _vertex_from_list(b))
-        for vertex, color in route_data["colors"]:
-            route.set_color(_vertex_from_list(vertex), color)
-        for a, b in route_data.get("stitches", []):
-            route.add_stitch(_vertex_from_list(a), _vertex_from_list(b))
-        solution.add_route(route)
+        solution.add_route(route_from_dict(route_data))
     return solution
 
 

@@ -13,11 +13,25 @@ lagging replica has not seen; replaying it and advancing the cursor to
 ``journal.cursor`` re-synchronises the replica.  The persistent worker
 pool of :class:`repro.sched.BatchExecutor` runs exactly this loop between
 batches.
+
+Snapshot folding
+----------------
+
+A journal grows with the campaign, so a plain :meth:`~MutationJournal
+.compact` trades memory for replayability: the dropped prefix can never
+rebuild a fresh grid again.  :meth:`MutationJournal.fold` closes that gap --
+it pairs the compaction with a **snapshot** (an opaque, serialisable
+document, in practice :meth:`RoutingGrid.snapshot_state` output taken at
+the fold cursor), so the journal becomes *snapshot + suffix*: bootstrap a
+fresh grid by restoring the snapshot and replaying only the suffix.  That
+is the checkpoint-v2 representation -- resume time and document size are
+bounded by the snapshot plus the ops since the last fold, not by campaign
+age.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.journal.ops import Op, validate_op
 
@@ -48,13 +62,30 @@ class MutationJournal:
     choke point stays the only mutation path.
     """
 
-    __slots__ = ("ops", "_base")
+    __slots__ = ("ops", "_base", "snapshot", "_snapshot_cursor")
 
-    def __init__(self, ops: Optional[Sequence[Op]] = None) -> None:
+    def __init__(
+        self,
+        ops: Optional[Sequence[Op]] = None,
+        *,
+        base: int = 0,
+        snapshot: Optional[Any] = None,
+    ) -> None:
         self.ops: List[Op] = [validate_op(tuple(op)) for op in ops] if ops else []
         # Cursor of self.ops[0]: non-zero once compact() has dropped a
         # fully-consumed prefix.  Cursors stay absolute across compaction.
-        self._base = 0
+        if base < 0:
+            raise ValueError(f"journal base must be >= 0, got {base}")
+        if base and snapshot is None:
+            raise ValueError(
+                "a journal starting at a non-zero base needs the fold "
+                "snapshot describing the compacted prefix"
+            )
+        self._base = base
+        # Folded-prefix snapshot: the grid state document equivalent to
+        # replaying ops [0, _snapshot_cursor).  None until fold() runs.
+        self.snapshot: Optional[Any] = snapshot
+        self._snapshot_cursor = base if snapshot is not None else 0
 
     # -- recording ----------------------------------------------------------
 
@@ -74,12 +105,34 @@ class MutationJournal:
         """Return the current end-of-log cursor (== number of ops recorded)."""
         return self._base + len(self.ops)
 
+    @property
+    def snapshot_cursor(self) -> int:
+        """Return the cursor the fold :attr:`snapshot` corresponds to.
+
+        The snapshot is equivalent to replaying ops ``[0, snapshot_cursor)``
+        onto a fresh grid; ``0`` when no fold has happened yet.
+        """
+        return self._snapshot_cursor
+
     def suffix(self, cursor: int) -> List[Op]:
-        """Return every op recorded at or after *cursor* (oldest first)."""
+        """Return every op recorded at or after *cursor* (oldest first).
+
+        Raises on cursors outside ``[base, cursor]``: a cursor below the
+        base addresses compacted-away ops, and a cursor **past the head**
+        (e.g. a stale worker cursor surviving a discarded pool) would
+        silently report "nothing to replay" while the replica is actually
+        desynchronised -- both are consumer bugs that must fail loudly.
+        """
         if cursor < self._base:
             raise ValueError(
                 f"journal cursor must be >= base {self._base} "
                 f"(ops before it were compacted away), got {cursor}"
+            )
+        if cursor > self.cursor:
+            raise ValueError(
+                f"journal cursor must be <= head {self.cursor} "
+                f"(a future cursor means the consumer is desynchronised), "
+                f"got {cursor}"
             )
         return self.ops[cursor - self._base :]
 
@@ -100,11 +153,63 @@ class MutationJournal:
             self._base = keep
         return dropped
 
+    def fold(self, snapshot: Any, cursor: Optional[int] = None) -> int:
+        """Fold the prefix before *cursor* into *snapshot*; return ops dropped.
+
+        *snapshot* must describe the grid state after applying ops
+        ``[0, cursor)`` -- in practice :meth:`RoutingGrid.snapshot_state`
+        taken when the journal head was at *cursor* (the default: the
+        current head).  Afterwards the journal is *snapshot + suffix*:
+        unlike a plain :meth:`compact` it can still :meth:`bootstrap` a
+        fresh grid and still serialises through
+        :func:`repro.io.journal_io.journal_to_dict`, while memory and
+        replay time stay bounded by the suffix length.  The same consumer
+        rule as :meth:`compact` applies: every live cursor must already be
+        at or past *cursor*.
+        """
+        if cursor is None:
+            cursor = self.cursor
+        if not self._base <= cursor <= self.cursor:
+            raise ValueError(
+                f"fold cursor must lie in [{self._base}, {self.cursor}], got {cursor}"
+            )
+        self.snapshot = snapshot
+        self._snapshot_cursor = cursor
+        return self.compact(cursor)
+
     # -- replay -------------------------------------------------------------
 
     def replay_onto(self, grid, start: int = 0) -> int:
         """Replay ops from cursor *start* onto *grid*; return the count."""
         return replay_ops(grid, self.suffix(start))
+
+    def bootstrap(self, grid) -> int:
+        """Bring a **fresh** *grid* up to this journal's head; return ops replayed.
+
+        For a complete log this is a plain full replay.  For a folded
+        journal the grid is first restored from the fold snapshot
+        (``grid.restore_state``) and only the suffix past it is replayed --
+        the O(snapshot + suffix) bootstrap that checkpoint-v2 resume and
+        late-joining pool workers rely on.  The grid must start from the
+        journal's base state (a freshly constructed grid over the same
+        design) and must not have a journal attached yet (attach after, so
+        the replayed ops are not re-recorded into this very journal).
+        """
+        if self.snapshot is not None:
+            if self._snapshot_cursor < self._base:
+                raise ValueError(
+                    "journal was compacted past its fold snapshot "
+                    f"(snapshot at {self._snapshot_cursor}, base {self._base}); "
+                    "it can no longer bootstrap a fresh grid"
+                )
+            grid.restore_state(self.snapshot)
+            return replay_ops(grid, self.suffix(self._snapshot_cursor))
+        if self._base:
+            raise ValueError(
+                f"journal was compacted (base {self._base}) without a fold "
+                "snapshot; it can no longer bootstrap a fresh grid"
+            )
+        return self.replay_onto(grid, 0)
 
     # -- conveniences -------------------------------------------------------
 

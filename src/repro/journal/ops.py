@@ -30,6 +30,13 @@ grid did: the occupancy buffer stores interned ids, so bit-identical replay
 requires bit-identical interning.  The grid emits one the first time a net
 name is seen (after construction; construction-time interning is replayed
 by constructing the fresh grid from the same design).
+
+Ops are also the *suffix* half of a folded journal: once
+:meth:`MutationJournal.fold` compacts the log prefix into a
+:meth:`RoutingGrid.snapshot_state` document, bootstrapping a replica is
+snapshot restore plus replay of exactly these tuples past the fold cursor
+-- the O(grid + suffix) path checkpoint-v2 resume and late-joining pool
+workers ride on.
 """
 
 from __future__ import annotations

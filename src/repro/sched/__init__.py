@@ -36,6 +36,8 @@ from repro.sched.executor import (
     make_batch_executor,
     resolve_batch_margin,
     resolve_min_fork_batch,
+    resolve_pool_bootstrap,
+    resolve_pool_snapshot_ops,
 )
 
 __all__ = [
@@ -51,5 +53,7 @@ __all__ = [
     "apply_route_ops",
     "resolve_batch_margin",
     "resolve_min_fork_batch",
+    "resolve_pool_bootstrap",
+    "resolve_pool_snapshot_ops",
     "windows_overlap",
 ]

@@ -63,7 +63,7 @@ from repro.design import Net
 from repro.grid import RoutingSolution
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
-from repro.utils.env import env_int
+from repro.utils.env import env_int, env_str
 
 #: Backends accepted by :class:`BatchExecutor`.
 BACKENDS = ("serial", "thread", "process", "pool")
@@ -73,9 +73,25 @@ BACKENDS = ("serial", "thread", "process", "pool")
 MIN_FORK_BATCH_ENV = "REPRO_MIN_FORK_BATCH"
 BATCH_MARGIN_ENV = "REPRO_BATCH_MARGIN"
 
+#: How pool workers come to hold the parent's grid state: ``fork`` (inherit
+#: through the fork itself), ``snapshot`` (rebuild from a pickled design +
+#: grid snapshot + journal suffix -- the distributed-worker bootstrap path,
+#: and the only one available without the fork start method), or ``auto``
+#: (fork when available, snapshot otherwise).
+POOL_BOOTSTRAP_ENV = "REPRO_POOL_BOOTSTRAP"
+#: Snapshot-mode payload refresh threshold: once the journal head has moved
+#: this many ops past the cached bootstrap snapshot, the next worker start
+#: re-snapshots the grid instead of shipping an ever-longer suffix.
+POOL_SNAPSHOT_OPS_ENV = "REPRO_POOL_SNAPSHOT_OPS"
+
 #: Built-in defaults behind the env knobs.
 DEFAULT_MIN_FORK_BATCH = 3
 DEFAULT_BATCH_MARGIN = 0
+DEFAULT_POOL_BOOTSTRAP = "auto"
+DEFAULT_POOL_SNAPSHOT_OPS = 4096
+
+#: Bootstrap modes accepted by :func:`resolve_pool_bootstrap`.
+POOL_BOOTSTRAPS = ("auto", "fork", "snapshot")
 
 
 def resolve_min_fork_batch(explicit: Optional[int] = None) -> int:
@@ -90,6 +106,25 @@ def resolve_batch_margin(explicit: Optional[int] = None) -> int:
     if explicit is not None:
         return explicit
     return env_int(BATCH_MARGIN_ENV, DEFAULT_BATCH_MARGIN)
+
+
+def resolve_pool_bootstrap(explicit: Optional[str] = None) -> str:
+    """Return the effective pool bootstrap mode (arg > env > ``auto``)."""
+    mode = explicit if explicit is not None else env_str(
+        POOL_BOOTSTRAP_ENV, DEFAULT_POOL_BOOTSTRAP
+    )
+    if mode not in POOL_BOOTSTRAPS:
+        raise ValueError(
+            f"unknown pool bootstrap {mode!r}; expected one of {POOL_BOOTSTRAPS}"
+        )
+    return mode
+
+
+def resolve_pool_snapshot_ops(explicit: Optional[int] = None) -> int:
+    """Return the snapshot-payload refresh threshold (arg > env > default)."""
+    if explicit is not None:
+        return explicit
+    return env_int(POOL_SNAPSHOT_OPS_ENV, DEFAULT_POOL_SNAPSHOT_OPS)
 
 
 @dataclass
@@ -108,6 +143,12 @@ class ExecutorStats:
     pool_forks: int = 0
     #: Journal ops shipped to pool workers as catch-up suffixes.
     replayed_ops: int = 0
+    #: Pool workers that ignored the shutdown message and had to be
+    #: terminated/killed at close (hung-worker escalation).
+    worker_kills: int = 0
+    #: Pool workers that rebuilt their grid from a snapshot payload instead
+    #: of inheriting it through fork (``snapshot`` bootstrap mode).
+    snapshot_bootstraps: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict (benchmark JSON friendly)."""
@@ -121,6 +162,8 @@ class ExecutorStats:
             "worker_errors": self.worker_errors,
             "pool_forks": self.pool_forks,
             "replayed_ops": self.replayed_ops,
+            "worker_kills": self.worker_kills,
+            "snapshot_bootstraps": self.snapshot_bootstraps,
         }
 
 
@@ -195,20 +238,17 @@ def _fork_worker(index: int) -> Tuple[object, List[CommitOp], Optional[CellWindo
 _POOL_ROUTER: Optional[object] = None
 
 
-def _pool_worker_main(conn) -> None:
+def _serve_pool_worker(conn, router, engine) -> None:
+    """Run a pool worker's serve loop until shutdown or pipe close.
+
+    Shared by both bootstrap paths (fork-inherited and snapshot-rebuilt
+    workers); by the time it runs the worker's grid must be byte-identical
+    to the parent's at some journal cursor, with no journal attached and no
+    delta listeners registered.
+    """
     from repro.journal import replay_ops
 
-    router = _POOL_ROUTER
     grid = router.grid
-    # The forked journal copy would only duplicate what the parent already
-    # holds; detach it so suffix replay is not re-recorded in the child.
-    grid.detach_journal()
-    # Likewise the forked incremental-checker listeners: nobody ever drains
-    # them in a worker, so their dirty-set bookkeeping per replayed op
-    # would be pure waste (and unbounded memory).
-    for listener in list(grid._delta_listeners):
-        grid.remove_delta_listener(listener)
-    engine = router.make_search_engine()
     design = router.design
     try:
         while True:
@@ -234,6 +274,99 @@ def _pool_worker_main(conn) -> None:
         conn.close()
 
 
+def _strip_worker_grid(grid) -> None:
+    """Drop per-process grid attachments a worker must not carry.
+
+    The journal: a worker's copy would only duplicate what the parent
+    already holds, and suffix replay must not be re-recorded in the child.
+    The incremental-checker delta listeners: nobody ever drains them in a
+    worker, so their dirty-set bookkeeping per replayed op would be pure
+    waste (and unbounded memory).
+    """
+    grid.detach_journal()
+    for listener in list(grid._delta_listeners):
+        grid.remove_delta_listener(listener)
+
+
+def _pool_worker_main(conn) -> None:
+    """Entry point of a fork-bootstrapped worker (state inherited by fork)."""
+    router = _POOL_ROUTER
+    _strip_worker_grid(router.grid)
+    engine = router.make_search_engine()
+    _serve_pool_worker(conn, router, engine)
+
+
+def _snapshot_worker_main(conn) -> None:
+    """Entry point of a snapshot-bootstrapped worker.
+
+    The worker inherits nothing: its first message is the pickled
+    ``(design, router_cls, kwargs, snapshot)`` bootstrap payload plus the
+    journal suffix past the snapshot's cursor.  It rebuilds the grid by
+    snapshot-restore + suffix replay -- bit-identical to the parent's by
+    the snapshot/replay guarantees, at O(grid + suffix) cost regardless of
+    campaign age -- then enters the normal serve loop.  This is the
+    bootstrap path remote (non-fork) workers will use.
+    """
+    from repro.grid import RoutingGrid
+    from repro.journal import replay_ops
+
+    try:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message is None:
+            return
+        payload_bytes, suffix_bytes = message
+        design, router_cls, kwargs, snapshot = pickle.loads(payload_bytes)
+        grid = RoutingGrid(design)
+        grid.restore_state(snapshot)
+        replay_ops(grid, pickle.loads(suffix_bytes))
+        router = router_cls(design, grid=grid, **kwargs)
+        _strip_worker_grid(grid)
+        engine = router.make_search_engine()
+    except Exception as exc:
+        try:
+            conn.send(("error", repr(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        conn.close()
+        return
+    try:
+        conn.send(("ok", None))  # bootstrap handshake
+    except (BrokenPipeError, OSError):
+        conn.close()
+        return
+    _serve_pool_worker(conn, router, engine)
+
+
+def _shutdown_workers(
+    workers: Sequence["_PoolWorker"],
+    join_timeout: float = 5.0,
+    escalate_timeout: float = 1.0,
+) -> int:
+    """Join worker processes, escalating to terminate/kill on timeout.
+
+    Returns how many workers had to be forcibly stopped.  A worker stuck in
+    an uninterruptible loop (or one that ignores SIGTERM) must not outlive
+    the executor -- a leaked process pins the forked grid memory and, under
+    pytest, hangs the whole run at interpreter exit.
+    """
+    killed = 0
+    for worker in workers:
+        process = worker.process
+        process.join(timeout=join_timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=escalate_timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=escalate_timeout)
+            killed += 1
+        worker.conn.close()
+    return killed
+
+
 class _PoolWorker:
     """One persistent worker: its process, pipe, and journal cursor."""
 
@@ -246,48 +379,113 @@ class _PoolWorker:
 
 
 class PersistentWorkerPool:
-    """A set of forked worker processes kept in sync by journal replay.
+    """A set of persistent worker processes kept in sync by journal replay.
 
-    Workers inherit the parent's full state through ``fork`` exactly once
-    each -- **lazily**, as batches actually demand them, so a campaign
-    whose batches never grow past two nets only ever forks two workers.  A
-    late-forked worker needs no catch-up: it is born holding the parent's
-    current state, with its cursor set to the journal head at fork time.
-    The parent tracks one journal cursor per worker and, before assigning
-    a batch slice, ships the suffix of ops the worker has not yet seen.
-    Only workers that participate in a batch catch up -- idle workers
-    simply accumulate a longer suffix for next time.
+    Workers come to hold the parent's grid state exactly once each --
+    **lazily**, as batches actually demand them, so a campaign whose
+    batches never grow past two nets only ever starts two workers.  Two
+    bootstrap modes:
+
+    ``fork``
+        The worker inherits the parent's full state through ``fork``
+        itself; a late-forked worker needs no catch-up (born holding the
+        current state, cursor at the journal head).
+
+    ``snapshot``
+        The worker inherits nothing and rebuilds its grid from a pickled
+        ``(design, router_cls, kwargs, snapshot)`` payload plus the journal
+        suffix past the snapshot cursor -- O(grid + suffix) regardless of
+        campaign age.  The payload is cached across worker starts and
+        re-snapshotted once the head moves *snapshot_refresh_ops* past it,
+        so a late-joining worker never replays more than one refresh
+        window.  This path works without the fork start method and is the
+        stepping stone to workers on other machines.
+
+    Either way, the parent tracks one journal cursor per worker and, before
+    assigning a batch slice, ships the suffix of ops the worker has not yet
+    seen.  Only workers that participate in a batch catch up -- idle
+    workers simply accumulate a longer suffix for next time.
     """
 
-    def __init__(self, context, router, size: int) -> None:
+    def __init__(
+        self,
+        context,
+        router,
+        size: int,
+        bootstrap: str = "fork",
+        snapshot_refresh_ops: Optional[int] = None,
+    ) -> None:
         if router.grid.journal is None:
             raise RuntimeError("pool workers require a journal attached to the grid")
+        if bootstrap not in ("fork", "snapshot"):
+            raise ValueError(
+                f"unknown pool bootstrap {bootstrap!r}; expected 'fork' or 'snapshot'"
+            )
         self.context = context
         self.router = router
         self.size = max(1, size)
+        self.bootstrap = bootstrap
+        self.snapshot_refresh_ops = resolve_pool_snapshot_ops(snapshot_refresh_ops)
         self.journal = router.grid.journal
         self.workers: List[_PoolWorker] = []
-        #: Processes forked over this pool's lifetime (stats accounting).
+        #: Processes started over this pool's lifetime (stats accounting).
         self.total_forks = 0
+        #: Workers bootstrapped from a snapshot payload (stats accounting).
+        self.total_snapshot_bootstraps = 0
+        #: Workers that had to be terminated/killed at close.
+        self.total_kills = 0
+        # Cached snapshot-mode bootstrap payload and the journal cursor the
+        # snapshot inside it was taken at.
+        self._payload: Optional[bytes] = None
+        self._payload_cursor: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.workers)
 
     def min_cursor(self) -> int:
-        """Return the oldest journal cursor any worker still needs.
+        """Return the oldest journal cursor the pool still needs.
 
         Ops before it can never be shipped again: existing workers are
-        past them, and future workers fork from the live parent (needing
-        no ops at all).  With no workers yet, that is the journal head.
+        past them, future fork-mode workers fork from the live parent
+        (needing no ops at all), and future snapshot-mode workers replay
+        from the cached payload's cursor -- which therefore pins it.  With
+        nothing to pin, that is the journal head.
         """
-        if not self.workers:
+        cursors = [worker.cursor for worker in self.workers]
+        if self._payload_cursor is not None:
+            cursors.append(self._payload_cursor)
+        if not cursors:
             return self.journal.cursor
-        return min(worker.cursor for worker in self.workers)
+        return min(cursors)
+
+    def _bootstrap_payload(self) -> Tuple[bytes, bytes, int]:
+        """Return ``(payload, suffix, cursor)`` for one snapshot-mode start.
+
+        The payload (design + router spec + grid snapshot) is the expensive
+        part; it is cached and reused until the journal head has moved
+        :attr:`snapshot_refresh_ops` past it (or the journal was folded
+        past its cursor), then refreshed.  The suffix covers payload cursor
+        to head, so the started worker is exactly at *cursor* == head.
+        """
+        head = self.journal.cursor
+        stale = (
+            self._payload is None
+            or self._payload_cursor < self.journal.base
+            or head - self._payload_cursor > self.snapshot_refresh_ops
+        )
+        if stale:
+            router_cls, kwargs = self.router.worker_spec()
+            self._payload = pickle.dumps(
+                (self.router.design, router_cls, kwargs, self.router.grid.snapshot_state())
+            )
+            self._payload_cursor = head
+        suffix = pickle.dumps(self.journal.suffix(self._payload_cursor))
+        return self._payload, suffix, head
 
     def _ensure_workers(self, needed: int) -> None:
-        """Fork workers up to ``min(needed, size)``, one at a time.
+        """Start workers up to ``min(needed, size)``, one at a time.
 
-        A failed fork leaves the already-started workers registered in
+        A failed start leaves the already-started workers registered in
         :attr:`workers`, so :meth:`close` (via the caller's pool discard)
         reaps them -- no orphaned processes or pipes on partial failure.
         """
@@ -295,21 +493,52 @@ class PersistentWorkerPool:
         global _POOL_ROUTER
         while len(self.workers) < target:
             parent_conn, child_conn = self.context.Pipe()
-            _POOL_ROUTER = self.router
-            try:
-                process = self.context.Process(
-                    target=_pool_worker_main, args=(child_conn,), daemon=True
-                )
-                process.start()
-            except Exception:
-                parent_conn.close()
+            if self.bootstrap == "fork":
+                _POOL_ROUTER = self.router
+                try:
+                    process = self.context.Process(
+                        target=_pool_worker_main, args=(child_conn,), daemon=True
+                    )
+                    process.start()
+                except Exception:
+                    parent_conn.close()
+                    child_conn.close()
+                    raise
+                finally:
+                    _POOL_ROUTER = None
                 child_conn.close()
-                raise
-            finally:
-                _POOL_ROUTER = None
-            child_conn.close()
-            # Born in sync: the child holds the parent's state as of now.
-            self.workers.append(_PoolWorker(process, parent_conn, self.journal.cursor))
+                # Born in sync: the child holds the parent's state as of now.
+                cursor = self.journal.cursor
+            else:
+                try:
+                    process = self.context.Process(
+                        target=_snapshot_worker_main, args=(child_conn,), daemon=True
+                    )
+                    process.start()
+                except Exception:
+                    parent_conn.close()
+                    child_conn.close()
+                    raise
+                child_conn.close()
+                # Register before the handshake: a bootstrap failure must
+                # still leave the started process reapable through close().
+                worker = _PoolWorker(process, parent_conn, 0)
+                self.workers.append(worker)
+                self.total_forks += 1
+                payload, suffix, cursor = self._bootstrap_payload()
+                parent_conn.send((payload, suffix))
+                # Synchronous handshake: a worker that failed to rebuild
+                # its grid must never be handed a batch.
+                try:
+                    status, detail = parent_conn.recv()
+                except EOFError:
+                    status, detail = "error", "worker pipe closed during bootstrap"
+                if status != "ok":
+                    raise RuntimeError(f"pool worker bootstrap failed: {detail}")
+                worker.cursor = cursor
+                self.total_snapshot_bootstraps += 1
+                continue
+            self.workers.append(_PoolWorker(process, parent_conn, cursor))
             self.total_forks += 1
 
     def compute(self, net_names: Sequence[str]) -> Tuple[List[Tuple], int]:
@@ -362,19 +591,61 @@ class PersistentWorkerPool:
             raise RuntimeError(f"pool worker failed: {failure}")
         return results, replayed
 
-    def close(self) -> None:
-        """Shut every worker down (idempotent)."""
+    def catch_up_all(self) -> int:
+        """Replay every worker up to the current journal head; return ops shipped.
+
+        Run this before :meth:`MutationJournal.fold` / ``compact`` on the
+        pool's journal: folding drops ops before the fold cursor, and a
+        worker whose cursor still pointed below it could never be
+        re-synchronised (its next ``suffix()`` would raise).  Raises on any
+        worker error -- the caller must then discard the pool, exactly like
+        a :meth:`compute` failure.
+        """
+        head = self.journal.cursor
+        payload_cache: Dict[int, Tuple[bytes, int]] = {}
+        pending: List[_PoolWorker] = []
+        replayed = 0
+        for worker in self.workers:
+            if worker.cursor >= head:
+                continue
+            cached = payload_cache.get(worker.cursor)
+            if cached is None:
+                suffix = self.journal.suffix(worker.cursor)
+                cached = (pickle.dumps(suffix), len(suffix))
+                payload_cache[worker.cursor] = cached
+            # An empty net list makes this a pure catch-up round trip.
+            worker.conn.send((cached[0], []))
+            worker.cursor = head
+            replayed += cached[1]
+            pending.append(worker)
+        failure: Optional[str] = None
+        for worker in pending:
+            try:
+                status, payload = worker.conn.recv()
+            except EOFError:
+                status, payload = "error", "worker pipe closed unexpectedly"
+            if status != "ok":
+                failure = failure or str(payload)
+        if failure is not None:
+            raise RuntimeError(f"pool worker failed during catch-up: {failure}")
+        return replayed
+
+    def close(self) -> int:
+        """Shut every worker down (idempotent); return how many were killed.
+
+        Cooperative shutdown first (the ``None`` message), then
+        :func:`_shutdown_workers` joins with terminate/kill escalation so a
+        hung worker cannot outlive the executor.
+        """
         for worker in self.workers:
             try:
                 worker.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        for worker in self.workers:
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():  # pragma: no cover - hung worker safety net
-                worker.process.terminate()
-            worker.conn.close()
+        killed = _shutdown_workers(self.workers)
+        self.total_kills += killed
         self.workers = []
+        return killed
 
 
 def _compute_speculative(router, net: Net, engine) -> SpeculativeRoute:
@@ -454,6 +725,10 @@ class BatchExecutor:
         backend routes smaller batches serially (fork setup would
         dominate); the ``pool`` backend applies it only to pool *creation*
         -- once forked, workers serve every parallel batch.
+    pool_bootstrap:
+        How pool workers obtain the parent's grid state: ``"fork"``,
+        ``"snapshot"`` or ``"auto"`` (default: the ``REPRO_POOL_BOOTSTRAP``
+        env knob, falling back to ``auto`` = fork when available).
     """
 
     def __init__(
@@ -463,6 +738,7 @@ class BatchExecutor:
         parallelism: int = 1,
         scheduler: Optional[BatchScheduler] = None,
         min_fork_batch: int = DEFAULT_MIN_FORK_BATCH,
+        pool_bootstrap: Optional[str] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown batch backend {backend!r}; expected one of {BACKENDS}")
@@ -487,6 +763,7 @@ class BatchExecutor:
         # executor attached for it (detached again when the pool closes).
         self._pool: Optional[PersistentWorkerPool] = None
         self._owned_journal = None
+        self._pool_bootstrap = resolve_pool_bootstrap(pool_bootstrap)
         self._fork_context = None
         if backend in ("process", "pool"):
             methods = multiprocessing.get_all_start_methods()
@@ -550,11 +827,12 @@ class BatchExecutor:
         ):
             return False
         if self.backend == "pool" and (
-            self._fork_context is None
-            or (self._pool is None and len(batch) < self.min_fork_batch)
+            self._pool is None and len(batch) < self.min_fork_batch
         ):
-            # Don't pay the one-time fork for a campaign of tiny batches;
-            # once the pool exists it serves every parallel batch.
+            # Don't pay the one-time worker start for a campaign of tiny
+            # batches; once the pool exists it serves every parallel batch.
+            # (Whether a pool is even possible -- fork availability,
+            # worker_spec support -- is _ensure_pool's call.)
             return False
         try:
             if self.backend == "thread":
@@ -633,21 +911,38 @@ class BatchExecutor:
     def _ensure_pool(self) -> Optional[PersistentWorkerPool]:
         if self._pool is not None:
             return self._pool
-        if self._fork_context is None:
-            return None
+        bootstrap = self._pool_bootstrap
+        if bootstrap == "auto":
+            bootstrap = "fork" if self._fork_context is not None else "snapshot"
+        if bootstrap == "fork":
+            if self._fork_context is None:
+                return None
+            context = self._fork_context
+        else:
+            if not hasattr(self.router, "worker_spec"):
+                return None  # router cannot describe itself for a rebuild
+            # Snapshot bootstrap inherits nothing, so any start method
+            # works; prefer fork for its cheap process creation.
+            context = (
+                self._fork_context
+                if self._fork_context is not None
+                else multiprocessing.get_context()
+            )
         if self.router.make_search_engine() is None:
             return None  # legacy engine: speculative routing unsupported
         grid = self.router.grid
         if grid.journal is None:
-            # The journal must exist *before* the first fork: workers
+            # The journal must exist *before* the first worker: workers
             # re-sync by replaying everything recorded past their cursor.
             self._owned_journal = grid.attach_journal()
-        self._pool = PersistentWorkerPool(self._fork_context, self.router, self.parallelism)
+        self._pool = PersistentWorkerPool(
+            context, self.router, self.parallelism, bootstrap=bootstrap
+        )
         return self._pool
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            self.stats.worker_kills += self._pool.close()
             self._pool = None
         if self._owned_journal is not None:
             # Only detach what we attached; a caller-provided journal keeps
@@ -656,6 +951,23 @@ class BatchExecutor:
                 self.router.grid.detach_journal()
             self._owned_journal = None
 
+    def sync_pool_cursors(self) -> None:
+        """Catch every pool worker up to the journal head (checkpoint hook).
+
+        ``route_with_checkpoint`` calls this before folding a live campaign
+        journal: after it, no worker cursor lies below the head, so the
+        fold's compaction cannot strand one.  A catch-up failure discards
+        the pool (the standard recovery -- the next parallel batch starts
+        fresh workers from the authoritative parent state).
+        """
+        if self._pool is None:
+            return
+        try:
+            self.stats.replayed_ops += self._pool.catch_up_all()
+        except Exception:
+            self.stats.worker_errors += 1
+            self._discard_pool()
+
     def _compute_batch_pooled(
         self, batch: Sequence[Net]
     ) -> Optional[List[SpeculativeRoute]]:
@@ -663,6 +975,7 @@ class BatchExecutor:
         if pool is None:
             return None
         forks_before = pool.total_forks
+        bootstraps_before = pool.total_snapshot_bootstraps
         try:
             raw, replayed = pool.compute([net.name for net in batch])
         except Exception:
@@ -670,9 +983,15 @@ class BatchExecutor:
             # longer be trusted, so drop the whole pool.  The next parallel
             # batch re-forks from the (authoritative) parent state.
             self.stats.pool_forks += pool.total_forks - forks_before
+            self.stats.snapshot_bootstraps += (
+                pool.total_snapshot_bootstraps - bootstraps_before
+            )
             self._discard_pool()
             raise
         self.stats.pool_forks += pool.total_forks - forks_before
+        self.stats.snapshot_bootstraps += (
+            pool.total_snapshot_bootstraps - bootstraps_before
+        )
         self.stats.replayed_ops += replayed
         if self._owned_journal is not None:
             # The executor's own journal exists solely to feed the pool;

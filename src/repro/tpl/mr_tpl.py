@@ -17,8 +17,9 @@ evaluation code scores exactly like the baselines' outputs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.campaign import CampaignState
 from repro.check import IncrementalConflictChecker
 from repro.design import Design, Net
 from repro.dr.cost import CostModel
@@ -102,24 +103,43 @@ class MrTPLRouter:
     # Full flow (Fig. 2, left column)
     # ------------------------------------------------------------------
 
-    def run(self) -> RoutingSolution:
-        """Route and color every net, then negotiate color conflicts."""
+    def run(
+        self,
+        *,
+        campaign: Optional[CampaignState] = None,
+        on_iteration: Optional[Callable[[CampaignState], None]] = None,
+    ) -> RoutingSolution:
+        """Route and color every net, then negotiate color conflicts.
+
+        *campaign* makes the rip-up loop resumable (see
+        :class:`~repro.campaign.CampaignState`): the loop position **and**
+        the keep-the-best-iteration tracking live there, so a checkpointed
+        campaign resumed in another process converges on the same solution
+        as the uninterrupted run.  *on_iteration* fires after initial
+        routing (iteration 0) and after every completed rip-up round.
+        """
         timer = Timer()
         timer.start()
-        solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
-        self._route_many(self.schedule_nets(), solution)
+        if campaign is None:
+            campaign = CampaignState()
+        if campaign.started:
+            solution = campaign.solution
+        else:
+            solution = RoutingSolution(design_name=self.design.name, router_name=self.name)
+            campaign.solution = solution
+            self._route_many(self.schedule_nets(), solution)
+            if on_iteration is not None:
+                on_iteration(campaign)
 
-        iterations = 0
-        best_snapshot: Optional[Dict[str, NetRoute]] = None
-        best_defects: Optional[tuple] = None
-        for iteration in range(self.max_iterations):
+        iterations = campaign.iteration
+        for iteration in range(campaign.iteration, self.max_iterations):
             report = self.incremental_conflicts.check(solution)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
             defects = (len(solution.failed_nets()), report.conflict_count)
-            if best_defects is None or defects < best_defects:
-                best_defects = defects
-                best_snapshot = dict(solution.routes)
+            if campaign.best_defects is None or defects < campaign.best_defects:
+                campaign.best_defects = defects
+                campaign.best_routes = dict(solution.routes)
             if not offenders:
                 break
             iterations = iteration + 1
@@ -136,13 +156,21 @@ class MrTPLRouter:
             self._route_many(
                 [self.design.net_by_name(name) for name in sorted(offenders)], solution
             )
+            campaign.iteration = iterations
+            if on_iteration is not None:
+                on_iteration(campaign)
 
         # Rip-up and reroute can oscillate on hard instances; keep the best
         # iteration rather than blindly returning the last one.
         final_report = self.incremental_conflicts.check(solution)
         final_defects = (len(solution.failed_nets()), final_report.conflict_count)
-        if best_defects is not None and best_defects < final_defects and best_snapshot is not None:
-            solution.routes = best_snapshot
+        if (
+            campaign.best_defects is not None
+            and campaign.best_defects < final_defects
+            and campaign.best_routes is not None
+        ):
+            solution.routes = campaign.best_routes
+        campaign.done = True
 
         if self.refine_colors:
             ColorRefiner(
@@ -182,6 +210,21 @@ class MrTPLRouter:
         if self._engine_kind != "flat":
             return None
         return ColorStateSearch(self.grid, self.cost_model)
+
+    def worker_spec(self) -> Tuple[type, Dict[str, object]]:
+        """Return ``(router_cls, kwargs)`` rebuilding this router in a worker.
+
+        Used by the snapshot-bootstrapped pool workers, which construct
+        their own router over a grid rebuilt from the journal's fold
+        snapshot instead of inheriting the parent's through fork.
+        """
+        return type(self), {
+            "guides": self.guides,
+            "use_global_router": False,
+            "max_iterations": self.max_iterations,
+            "refine_colors": self.refine_colors,
+            "engine": self._engine_kind,
+        }
 
     # ------------------------------------------------------------------
     # Single-net routing (Fig. 2 centre and right columns, Algorithm 1)

@@ -1,0 +1,538 @@
+"""Checkpoint v2: snapshot-compacted journals and preemption-safe resume.
+
+Four layers of guarantees, each proven differentially:
+
+* **Snapshot layer** -- ``RoutingGrid.snapshot_state`` / ``restore_state``
+  reproduce a campaign-mutated grid byte-for-byte, equal to full journal
+  replay, for seeded campaigns of all three routers.
+* **Fold layer** -- a folded journal (snapshot + suffix) still bootstraps
+  a fresh grid and still serialises; plain compaction still refuses both.
+* **Durability layer** -- ``_write_atomic`` survives crash injection
+  (SIGKILL mid-save leaves either the previous complete document or
+  nothing), uses unique scratch names, and cleans up on failure.
+* **Campaign layer** -- ``route_with_checkpoint`` checkpoints every rip-up
+  iteration and a SIGKILLed campaign resumes from its last completed
+  iteration with a solution bit-identical to the uninterrupted run, with
+  the saved document bounded by snapshot + suffix (not campaign age).
+
+Plus the shutdown path: pool workers that ignore SIGTERM are
+terminate/kill-escalated instead of leaked.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.baselines.dac2012 import Dac2012Router
+from repro.bench.micro import fig1_dense_cluster, solution_fingerprint
+from repro.bench.suites import suite_case
+from repro.campaign import CampaignState
+from repro.dr.router import DetailedRouter
+from repro.eval.experiments import route_with_checkpoint
+from repro.grid import RoutingGrid
+from repro.io.journal_io import (
+    CHECKPOINT_FORMAT_V1,
+    CHECKPOINT_FORMAT_V2,
+    _write_atomic,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    journal_from_dict,
+    journal_to_dict,
+    load_checkpoint,
+    load_checkpoint_document,
+    save_checkpoint,
+)
+from repro.io.json_io import solution_to_dict
+from repro.journal import MutationJournal
+from repro.sched.executor import PersistentWorkerPool, _PoolWorker, _shutdown_workers
+from repro.tpl.mr_tpl import MrTPLRouter
+
+ROUTERS = {
+    "maze": DetailedRouter,
+    "color-state": MrTPLRouter,
+    "dac2012": Dac2012Router,
+}
+
+HAVE_FORK = sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+
+
+def build_case(suite="ispd18", number=2, scale=0.5):
+    return suite_case(suite, number, scale).build()
+
+
+def make_router(router_key, design, grid=None, **kwargs):
+    if router_key != "maze":
+        kwargs.setdefault("use_global_router", False)
+    return ROUTERS[router_key](design, grid=grid, **kwargs)
+
+
+def full_grid_digest(grid):
+    """Every mutable grid structure, dense buffers as raw bytes."""
+    return (
+        grid.owner_buffer().tobytes(),
+        bytes(grid._color_buf),
+        grid.pressure_buffer().tobytes(),
+        grid.history_buffer().tobytes(),
+        bytes(grid.blocked_buffer()),
+        grid._net_names,
+        grid._net_ids,
+        grid._multi_owners,
+        grid._net_occupied,
+        grid._history_touched,
+        grid._net_pressure,
+        grid._net_colored_vertices,
+    )
+
+
+def assert_grids_bit_identical(live, fresh):
+    for component_index, (a, b) in enumerate(zip(full_grid_digest(live), full_grid_digest(fresh))):
+        assert a == b, f"grid digest component {component_index} differs"
+
+
+def routes_dict(solution):
+    document = solution_to_dict(solution)
+    document.pop("runtime_seconds")
+    return document
+
+
+# ----------------------------------------------------------------------
+# (a) Snapshot layer: restore == full replay, byte for byte
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+def test_snapshot_restore_equals_full_replay(router_key):
+    design = build_case()
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    make_router(router_key, design, grid=grid).run()
+
+    grid.detach_journal()
+    snapshot = json.loads(json.dumps(grid.snapshot_state()))  # through JSON
+
+    restored = RoutingGrid(design)
+    restored.restore_state(snapshot)
+    replayed = RoutingGrid(design)
+    journal.replay_onto(replayed, 0)
+
+    assert_grids_bit_identical(grid, restored)
+    assert_grids_bit_identical(replayed, restored)
+    assert restored.mutation_epoch == grid.mutation_epoch
+
+
+def test_snapshot_restore_validates_and_fires_reset_hooks():
+    design = fig1_dense_cluster()
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    MrTPLRouter(design, grid=grid, use_global_router=False).run()
+    snapshot = grid.snapshot_state()
+
+    other = RoutingGrid(design, pitch=grid.pitch * 2)
+    with pytest.raises(ValueError, match="dimensions"):
+        other.restore_state(snapshot)
+    with pytest.raises(ValueError, match="not a repro-grid-snapshot"):
+        RoutingGrid(design).restore_state({"format": "bogus"})
+    # A journal is a stream of individual ops; a bulk restore cannot be
+    # represented in it, so restoring a journal-attached grid is refused.
+    with pytest.raises(RuntimeError, match="journal"):
+        grid.restore_state(snapshot)
+
+    fresh = RoutingGrid(design)
+    fired = []
+    fresh.add_delta_listener(type("Listener", (), {"on_reset": lambda self: fired.append(True)})())
+    fresh.restore_state(snapshot)
+    assert fired, "restore_state must fire on_reset so stale tallies are dropped"
+
+
+# ----------------------------------------------------------------------
+# (b) Fold layer: snapshot + suffix stays bootstrappable and persistable
+# ----------------------------------------------------------------------
+
+def test_fold_keeps_journal_bootstrappable():
+    design = fig1_dense_cluster()
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    router = MrTPLRouter(design, grid=grid, use_global_router=False)
+    solution = router.run()
+
+    # Fold mid-log: snapshot now, mutate more, then fold at the snapshot's
+    # cursor -- bootstrap must replay exactly the suffix past it.
+    grid.detach_journal()
+    snapshot = grid.snapshot_state()
+    cursor = journal.cursor
+    grid.attach_journal(journal)
+    for route in list(solution.routes.values())[:2]:
+        grid.release_net(route.net_name)
+
+    dropped = journal.fold(snapshot, cursor)
+    assert dropped == cursor
+    assert journal.base == cursor
+    assert journal.snapshot_cursor == cursor
+    assert len(journal.ops) > 0  # the releases above are the suffix
+
+    fresh = RoutingGrid(design)
+    replayed = journal.bootstrap(fresh)
+    assert replayed == journal.cursor - cursor
+    grid.detach_journal()
+    assert_grids_bit_identical(grid, fresh)
+
+    # And the folded journal round-trips through the dict form.
+    clone = journal_from_dict(json.loads(json.dumps(journal_to_dict(journal))))
+    fresh2 = RoutingGrid(design)
+    clone.bootstrap(fresh2)
+    assert_grids_bit_identical(grid, fresh2)
+
+
+def test_plain_compaction_still_refuses_bootstrap_and_persistence():
+    journal = MutationJournal()
+    journal.record(("history", 1, 3, 1.0))
+    journal.record(("history", 1, 4, 1.0))
+    journal.compact(1)
+    with pytest.raises(ValueError, match="compacted"):
+        journal_to_dict(journal)
+    with pytest.raises(ValueError, match="compacted"):
+        journal.bootstrap(RoutingGrid(fig1_dense_cluster()))
+    # Compacting *past* the fold snapshot loses the suffix the snapshot
+    # needs -- both paths must refuse rather than silently skip ops.
+    folded = MutationJournal()
+    folded.record(("history", 1, 3, 1.0))
+    folded.record(("history", 1, 4, 1.0))
+    folded.fold({"fake": "snapshot"}, 1)
+    folded.compact(2)
+    with pytest.raises(ValueError, match="past its fold snapshot"):
+        journal_to_dict(folded)
+    with pytest.raises(ValueError, match="compacted past"):
+        folded.bootstrap(RoutingGrid(fig1_dense_cluster()))
+
+
+def test_journal_suffix_raises_on_future_cursor():
+    journal = MutationJournal()
+    journal.record(("history", 1, 3, 1.0))
+    assert journal.suffix(journal.cursor) == []
+    # A stale worker cursor past the head is desync, not "nothing to
+    # replay" -- it must fail loudly.
+    with pytest.raises(ValueError, match="desynchronised"):
+        journal.suffix(journal.cursor + 1)
+    with pytest.raises(ValueError):
+        MutationJournal(base=3)  # non-zero base needs the fold snapshot
+
+
+# ----------------------------------------------------------------------
+# (c) Durability: atomic writes under crash injection
+# ----------------------------------------------------------------------
+
+def test_write_atomic_uses_unique_scratch_names(tmp_path, monkeypatch):
+    target = tmp_path / "doc.json"
+    scratches = []
+    real_replace = os.replace
+
+    def record_replace(src, dst):
+        scratches.append(str(src))
+        real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", record_replace)
+    _write_atomic(target, "one")
+    _write_atomic(target, "two")
+    assert target.read_text() == "two"
+    assert len(set(scratches)) == 2, "concurrent writers must never share a scratch path"
+    for scratch in scratches:
+        assert scratch != str(target)
+        assert os.path.dirname(scratch) == str(tmp_path)
+
+
+def test_write_atomic_failure_leaves_no_debris(tmp_path, monkeypatch):
+    target = tmp_path / "doc.json"
+    _write_atomic(target, "good")
+
+    def explode(src, dst):
+        raise OSError("disk gone")
+
+    monkeypatch.setattr(os, "replace", explode)
+    with pytest.raises(OSError, match="disk gone"):
+        _write_atomic(target, "bad")
+    monkeypatch.undo()
+    assert target.read_text() == "good"  # old document intact
+    assert list(tmp_path.iterdir()) == [target]  # scratch cleaned up
+
+
+def _checkpoint_writer_loop(path, design_payload):
+    """Child body: overwrite the same checkpoint as fast as possible."""
+    from repro.io.json_io import design_from_dict
+
+    design = design_from_dict(design_payload)
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    sequence = 0
+    while True:
+        grid.occupy(grid.vertex_of(sequence % grid.plane_size), f"net{sequence}")
+        sequence += 1
+        save_checkpoint(path, design, journal)
+
+
+@needs_fork
+def test_sigkill_mid_save_never_surfaces_a_torn_checkpoint(tmp_path):
+    from repro.io.json_io import design_to_dict
+
+    path = tmp_path / "ckpt.json"
+    design = fig1_dense_cluster()
+    context = multiprocessing.get_context("fork")
+    process = context.Process(
+        target=_checkpoint_writer_loop, args=(path, design_to_dict(design)), daemon=True
+    )
+    process.start()
+    try:
+        deadline = time.time() + 10
+        while not path.exists() and time.time() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.05)  # let a few overwrites race
+    finally:
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10)
+    if path.exists():
+        # Whatever survived must be a complete, loadable document --
+        # never a torn or zero-length one.
+        loaded_design, grid, journal, solution = load_checkpoint(path)
+        assert loaded_design.name == design.name
+    else:
+        pytest.skip("writer was killed before its first complete save")
+
+
+# ----------------------------------------------------------------------
+# (d) Campaign layer: per-iteration checkpoints + preemption-safe resume
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+def test_route_with_checkpoint_saves_every_iteration(router_key, tmp_path):
+    design = fig1_dense_cluster()
+    path = tmp_path / "ckpt.json"
+    seen = []
+    solution, grid, resumed = route_with_checkpoint(
+        design, ROUTERS[router_key], path,
+        on_checkpoint=lambda campaign: seen.append((campaign.iteration, campaign.done)),
+        **({} if router_key == "maze" else {"use_global_router": False}),
+    )
+    assert not resumed
+    iterations = [iteration for iteration, _done in seen]
+    assert iterations[0] == 0  # initial routing checkpointed
+    assert iterations[:-1] == list(range(solution.iterations + 1))
+    assert seen[-1] == (solution.iterations, True)  # final save marks done
+
+    document = load_checkpoint_document(path)
+    assert document["format"] == CHECKPOINT_FORMAT_V2
+    assert document["campaign"]["done"] is True
+    # Folded at every save: the persisted journal is snapshot + suffix,
+    # bounded by the grid -- not the whole campaign's op history.
+    assert document["journal"]["ops"] == []
+    assert document["journal"]["snapshot"]["format"] == "repro-grid-snapshot-v1"
+
+    # Restoring the document reproduces the final grid bit-for-bit.
+    _design, restored_grid, _journal, saved_solution = checkpoint_from_dict(document)
+    grid.detach_journal()
+    restored_grid.detach_journal()
+    assert_grids_bit_identical(grid, restored_grid)
+    assert routes_dict(saved_solution) == routes_dict(solution)
+
+    # A second call resumes the finished campaign without routing.
+    solution2, _grid2, resumed2 = route_with_checkpoint(
+        fig1_dense_cluster(), ROUTERS[router_key], path,
+        **({} if router_key == "maze" else {"use_global_router": False}),
+    )
+    assert resumed2
+    assert routes_dict(solution2) == routes_dict(solution)
+
+
+def test_route_with_checkpoint_every_n(tmp_path):
+    design = fig1_dense_cluster()
+    seen = []
+    solution, _grid, _resumed = route_with_checkpoint(
+        design, MrTPLRouter, tmp_path / "ckpt.json",
+        checkpoint_every=2,
+        on_checkpoint=lambda campaign: seen.append(campaign.iteration),
+        use_global_router=False,
+    )
+    body = [iteration for iteration in seen[:-1]]
+    assert body == [i for i in range(solution.iterations + 1) if i % 2 == 0]
+    assert seen[-1] == solution.iterations  # the final save always happens
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        route_with_checkpoint(design, MrTPLRouter, tmp_path / "other.json",
+                              checkpoint_every=0, use_global_router=False)
+
+
+def test_v1_checkpoints_still_load(tmp_path):
+    design = fig1_dense_cluster()
+    grid = RoutingGrid(design)
+    journal = grid.attach_journal()
+    solution = MrTPLRouter(design, grid=grid, use_global_router=False).run()
+
+    document = checkpoint_to_dict(design, journal, solution)
+    document["format"] = CHECKPOINT_FORMAT_V1
+    document.pop("campaign", None)
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(document))
+
+    _design, restored_grid, _journal, loaded = checkpoint_from_dict(
+        load_checkpoint_document(path)
+    )
+    grid.detach_journal()
+    restored_grid.detach_journal()
+    assert_grids_bit_identical(grid, restored_grid)
+    assert routes_dict(loaded) == routes_dict(solution)
+
+    # route_with_checkpoint treats a v1 document as a finished campaign.
+    solution2, _grid2, resumed = route_with_checkpoint(
+        fig1_dense_cluster(), MrTPLRouter, path, use_global_router=False
+    )
+    assert resumed
+    assert routes_dict(solution2) == routes_dict(solution)
+
+    with pytest.raises(ValueError, match="repro-checkpoint"):
+        checkpoint_from_dict({"format": "not-a-checkpoint"})
+
+
+def _interrupted_campaign_child(router_key, path, kill_after):
+    """Child body: route with checkpoints, SIGKILL ourselves mid-campaign."""
+    def maybe_die(campaign):
+        if campaign.iteration >= kill_after and not campaign.done:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    route_with_checkpoint(
+        fig1_dense_cluster(), ROUTERS[router_key], path,
+        on_checkpoint=maybe_die,
+        **({} if router_key == "maze" else {"use_global_router": False}),
+    )
+
+
+@needs_fork
+@pytest.mark.parametrize("router_key", sorted(ROUTERS))
+def test_sigkilled_campaign_resumes_bit_identical(router_key, tmp_path):
+    """The acceptance criterion: preemption mid-rip-up loses nothing.
+
+    A campaign SIGKILLed after its second completed iteration resumes from
+    the v2 checkpoint at that exact iteration and converges on a solution
+    bit-identical to an uninterrupted run's.
+    """
+    kwargs = {} if router_key == "maze" else {"use_global_router": False}
+    reference, _grid, _resumed = route_with_checkpoint(
+        fig1_dense_cluster(), ROUTERS[router_key], tmp_path / "reference.json", **kwargs
+    )
+    assert reference.iterations >= 3, "case too easy to interrupt meaningfully"
+
+    path = tmp_path / "interrupted.json"
+    context = multiprocessing.get_context("fork")
+    process = context.Process(
+        target=_interrupted_campaign_child, args=(router_key, path, 2), daemon=True
+    )
+    process.start()
+    process.join(timeout=120)
+    assert process.exitcode == -signal.SIGKILL
+
+    document = load_checkpoint_document(path)
+    assert document["campaign"]["done"] is False
+    assert document["campaign"]["iteration"] == 2
+
+    resumed_solution, _grid, resumed = route_with_checkpoint(
+        fig1_dense_cluster(), ROUTERS[router_key], path, **kwargs
+    )
+    assert resumed
+    assert resumed_solution.iterations == reference.iterations
+    assert routes_dict(resumed_solution) == routes_dict(reference)
+    assert solution_fingerprint(resumed_solution) == solution_fingerprint(reference)
+    # ...and the resumed campaign's own final checkpoint is now complete.
+    assert load_checkpoint_document(path)["campaign"]["done"] is True
+
+
+def test_checkpoint_refuses_mismatched_campaigns(tmp_path):
+    path = tmp_path / "ckpt.json"
+    route_with_checkpoint(fig1_dense_cluster(), MrTPLRouter, path, use_global_router=False)
+    with pytest.raises(ValueError, match="campaign"):
+        route_with_checkpoint(fig1_dense_cluster(), DetailedRouter, path)
+
+
+# ----------------------------------------------------------------------
+# (e) Pool workers: snapshot bootstrap + shutdown escalation
+# ----------------------------------------------------------------------
+
+@needs_fork
+@pytest.mark.parametrize("bootstrap", ["fork", "snapshot"])
+def test_pool_bootstrap_modes_match_serial(bootstrap):
+    design = build_case()
+    reference = solution_fingerprint(make_router("color-state", design).run())
+
+    design2 = build_case()
+    router = make_router(
+        "color-state", design2, grid=RoutingGrid(design2),
+        parallelism=2, batch_backend="pool", min_fork_batch=2,
+    )
+    router.batch_executor._pool_bootstrap = bootstrap
+    solution = router.run()
+    stats = router.batch_executor.stats
+    assert solution_fingerprint(solution) == reference
+    if stats.parallel_batches:
+        assert stats.pool_forks > 0
+        expected = stats.pool_forks if bootstrap == "snapshot" else 0
+        assert stats.snapshot_bootstraps == expected
+    assert stats.worker_errors == 0
+
+
+@needs_fork
+def test_sync_pool_cursors_allows_live_fold(tmp_path):
+    """Folding a live campaign journal must not strand pool workers."""
+    design = build_case()
+    path = tmp_path / "ckpt.json"
+    folds = []
+    solution, grid, _resumed = route_with_checkpoint(
+        design, MrTPLRouter, path,
+        on_checkpoint=lambda campaign: folds.append(campaign.iteration),
+        use_global_router=False,
+        parallelism=2, batch_backend="pool", min_fork_batch=2,
+    )
+    assert folds  # checkpoints (and thus folds) happened with the pool live
+    reference = solution_fingerprint(make_router("color-state", build_case()).run())
+    assert solution_fingerprint(solution) == reference
+
+
+def _ignore_sigterm_and_hang():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(60)
+
+
+@needs_fork
+def test_shutdown_workers_escalates_on_hung_worker():
+    context = multiprocessing.get_context("fork")
+    process = context.Process(target=_ignore_sigterm_and_hang, daemon=True)
+    process.start()
+    parent_conn, child_conn = context.Pipe()
+    child_conn.close()
+    worker = _PoolWorker(process, parent_conn, 0)
+    try:
+        killed = _shutdown_workers([worker], join_timeout=0.2, escalate_timeout=5.0)
+    finally:
+        if process.is_alive():  # belt and braces: never leak from the test
+            process.kill()
+            process.join(timeout=5)
+    assert killed == 1
+    assert not process.is_alive()
+
+
+def test_discard_pool_accounts_worker_kills():
+    class FakePool:
+        def close(self):
+            return 3
+
+    design = fig1_dense_cluster()
+    router = make_router(
+        "color-state", design, grid=RoutingGrid(design),
+        parallelism=2, batch_backend="pool",
+    )
+    executor = router.batch_executor
+    executor._pool = FakePool()
+    executor._discard_pool()
+    assert executor.stats.worker_kills == 3
+    assert executor.stats.as_dict()["worker_kills"] == 3
