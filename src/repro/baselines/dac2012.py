@@ -337,6 +337,9 @@ class Dac2012Router:
             campaign.iteration = iterations
             if on_iteration is not None:
                 on_iteration(campaign)
+        # Surface the executor's supervision counters on the campaign
+        # before declaring it done (checkpointed or not).
+        campaign.update_executor_stats(self.batch_executor)
         campaign.done = True
 
         for route in solution.routes.values():

@@ -799,6 +799,159 @@ def run_checkpoint_benchmarks(
     }
 
 
+def run_fault_tolerance_benchmarks(
+    scale: Optional[float] = None,
+    deadline: float = 2.0,
+) -> Dict[str, object]:
+    """Measure recovery overhead of the supervised executor under injected faults.
+
+    Each leg routes the pool-engaging sparse case with one deterministic
+    fault armed (:mod:`repro.faults`) -- a SIGKILL-style worker crash, a
+    compute hang cut off by the batch deadline, slow-but-alive replies --
+    plus a torn-final-checkpoint leg that resumes a campaign through the
+    keep-K fallback.  Every leg asserts the recovered solution is
+    **bit-identical** to the fault-free serial run and records the wall
+    clock next to the fault-free pool leg, so the JSON baseline
+    (``BENCH_fault_tolerance.json``) tracks what a crash, a hang or a torn
+    write actually costs end to end, together with the ``ExecutorStats``
+    recovery counters that prove the fault fired.
+    """
+    import multiprocessing
+    import tempfile
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro import faults
+    from repro.bench.suites import suite_case
+    from repro.eval.experiments import route_with_checkpoint
+    from repro.grid import RoutingGrid
+    from repro.io.journal_io import load_checkpoint_document
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    if scale is None:
+        scale = 0.4  # engages the pool (8 parallel batches) with 2 workers
+    have_fork = "fork" in multiprocessing.get_all_start_methods()
+    recovery_keys = (
+        "worker_errors", "retries", "deadline_timeouts", "worker_replacements",
+        "demotions", "bootstrap_fallbacks", "worker_kills", "heartbeats",
+    )
+
+    def build():
+        return suite_case("sparse", 1, scale).build()
+
+    design = build()
+    start = time.perf_counter()
+    reference = solution_fingerprint(
+        MrTPLRouter(design, grid=RoutingGrid(design), use_global_router=False).run()
+    )
+    serial_seconds = time.perf_counter() - start
+
+    results: List[Dict[str, object]] = []
+    legs = (
+        ("fault-free", None, {}),
+        ("worker-crash", "worker.crash:worker=0,op=200", {}),
+        ("worker-hang", "worker.hang:worker=0,seconds=30",
+         {"REPRO_BATCH_DEADLINE": f"{deadline}"}),
+        ("reply-delay", "reply.delay:seconds=0.01,times=*", {}),
+    )
+    fault_free_seconds = None
+    for leg, plan, env in legs:
+        if not have_fork:
+            continue  # the pool legs need fork; the report records the gap
+        with ExitStack() as stack:
+            for key, value in env.items():
+                previous = os.environ.get(key)
+                os.environ[key] = value
+                stack.callback(
+                    lambda key=key, previous=previous: (
+                        os.environ.__setitem__(key, previous)
+                        if previous is not None
+                        else os.environ.pop(key, None)
+                    )
+                )
+            if plan is not None:
+                stack.enter_context(faults.injected(plan))
+            case = build()
+            router = MrTPLRouter(
+                case, grid=RoutingGrid(case), use_global_router=False,
+                parallelism=2, batch_backend="pool", min_fork_batch=2,
+            )
+            start = time.perf_counter()
+            fingerprint = solution_fingerprint(router.run())
+            seconds = time.perf_counter() - start
+        stats = router.batch_executor.stats.as_dict()
+        if leg == "fault-free":
+            fault_free_seconds = seconds
+        results.append({
+            "leg": leg,
+            "plan": plan,
+            "seconds": round(seconds, 4),
+            "overhead_vs_fault_free": round(
+                seconds / max(fault_free_seconds or seconds, 1e-9), 3
+            ),
+            "identical_solutions": fingerprint == reference,
+            "recovery": {key: stats[key] for key in recovery_keys},
+        })
+
+    # Torn-final-checkpoint leg: serial campaign, torn newest document,
+    # resume through the retained generation (no fork needed).
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "ckpt.json"
+        case = fig1_dense_cluster()
+        start = time.perf_counter()
+        solution, _grid, _resumed = route_with_checkpoint(
+            case, MrTPLRouter, path, checkpoint_keep=2, use_global_router=False
+        )
+        campaign_seconds = time.perf_counter() - start
+        torn_reference = solution_fingerprint(solution)
+        path.write_text(path.read_text()[: max(path.stat().st_size // 2, 16)])
+        start = time.perf_counter()
+        solution2, _grid2, resumed = route_with_checkpoint(
+            fig1_dense_cluster(), MrTPLRouter, path, checkpoint_keep=2,
+            use_global_router=False,
+        )
+        resume_seconds = time.perf_counter() - start
+        fallbacks = load_checkpoint_document(path)["campaign"]["executor_stats"][
+            "checkpoint_fallbacks"
+        ]
+    results.append({
+        "leg": "torn-checkpoint",
+        "plan": "truncate newest generation, resume via keep-K fallback",
+        "seconds": round(campaign_seconds, 4),
+        "resume_seconds": round(resume_seconds, 4),
+        "overhead_vs_fault_free": round(
+            resume_seconds / max(campaign_seconds, 1e-9), 3
+        ),
+        "identical_solutions": resumed
+        and solution_fingerprint(solution2) == torn_reference,
+        "recovery": {"checkpoint_fallbacks": fallbacks},
+    })
+
+    ratios = [
+        entry["overhead_vs_fault_free"]
+        for entry in results
+        if entry["leg"] != "fault-free"
+    ]
+    geomean = 1.0
+    for value in ratios:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(ratios), 1)
+    return {
+        "benchmark": "fault-injected recovery overhead (supervised executor)",
+        "suite": "sparse",
+        "case": 1,
+        "scale": scale,
+        "deadline_seconds": deadline,
+        "have_fork": have_fork,
+        "serial_seconds": round(serial_seconds, 4),
+        "results": results,
+        # `main` prints this as a speedup; for this mode it is the geomean
+        # *recovery overhead* ratio vs the fault-free leg (lower is better).
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(entry["identical_solutions"] for entry in results),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: run the micro-benchmarks and write a JSON baseline."""
     import argparse
@@ -849,6 +1002,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "BENCH_checkpoint.json)",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="benchmark fault-injected recovery (seeded worker crash / hang "
+        "/ slow replies / torn checkpoint against the supervised pool "
+        "executor) instead of the search engines (default output: "
+        "BENCH_fault_tolerance.json)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="batch deadline in seconds for the worker-hang fault leg "
+        "(--faults only)",
+    )
+    parser.add_argument(
         "--profile",
         type=int,
         nargs="?",
@@ -893,7 +1061,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.out is None:
-        if args.checkpoint:
+        if args.faults:
+            args.out = "BENCH_fault_tolerance.json"
+        elif args.checkpoint:
             args.out = "BENCH_checkpoint.json"
         elif args.native:
             args.out = "BENCH_native_kernel.json"
@@ -922,6 +1092,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not cases:
         parser.error("--cases selected no case numbers")
     def produce_report():
+        if args.faults:
+            return run_fault_tolerance_benchmarks(
+                scale=args.scale, deadline=args.deadline
+            )
         if args.incremental:
             return run_incremental_check_benchmarks(
                 suite=args.suite, cases=cases, scale=scale
@@ -980,7 +1154,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for entry in report["results"]:
-        if args.incremental:
+        if args.faults:
+            recovery = ", ".join(
+                f"{key}={value}"
+                for key, value in entry["recovery"].items()
+                if value
+            )
+            print(
+                f"{entry['leg']:<16} {entry['seconds']:.3f}s "
+                f"overhead={entry['overhead_vs_fault_free']:.2f}x "
+                f"identical={entry['identical_solutions']} "
+                f"[{recovery or 'no recovery needed'}]"
+            )
+        elif args.incremental:
             print(
                 f"{entry['suite']} case{entry['case']:>2} rounds={entry['rounds']} "
                 f"full={entry['full_seconds']:.3f}s "

@@ -35,7 +35,7 @@ produce the same tallies as the warm ones (their differential guarantee).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.grid import NetRoute, RoutingSolution
@@ -50,8 +50,48 @@ class CampaignState:
     best_defects: Optional[Tuple[int, int]] = None
     best_routes: Optional[Dict[str, NetRoute]] = None
     done: bool = False
+    #: Cumulative :class:`~repro.sched.executor.ExecutorStats` counters of
+    #: the whole campaign, across preemptions: on resume the checkpointed
+    #: counters become the baseline and the new executor's (process-local)
+    #: counters are added on top, so a campaign's failure history --
+    #: retries, timeouts, replacements, demotions -- survives restarts.
+    executor_stats: Optional[Dict[str, int]] = None
+    # Baseline captured from a resumed checkpoint at the first
+    # update_executor_stats call (the live executor restarts at zero).
+    _stats_baseline: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def started(self) -> bool:
         """Return whether initial routing has already happened."""
         return self.solution is not None
+
+    def update_executor_stats(self, executor) -> None:
+        """Fold *executor*'s live counters into the campaign's history.
+
+        Safe to call with ``None`` (serial campaigns have no executor).
+        Idempotent per executor state: the merged view is always baseline
+        (what the checkpoint already recorded when this process started)
+        plus the executor's current counters, never a double count.
+        """
+        if executor is None:
+            return
+        current = executor.stats.as_dict()
+        if self._stats_baseline is None:
+            self._stats_baseline = dict(self.executor_stats or {})
+        merged = dict(self._stats_baseline)
+        for key, value in current.items():
+            merged[key] = merged.get(key, 0) + value
+        self.executor_stats = merged
+
+    def note_checkpoint_fallback(self) -> None:
+        """Record that resume fell back to an older retained checkpoint."""
+        if self._stats_baseline is None:
+            self._stats_baseline = dict(self.executor_stats or {})
+        self._stats_baseline["checkpoint_fallbacks"] = (
+            self._stats_baseline.get("checkpoint_fallbacks", 0) + 1
+        )
+        stats = dict(self.executor_stats or {})
+        stats["checkpoint_fallbacks"] = stats.get("checkpoint_fallbacks", 0) + 1
+        self.executor_stats = stats

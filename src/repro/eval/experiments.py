@@ -445,6 +445,7 @@ def route_with_checkpoint(
     checkpoint_path: Union[str, Path],
     checkpoint_every: int = 1,
     on_checkpoint=None,
+    checkpoint_keep: Optional[int] = None,
     **router_kwargs,
 ) -> Tuple["RoutingSolution", RoutingGrid, bool]:
     """Route *design* with *router_cls*, checkpointing **every iteration**.
@@ -469,6 +470,14 @@ def route_with_checkpoint(
     rip-up loop at its last completed iteration and finishes the campaign,
     producing a solution bit-identical to the uninterrupted run's.
 
+    Fault tolerance: each save retains the previous *checkpoint_keep*
+    generations (default: the ``REPRO_CHECKPOINT_KEEP`` env knob, 2) and
+    resume falls back to the newest generation whose integrity checksum
+    validates, so a torn or corrupted newest file costs at most one
+    checkpoint interval, not the campaign.  The campaign's cumulative
+    executor failure history (retries, timeouts, demotions, ...) is
+    carried in the checkpoint and keeps accumulating across resumes.
+
     *on_checkpoint* (called with the :class:`~repro.campaign.CampaignState`
     after each save) exists for tests and progress streaming.  Returns
     ``(solution, grid, resumed)``.
@@ -477,8 +486,9 @@ def route_with_checkpoint(
     from repro.io.json_io import design_to_dict
     from repro.io.journal_io import (
         checkpoint_campaign,
+        checkpoint_candidates,
         checkpoint_from_dict,
-        load_checkpoint_document,
+        load_checkpoint_document_with_fallback,
         save_checkpoint,
     )
 
@@ -487,9 +497,18 @@ def route_with_checkpoint(
     path = Path(checkpoint_path)
     campaign = None
     resumed = False
-    if path.exists():
+    used_fallback = False
+    if any(candidate.exists() for candidate in checkpoint_candidates(path, checkpoint_keep)):
         _LOG.info("resuming campaign from checkpoint %s", path)
-        document = load_checkpoint_document(path)
+        document, used_path = load_checkpoint_document_with_fallback(
+            path, checkpoint_keep
+        )
+        if used_path != path:
+            used_fallback = True
+            _LOG.warning(
+                "checkpoint %s is corrupt; resuming from retained generation %s",
+                path, used_path,
+            )
         saved_design, grid, journal, solution = checkpoint_from_dict(document)
         if design_to_dict(saved_design) != design_to_dict(design):
             raise ValueError(
@@ -511,6 +530,8 @@ def route_with_checkpoint(
             # v1 documents (no campaign section) were only written for
             # finished campaigns; v2 documents say so explicitly.
             return solution, grid, True
+        if used_fallback:
+            campaign.note_checkpoint_fallback()
         _LOG.info(
             "checkpoint holds an interrupted campaign; resuming at iteration %d",
             campaign.iteration,
@@ -530,8 +551,14 @@ def route_with_checkpoint(
             # Folding compacts the journal; every pool worker cursor must
             # be at the head first or the pool could never re-sync.
             executor.sync_pool_cursors()
+        # Surface the executor's supervision counters (retries, timeouts,
+        # replacements, demotions) into the persisted campaign state, on
+        # top of whatever an earlier (preempted) life already recorded.
+        state.update_executor_stats(executor)
         journal.fold(grid.snapshot_state())
-        save_checkpoint(path, design, journal, state.solution, state)
+        save_checkpoint(
+            path, design, journal, state.solution, state, keep=checkpoint_keep
+        )
         if on_checkpoint is not None:
             on_checkpoint(state)
 

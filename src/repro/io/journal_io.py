@@ -31,12 +31,14 @@ Checkpoint formats
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.campaign import CampaignState
 from repro.design import Design
 from repro.grid import RoutingGrid, RoutingSolution
@@ -49,8 +51,24 @@ from repro.io.json_io import (
     solution_to_dict,
 )
 from repro.journal import MutationJournal, ops_from_jsonable, ops_to_jsonable
+from repro.utils.env import env_int
 
 PathLike = Union[str, Path]
+
+#: How many checkpoint generations :func:`save_checkpoint` retains
+#: (``path`` plus ``path.1`` .. ``path.K-1``); at least 1.
+CHECKPOINT_KEEP_ENV = "REPRO_CHECKPOINT_KEEP"
+DEFAULT_CHECKPOINT_KEEP = 2
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint file is corrupt: unreadable JSON, a truncated (torn)
+    write, or a checksum mismatch.
+
+    Classified separately from "no checkpoint" (``FileNotFoundError``) and
+    "valid but wrong campaign" (plain ``ValueError``) so callers can fall
+    back to an older retained generation instead of aborting the resume.
+    """
 
 #: Schema tags of the checkpoint document generations.
 CHECKPOINT_FORMAT_V1 = "repro-checkpoint-v1"
@@ -80,6 +98,14 @@ def _write_atomic(path: PathLike, text: str) -> None:
       entry itself is durable.
     """
     target = Path(path)
+    if faults.ARMED and faults.fire("checkpoint.tear", path=str(target)) is not None:
+        # Injected torn write: bypass the temp-file dance and leave a
+        # truncated document under the final name -- the power-loss window
+        # a non-atomic writer would expose.  The integrity checksum plus
+        # the retained-checkpoint fallback must absorb exactly this.
+        with open(target, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        return
     fd, scratch = tempfile.mkstemp(
         dir=str(target.parent) or ".", prefix=target.name + ".", suffix=".tmp"
     )
@@ -163,7 +189,7 @@ def campaign_to_dict(campaign: CampaignState) -> Dict[str, Any]:
     slot -- the campaign section holds only the cursor and the
     best-iteration tracking.
     """
-    return {
+    document: Dict[str, Any] = {
         "iteration": campaign.iteration,
         "done": campaign.done,
         "best_defects": (
@@ -175,6 +201,12 @@ def campaign_to_dict(campaign: CampaignState) -> Dict[str, Any]:
             else None
         ),
     }
+    if campaign.executor_stats is not None:
+        # The campaign's cumulative failure history (retries, demotions,
+        # replacements, timeouts, ...): a preempted-and-resumed campaign
+        # must not forget what its earlier life survived.
+        document["executor_stats"] = dict(campaign.executor_stats)
+    return document
 
 
 def campaign_from_dict(
@@ -192,6 +224,7 @@ def campaign_from_dict(
         best_defects=tuple(best_defects) if best_defects is not None else None,
         best_routes=best_routes,
         done=data.get("done", False),
+        executor_stats=data.get("executor_stats"),
     )
 
 
@@ -215,7 +248,21 @@ def checkpoint_to_dict(
         document["solution"] = solution_to_dict(solution)
     if campaign is not None:
         document["campaign"] = campaign_to_dict(campaign)
+    document["checksum"] = checkpoint_checksum(document)
     return document
+
+
+def checkpoint_checksum(document: Dict[str, Any]) -> str:
+    """Return the integrity checksum of a checkpoint dictionary.
+
+    SHA-256 over the canonical (sorted-keys, tight-separator) JSON of the
+    document minus its ``checksum`` field -- so verification is independent
+    of key order and whitespace, and a document round-tripped through
+    ``json`` still validates.
+    """
+    payload = {key: value for key, value in document.items() if key != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def checkpoint_from_dict(
@@ -261,14 +308,67 @@ def checkpoint_campaign(
     return campaign_from_dict(data["campaign"], solution)
 
 
+def resolve_checkpoint_keep(explicit: Optional[int] = None) -> int:
+    """Return the retained-generation count (arg > env > default, min 1)."""
+    if explicit is not None:
+        return max(1, explicit)
+    return max(1, env_int(CHECKPOINT_KEEP_ENV, DEFAULT_CHECKPOINT_KEEP))
+
+
+def checkpoint_candidates(path: PathLike, keep: Optional[int] = None) -> List[Path]:
+    """Return the retained checkpoint paths, newest first.
+
+    Generation 0 is *path* itself; older generations live at ``path.1`` ..
+    ``path.{keep-1}`` (rotated by :func:`rotate_checkpoints`).
+    """
+    target = Path(path)
+    keep = resolve_checkpoint_keep(keep)
+    return [target] + [
+        target.with_name(f"{target.name}.{age}") for age in range(1, keep)
+    ]
+
+
+def rotate_checkpoints(path: PathLike, keep: Optional[int] = None) -> None:
+    """Shift the retained generations down one slot before a new save.
+
+    ``path`` -> ``path.1`` -> ... -> ``path.{keep-1}`` (the oldest falls
+    off).  The aged generations shift by rename; the live ``path`` itself
+    is *copied* into ``path.1`` rather than moved or hard-linked, so
+    there is never a window -- even under SIGKILL mid-save -- where no
+    document exists at ``path``, and a torn in-place overwrite of
+    ``path`` can never reach back and corrupt the retained generation
+    through a shared inode.
+    """
+    candidates = checkpoint_candidates(path, keep)
+    if len(candidates) < 2:
+        return
+    aged = candidates[1:]
+    for older, newer in zip(reversed(aged[1:]), reversed(aged[:-1])):
+        if newer.exists():
+            os.replace(newer, older)
+    live, first_age = candidates[0], aged[0]
+    if live.exists():
+        first_age.write_bytes(live.read_bytes())
+
+
 def save_checkpoint(
     path: PathLike,
     design: Design,
     journal: MutationJournal,
     solution: Optional[RoutingSolution] = None,
     campaign: Optional[CampaignState] = None,
+    keep: Optional[int] = None,
 ) -> None:
-    """Write a campaign checkpoint to *path* as JSON (atomically + durably)."""
+    """Write a campaign checkpoint to *path* as JSON (atomically + durably).
+
+    With ``keep > 1`` (default: the ``REPRO_CHECKPOINT_KEEP`` env knob,
+    2), the previous generations are rotated to ``path.1`` .. first, so a
+    save that lands torn (filesystem without atomic rename, injected
+    ``checkpoint.tear`` fault) still leaves an older complete document for
+    :func:`load_checkpoint_document_with_fallback` to resume from.
+    """
+    if resolve_checkpoint_keep(keep) > 1:
+        rotate_checkpoints(path, keep)
     _write_atomic(
         path, json.dumps(checkpoint_to_dict(design, journal, solution, campaign))
     )
@@ -282,5 +382,57 @@ def load_checkpoint(
 
 
 def load_checkpoint_document(path: PathLike) -> Dict[str, Any]:
-    """Read a checkpoint file as its raw JSON dictionary (no rebuild)."""
-    return json.loads(Path(path).read_text())
+    """Read and integrity-check a checkpoint file as its raw JSON dictionary.
+
+    Raises :class:`CheckpointIntegrityError` for unreadable JSON (torn or
+    truncated writes), a non-dictionary document, or a checksum mismatch;
+    a missing file stays ``FileNotFoundError``.  Documents without a
+    ``checksum`` field (pre-hardening checkpoints) are accepted as-is.
+    """
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointIntegrityError(
+            f"checkpoint {target} is corrupt (torn or truncated write): {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointIntegrityError(
+            f"checkpoint {target} is not a JSON object "
+            f"(got {type(document).__name__})"
+        )
+    expected = document.get("checksum")
+    if expected is not None and checkpoint_checksum(document) != expected:
+        raise CheckpointIntegrityError(
+            f"checkpoint {target} failed its integrity check "
+            "(checksum mismatch: bit rot or a partially overwritten file)"
+        )
+    return document
+
+
+def load_checkpoint_document_with_fallback(
+    path: PathLike, keep: Optional[int] = None
+) -> Tuple[Dict[str, Any], Path]:
+    """Load the newest valid retained checkpoint document.
+
+    Tries *path* first, then the rotated generations ``path.1`` .. in age
+    order; returns ``(document, used_path)``.  Raises ``FileNotFoundError``
+    when no generation exists at all, and :class:`CheckpointIntegrityError`
+    (describing every candidate's failure) when generations exist but all
+    are corrupt.
+    """
+    errors: List[str] = []
+    found_any = False
+    for candidate in checkpoint_candidates(path, keep):
+        try:
+            return load_checkpoint_document(candidate), candidate
+        except FileNotFoundError:
+            continue
+        except CheckpointIntegrityError as exc:
+            found_any = True
+            errors.append(str(exc))
+    if not found_any:
+        raise FileNotFoundError(f"no checkpoint found at {path} (or rotations)")
+    raise CheckpointIntegrityError(
+        "every retained checkpoint generation is corrupt: " + "; ".join(errors)
+    )

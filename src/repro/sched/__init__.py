@@ -24,6 +24,14 @@ All three rip-up loops (``dr/router``, ``tpl/mr_tpl``,
 ``batch_size`` / ``batch_backend`` constructor knobs, plus the
 ``min_fork_batch`` / ``batch_margin`` tuning knobs (also settable through
 the ``REPRO_MIN_FORK_BATCH`` / ``REPRO_BATCH_MARGIN`` environment).
+
+Execution is **supervised** (:mod:`repro.sched.supervisor`): per-batch
+wall-clock deadlines, pool-worker heartbeats, classified failures with
+bounded exponential-backoff retry and single-worker replacement, and a
+graceful-degradation ladder (pool -> process -> thread -> serial) that
+demotes the backend after consecutive failures -- serial being the
+always-correct floor, every recovery path stays bit-identical to the
+fault-free sequential run.
 """
 
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
@@ -39,6 +47,14 @@ from repro.sched.executor import (
     resolve_pool_bootstrap,
     resolve_pool_snapshot_ops,
 )
+from repro.sched.supervisor import (
+    FailureDetail,
+    SupervisorConfig,
+    WorkerFailure,
+    classify_exception,
+    classify_worker_payload,
+    degradation_ladder,
+)
 
 __all__ = [
     "BACKENDS",
@@ -46,8 +62,14 @@ __all__ = [
     "BatchScheduler",
     "CellWindow",
     "ExecutorStats",
+    "FailureDetail",
     "GridSink",
     "PersistentWorkerPool",
+    "SupervisorConfig",
+    "WorkerFailure",
+    "classify_exception",
+    "classify_worker_payload",
+    "degradation_ladder",
     "make_batch_executor",
     "RecordingSink",
     "apply_route_ops",

@@ -53,16 +53,28 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from queue import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.accel import get_native_kernel
 from repro.design import Net
 from repro.grid import RoutingSolution
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
+from repro.sched.supervisor import (
+    FailureDetail,
+    SupervisorConfig,
+    WorkerFailure,
+    await_worker_reply,
+    classify_exception,
+    classify_worker_payload,
+    degradation_ladder,
+)
 from repro.utils.env import env_int, env_str
 
 #: Backends accepted by :class:`BatchExecutor`.
@@ -149,6 +161,22 @@ class ExecutorStats:
     #: Pool workers that rebuilt their grid from a snapshot payload instead
     #: of inheriting it through fork (``snapshot`` bootstrap mode).
     snapshot_bootstraps: int = 0
+    #: Failed parallel batches retried on the same backend tier (bounded by
+    #: ``REPRO_BATCH_RETRIES``, exponential backoff between attempts).
+    retries: int = 0
+    #: Worker failures classified as deadline/heartbeat timeouts.
+    deadline_timeouts: int = 0
+    #: Failed pool workers removed and replaced individually (the pool
+    #: survives; only the broken worker restarts).
+    worker_replacements: int = 0
+    #: Backend demotions down the degradation ladder (pool -> process ->
+    #: thread -> serial) after consecutive retry-exhausted failures.
+    demotions: int = 0
+    #: Snapshot-bootstrap decode failures recovered by falling back to the
+    #: fork bootstrap path for that worker slot.
+    bootstrap_fallbacks: int = 0
+    #: Heartbeat messages received from pool workers (liveness evidence).
+    heartbeats: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict (benchmark JSON friendly)."""
@@ -164,6 +192,12 @@ class ExecutorStats:
             "replayed_ops": self.replayed_ops,
             "worker_kills": self.worker_kills,
             "snapshot_bootstraps": self.snapshot_bootstraps,
+            "retries": self.retries,
+            "deadline_timeouts": self.deadline_timeouts,
+            "worker_replacements": self.worker_replacements,
+            "demotions": self.demotions,
+            "bootstrap_fallbacks": self.bootstrap_fallbacks,
+            "heartbeats": self.heartbeats,
         }
 
 
@@ -238,38 +272,85 @@ def _fork_worker(index: int) -> Tuple[object, List[CommitOp], Optional[CellWindo
 _POOL_ROUTER: Optional[object] = None
 
 
-def _serve_pool_worker(conn, router, engine) -> None:
+def _serve_pool_worker(conn, router, engine, worker_index: int = 0) -> None:
     """Run a pool worker's serve loop until shutdown or pipe close.
 
     Shared by both bootstrap paths (fork-inherited and snapshot-rebuilt
     workers); by the time it runs the worker's grid must be byte-identical
     to the parent's at some journal cursor, with no journal attached and no
     delta listeners registered.
+
+    Protocol: the worker interleaves ``("hb", ops_seen)`` heartbeat
+    messages (after catch-up replay, and after each routed net) with the
+    terminal ``("ok", payload)`` / ``("error", detail)`` reply, so the
+    parent's supervised receive loop can tell "slow but alive" from
+    "hung".  Errors are structured dicts carrying the failure kind
+    (``replay`` vs ``compute``), the worker index, the cumulative
+    replayed-op count and the failing net -- the classification the
+    supervisor's retry policy runs on.
     """
     from repro.journal import replay_ops
 
     grid = router.grid
     design = router.design
+    ops_seen = 0
+    faults.set_context(worker=worker_index)
     try:
         while True:
             try:
                 message = conn.recv()
-            except EOFError:
+            except (EOFError, OSError):
                 break
             if message is None:
                 break
             suffix_payload, net_names = message
             try:
-                # The suffix arrives pre-pickled: the parent serialises
-                # each distinct catch-up suffix once, not once per worker.
-                replay_ops(grid, pickle.loads(suffix_payload))
+                if faults.ARMED:
+                    faults.fire("reply.delay", worker=worker_index)
+                try:
+                    # The suffix arrives pre-pickled: the parent serialises
+                    # each distinct catch-up suffix once, not once per worker.
+                    ops = pickle.loads(suffix_payload)
+                    replay_ops(grid, ops)
+                    ops_seen += len(ops)
+                except Exception as exc:
+                    conn.send(("error", {
+                        "kind": "replay", "error": repr(exc),
+                        "ops_seen": ops_seen, "worker": worker_index,
+                    }))
+                    continue
+                if faults.ARMED:
+                    faults.fire("worker.crash", worker=worker_index, ops_seen=ops_seen)
+                # Liveness: catch-up replay done, compute starting.
+                conn.send(("hb", ops_seen))
                 payload = []
+                failed = None
                 for name in net_names:
-                    spec = _compute_speculative(router, design.net_by_name(name), engine)
+                    if faults.ARMED:
+                        faults.fire("worker.crash", worker=worker_index, ops_seen=ops_seen)
+                    try:
+                        spec = _compute_speculative(
+                            router, design.net_by_name(name), engine
+                        )
+                    except Exception as exc:
+                        failed = {
+                            "kind": "compute", "error": repr(exc),
+                            "ops_seen": ops_seen, "net": name,
+                            "worker": worker_index,
+                        }
+                        break
                     payload.append((spec.route, spec.ops, spec.explored_box))
-                conn.send(("ok", payload))
-            except Exception as exc:  # surfaced to the parent as a worker error
-                conn.send(("error", repr(exc)))
+                    conn.send(("hb", ops_seen))
+                if faults.ARMED and failed is None:
+                    faults.fire("pipe.drop", worker=worker_index)
+                if failed is not None:
+                    conn.send(("error", failed))
+                else:
+                    conn.send(("ok", payload))
+            except faults.PipeDropFault:
+                break
+            except (BrokenPipeError, OSError):
+                break
     finally:
         conn.close()
 
@@ -288,15 +369,15 @@ def _strip_worker_grid(grid) -> None:
         grid.remove_delta_listener(listener)
 
 
-def _pool_worker_main(conn) -> None:
+def _pool_worker_main(conn, worker_index: int = 0) -> None:
     """Entry point of a fork-bootstrapped worker (state inherited by fork)."""
     router = _POOL_ROUTER
     _strip_worker_grid(router.grid)
     engine = router.make_search_engine()
-    _serve_pool_worker(conn, router, engine)
+    _serve_pool_worker(conn, router, engine, worker_index)
 
 
-def _snapshot_worker_main(conn) -> None:
+def _snapshot_worker_main(conn, worker_index: int = 0) -> None:
     """Entry point of a snapshot-bootstrapped worker.
 
     The worker inherits nothing: its first message is the pickled
@@ -306,10 +387,16 @@ def _snapshot_worker_main(conn) -> None:
     the snapshot/replay guarantees, at O(grid + suffix) cost regardless of
     campaign age -- then enters the normal serve loop.  This is the
     bootstrap path remote (non-fork) workers will use.
+
+    Bootstrap errors report which stage failed -- ``decode`` (unpickling
+    the payload: possibly a transient serialisation problem, worth one
+    fork-bootstrap fallback) vs ``rebuild`` (snapshot restore / replay /
+    router construction: the payload itself is bad).
     """
     from repro.grid import RoutingGrid
     from repro.journal import replay_ops
 
+    stage = "recv"
     try:
         try:
             message = conn.recv()
@@ -318,7 +405,11 @@ def _snapshot_worker_main(conn) -> None:
         if message is None:
             return
         payload_bytes, suffix_bytes = message
+        stage = "decode"
+        if faults.ARMED:
+            faults.fire("bootstrap.fail", worker=worker_index)
         design, router_cls, kwargs, snapshot = pickle.loads(payload_bytes)
+        stage = "rebuild"
         grid = RoutingGrid(design)
         grid.restore_state(snapshot)
         replay_ops(grid, pickle.loads(suffix_bytes))
@@ -327,7 +418,10 @@ def _snapshot_worker_main(conn) -> None:
         engine = router.make_search_engine()
     except Exception as exc:
         try:
-            conn.send(("error", repr(exc)))
+            conn.send(("error", {
+                "kind": "bootstrap", "stage": stage,
+                "error": repr(exc), "worker": worker_index,
+            }))
         except (BrokenPipeError, OSError):
             pass
         conn.close()
@@ -337,7 +431,7 @@ def _snapshot_worker_main(conn) -> None:
     except (BrokenPipeError, OSError):
         conn.close()
         return
-    _serve_pool_worker(conn, router, engine)
+    _serve_pool_worker(conn, router, engine, worker_index)
 
 
 def _shutdown_workers(
@@ -368,14 +462,20 @@ def _shutdown_workers(
 
 
 class _PoolWorker:
-    """One persistent worker: its process, pipe, and journal cursor."""
+    """One persistent worker: its process, pipe, journal cursor and index.
 
-    __slots__ = ("process", "conn", "cursor")
+    The index is a pool-lifetime-unique identity (monotonically assigned,
+    never reused by a replacement) so failure details and ``worker=K``
+    fault-plan targeting name a specific incarnation.
+    """
 
-    def __init__(self, process, conn, cursor: int) -> None:
+    __slots__ = ("process", "conn", "cursor", "index")
+
+    def __init__(self, process, conn, cursor: int, index: int = 0) -> None:
         self.process = process
         self.conn = conn
         self.cursor = cursor
+        self.index = index
 
 
 class PersistentWorkerPool:
@@ -414,6 +514,8 @@ class PersistentWorkerPool:
         size: int,
         bootstrap: str = "fork",
         snapshot_refresh_ops: Optional[int] = None,
+        config: Optional[SupervisorConfig] = None,
+        fork_ok: bool = False,
     ) -> None:
         if router.grid.journal is None:
             raise RuntimeError("pool workers require a journal attached to the grid")
@@ -426,14 +528,25 @@ class PersistentWorkerPool:
         self.size = max(1, size)
         self.bootstrap = bootstrap
         self.snapshot_refresh_ops = resolve_pool_snapshot_ops(snapshot_refresh_ops)
+        self.config = config if config is not None else SupervisorConfig.from_env()
+        #: Whether :attr:`context` forks (fork-bootstrap fallback possible).
+        self.fork_ok = fork_ok or bootstrap == "fork"
         self.journal = router.grid.journal
         self.workers: List[_PoolWorker] = []
         #: Processes started over this pool's lifetime (stats accounting).
         self.total_forks = 0
         #: Workers bootstrapped from a snapshot payload (stats accounting).
         self.total_snapshot_bootstraps = 0
-        #: Workers that had to be terminated/killed at close.
+        #: Workers that had to be terminated/killed (close or replacement).
         self.total_kills = 0
+        #: Failed workers removed individually (the pool survived them).
+        self.total_replacements = 0
+        #: Snapshot-decode bootstrap failures recovered via fork bootstrap.
+        self.total_bootstrap_fallbacks = 0
+        #: Heartbeat messages received across all supervised receives.
+        self.total_heartbeats = 0
+        # Pool-lifetime-unique worker index (replacements get fresh ones).
+        self._next_index = 0
         # Cached snapshot-mode bootstrap payload and the journal cursor the
         # snapshot inside it was taken at.
         self._payload: Optional[bytes] = None
@@ -482,74 +595,134 @@ class PersistentWorkerPool:
         suffix = pickle.dumps(self.journal.suffix(self._payload_cursor))
         return self._payload, suffix, head
 
+    def _start_worker(self, bootstrap: str) -> None:
+        """Start and register one worker via *bootstrap* (fork or snapshot).
+
+        Raises :class:`WorkerFailure` (kind ``bootstrap``) when a
+        snapshot-mode handshake fails; the broken worker is reaped first,
+        so the pool stays consistent for a fallback or retry.
+        """
+        index = self._next_index
+        self._next_index += 1
+        parent_conn, child_conn = self.context.Pipe()
+        if bootstrap == "fork":
+            global _POOL_ROUTER
+            _POOL_ROUTER = self.router
+            try:
+                process = self.context.Process(
+                    target=_pool_worker_main, args=(child_conn, index), daemon=True
+                )
+                process.start()
+            except Exception:
+                parent_conn.close()
+                child_conn.close()
+                raise
+            finally:
+                _POOL_ROUTER = None
+            child_conn.close()
+            # Born in sync: the child holds the parent's state as of now.
+            self.workers.append(
+                _PoolWorker(process, parent_conn, self.journal.cursor, index)
+            )
+            self.total_forks += 1
+            return
+        try:
+            process = self.context.Process(
+                target=_snapshot_worker_main, args=(child_conn, index), daemon=True
+            )
+            process.start()
+        except Exception:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        # Register before the handshake: a bootstrap failure must still
+        # leave the started process reapable.
+        worker = _PoolWorker(process, parent_conn, 0, index)
+        self.workers.append(worker)
+        self.total_forks += 1
+        payload, suffix, cursor = self._bootstrap_payload()
+        parent_conn.send((payload, suffix))
+        # Synchronous handshake: a worker that failed to rebuild its grid
+        # must never be handed a batch.
+        try:
+            status, detail = parent_conn.recv()
+        except EOFError:
+            status, detail = "error", "worker pipe closed during bootstrap"
+        if status != "ok":
+            failure = classify_worker_payload(detail, index, None)
+            if failure.kind not in ("bootstrap", "crash"):
+                failure.kind = "bootstrap"
+            self.workers.remove(worker)
+            self.total_kills += _shutdown_workers(
+                [worker], join_timeout=0.2, escalate_timeout=0.5
+            )
+            raise WorkerFailure([failure], context="pool worker bootstrap")
+        worker.cursor = cursor
+        self.total_snapshot_bootstraps += 1
+
     def _ensure_workers(self, needed: int) -> None:
         """Start workers up to ``min(needed, size)``, one at a time.
 
-        A failed start leaves the already-started workers registered in
-        :attr:`workers`, so :meth:`close` (via the caller's pool discard)
-        reaps them -- no orphaned processes or pipes on partial failure.
+        A snapshot bootstrap whose *decode* stage failed falls back to the
+        fork bootstrap path for that slot (once per failure) before giving
+        up: a payload the parent pickled but the child cannot unpickle is
+        an environment problem fork sidesteps entirely, while a *rebuild*
+        failure means the state itself is bad and fork would inherit it.
         """
         target = min(needed, self.size)
-        global _POOL_ROUTER
         while len(self.workers) < target:
-            parent_conn, child_conn = self.context.Pipe()
             if self.bootstrap == "fork":
-                _POOL_ROUTER = self.router
-                try:
-                    process = self.context.Process(
-                        target=_pool_worker_main, args=(child_conn,), daemon=True
-                    )
-                    process.start()
-                except Exception:
-                    parent_conn.close()
-                    child_conn.close()
-                    raise
-                finally:
-                    _POOL_ROUTER = None
-                child_conn.close()
-                # Born in sync: the child holds the parent's state as of now.
-                cursor = self.journal.cursor
-            else:
-                try:
-                    process = self.context.Process(
-                        target=_snapshot_worker_main, args=(child_conn,), daemon=True
-                    )
-                    process.start()
-                except Exception:
-                    parent_conn.close()
-                    child_conn.close()
-                    raise
-                child_conn.close()
-                # Register before the handshake: a bootstrap failure must
-                # still leave the started process reapable through close().
-                worker = _PoolWorker(process, parent_conn, 0)
-                self.workers.append(worker)
-                self.total_forks += 1
-                payload, suffix, cursor = self._bootstrap_payload()
-                parent_conn.send((payload, suffix))
-                # Synchronous handshake: a worker that failed to rebuild
-                # its grid must never be handed a batch.
-                try:
-                    status, detail = parent_conn.recv()
-                except EOFError:
-                    status, detail = "error", "worker pipe closed during bootstrap"
-                if status != "ok":
-                    raise RuntimeError(f"pool worker bootstrap failed: {detail}")
-                worker.cursor = cursor
-                self.total_snapshot_bootstraps += 1
+                self._start_worker("fork")
                 continue
-            self.workers.append(_PoolWorker(process, parent_conn, cursor))
-            self.total_forks += 1
+            try:
+                self._start_worker("snapshot")
+            except WorkerFailure as failure:
+                detail = failure.details[0]
+                if detail.stage == "decode" and self.fork_ok:
+                    self.total_bootstrap_fallbacks += 1
+                    self._start_worker("fork")
+                    continue
+                raise
 
-    def compute(self, net_names: Sequence[str]) -> Tuple[List[Tuple], int]:
+    def remove_workers(self, failed: Sequence[_PoolWorker]) -> None:
+        """Remove and reap *failed* workers; the rest of the pool survives.
+
+        Single-worker replacement instead of whole-pool discard: the
+        surviving workers completed their replies, so their grids are in
+        sync and keep serving; the next :meth:`compute` lazily starts
+        replacements (fresh index, current parent state) on demand.
+        """
+        if not failed:
+            return
+        for worker in failed:
+            if worker in self.workers:
+                self.workers.remove(worker)
+        self.total_kills += _shutdown_workers(
+            failed, join_timeout=0.2, escalate_timeout=0.5
+        )
+        self.total_replacements += len(failed)
+
+    def compute(
+        self, net_names: Sequence[str], deadline: Optional[float] = None
+    ) -> Tuple[List[Tuple], int]:
         """Compute speculative routes for *net_names* across the workers.
 
         Nets are dealt round-robin over the workers actually needed; the
         result list is reassembled in input order.  Returns ``(results,
         replayed_ops)`` where each result is the worker's ``(route, ops,
-        explored_box)`` tuple.  Raises on any worker error -- the caller
-        must then discard the pool (a worker that failed mid-replay can be
-        out of sync; a fresh fork re-synchronises by construction).
+        explored_box)`` tuple.
+
+        The receive phase is supervised: *deadline* bounds the whole batch
+        in wall-clock seconds, the config's heartbeat grace bounds any
+        single worker's silence, and a dead process is detected without
+        waiting for either.  On failure, **every** active worker is still
+        drained (survivors' replies must not leak into the next batch),
+        the failed workers are removed and reaped
+        (:meth:`remove_workers`), and a :class:`WorkerFailure` aggregating
+        *all* per-worker details -- index, journal cursor, classified kind
+        -- is raised; the caller may then simply retry on the surviving
+        (still in-sync) pool.
         """
         self._ensure_workers(len(net_names))
         head = self.journal.cursor
@@ -561,6 +734,9 @@ class PersistentWorkerPool:
         self.workers = self.workers[count:] + active
         stride = len(active)
         replayed = 0
+        failures: List[FailureDetail] = []
+        failed_workers: List[_PoolWorker] = []
+        sent: List[Tuple[int, _PoolWorker]] = []
         # Workers that were active together share a cursor, so the common
         # case serialises one suffix once and ships the same bytes to all.
         payload_cache: Dict[int, Tuple[bytes, int]] = {}
@@ -573,37 +749,57 @@ class PersistentWorkerPool:
                 suffix = self.journal.suffix(worker.cursor)
                 cached = (pickle.dumps(suffix), len(suffix))
                 payload_cache[worker.cursor] = cached
-            worker.conn.send((cached[0], list(net_names[slot::stride])))
+            try:
+                worker.conn.send((cached[0], list(net_names[slot::stride])))
+            except (BrokenPipeError, OSError) as exc:
+                failures.append(FailureDetail(
+                    worker=worker.index, kind="crash", cursor=worker.cursor,
+                    message=f"send to worker failed: {exc!r}",
+                ))
+                failed_workers.append(worker)
+                continue
             worker.cursor = head
             replayed += cached[1]
+            sent.append((slot, worker))
+        deadline_at = time.monotonic() + deadline if deadline else None
         results: List[Optional[Tuple]] = [None] * len(net_names)
-        failure: Optional[str] = None
-        for slot, worker in enumerate(active):
-            try:
-                status, payload = worker.conn.recv()
-            except EOFError:
-                status, payload = "error", "worker pipe closed unexpectedly"
-            if status != "ok":
-                failure = failure or str(payload)
+        for slot, worker in sent:
+            outcome = await_worker_reply(
+                worker.conn, worker.process, worker.index, worker.cursor,
+                deadline_at, self.config.heartbeat_grace,
+            )
+            self.total_heartbeats += outcome.heartbeats
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                # A worker that *replied* with a classified compute error
+                # is alive and in sync (it replayed the suffix before the
+                # net failed) -- keep it for the retry.  Crashed, hung and
+                # replay-failed workers are gone or out of sync: remove.
+                if outcome.failure.kind != "compute":
+                    failed_workers.append(worker)
                 continue
-            results[slot::stride] = payload
-        if failure is not None:
-            raise RuntimeError(f"pool worker failed: {failure}")
+            results[slot::stride] = outcome.payload
+        if failures:
+            self.remove_workers(failed_workers)
+            raise WorkerFailure(failures, context="pool batch")
         return results, replayed
 
-    def catch_up_all(self) -> int:
+    def catch_up_all(self, deadline: Optional[float] = None) -> int:
         """Replay every worker up to the current journal head; return ops shipped.
 
         Run this before :meth:`MutationJournal.fold` / ``compact`` on the
         pool's journal: folding drops ops before the fold cursor, and a
         worker whose cursor still pointed below it could never be
-        re-synchronised (its next ``suffix()`` would raise).  Raises on any
-        worker error -- the caller must then discard the pool, exactly like
-        a :meth:`compute` failure.
+        re-synchronised (its next ``suffix()`` would raise).  Supervised
+        like :meth:`compute`: failed workers are removed and reaped, the
+        survivors (all at the head afterwards) keep the pool alive, and a
+        :class:`WorkerFailure` aggregating every detail is raised.
         """
         head = self.journal.cursor
         payload_cache: Dict[int, Tuple[bytes, int]] = {}
         pending: List[_PoolWorker] = []
+        failures: List[FailureDetail] = []
+        failed_workers: List[_PoolWorker] = []
         replayed = 0
         for worker in self.workers:
             if worker.cursor >= head:
@@ -614,20 +810,31 @@ class PersistentWorkerPool:
                 cached = (pickle.dumps(suffix), len(suffix))
                 payload_cache[worker.cursor] = cached
             # An empty net list makes this a pure catch-up round trip.
-            worker.conn.send((cached[0], []))
+            try:
+                worker.conn.send((cached[0], []))
+            except (BrokenPipeError, OSError) as exc:
+                failures.append(FailureDetail(
+                    worker=worker.index, kind="crash", cursor=worker.cursor,
+                    message=f"send to worker failed: {exc!r}",
+                ))
+                failed_workers.append(worker)
+                continue
             worker.cursor = head
             replayed += cached[1]
             pending.append(worker)
-        failure: Optional[str] = None
+        deadline_at = time.monotonic() + deadline if deadline else None
         for worker in pending:
-            try:
-                status, payload = worker.conn.recv()
-            except EOFError:
-                status, payload = "error", "worker pipe closed unexpectedly"
-            if status != "ok":
-                failure = failure or str(payload)
-        if failure is not None:
-            raise RuntimeError(f"pool worker failed during catch-up: {failure}")
+            outcome = await_worker_reply(
+                worker.conn, worker.process, worker.index, worker.cursor,
+                deadline_at, self.config.heartbeat_grace,
+            )
+            self.total_heartbeats += outcome.heartbeats
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                failed_workers.append(worker)
+        if failures:
+            self.remove_workers(failed_workers)
+            raise WorkerFailure(failures, context="pool catch-up")
         return replayed
 
     def close(self) -> int:
@@ -650,6 +857,16 @@ class PersistentWorkerPool:
 
 def _compute_speculative(router, net: Net, engine) -> SpeculativeRoute:
     """Route *net* against the current grid state without mutating it."""
+    if faults.ARMED:
+        # These sites live here so every speculative backend -- thread,
+        # per-batch fork, persistent pool -- exercises the same hang and
+        # compute-error paths.  The serial oracle never calls this.  The
+        # crash site only fires inside a subprocess: an ``os._exit`` on a
+        # thread-backend hit would take the whole campaign process down.
+        if multiprocessing.parent_process() is not None:
+            faults.fire("worker.crash", net=net.name)
+        faults.fire("worker.hang", net=net.name)
+        faults.fire("compute.error", net=net.name)
     tracker = ExploredTracker(router.grid, getattr(engine, "node_stride", 1))
     core = getattr(engine, "core", None)
     if core is not None:
@@ -739,6 +956,7 @@ class BatchExecutor:
         scheduler: Optional[BatchScheduler] = None,
         min_fork_batch: int = DEFAULT_MIN_FORK_BATCH,
         pool_bootstrap: Optional[str] = None,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown batch backend {backend!r}; expected one of {BACKENDS}")
@@ -750,6 +968,19 @@ class BatchExecutor:
         )
         self.min_fork_batch = max(2, min_fork_batch)
         self.stats = ExecutorStats()
+        # Supervision: deadlines/retries/backoff policy plus the graceful-
+        # degradation ladder.  `backend` stays the *configured* tier;
+        # `active_backend` is the current (possibly demoted) one.
+        self.supervisor = (
+            supervisor if supervisor is not None else SupervisorConfig.from_env()
+        )
+        self._ladder = degradation_ladder(backend)
+        self._tier_index = 0
+        self._consecutive_failures = 0
+        # Thread pools retired after a deadline timeout: their hung threads
+        # cannot be killed, only abandoned (fresh pool + fresh engines) and
+        # shut down without waiting at close.
+        self._stale_thread_pools: List[ThreadPoolExecutor] = []
         # Influence reach: a committed vertex can change costs at most this
         # many cells away (color-pressure spread at the interaction radius).
         grid = router.grid
@@ -764,6 +995,8 @@ class BatchExecutor:
         self._pool: Optional[PersistentWorkerPool] = None
         self._owned_journal = None
         self._pool_bootstrap = resolve_pool_bootstrap(pool_bootstrap)
+        # Last-seen pool counters, so stats deltas survive any exit path.
+        self._pool_seen: Dict[str, int] = {}
         self._fork_context = None
         if backend in ("process", "pool"):
             methods = multiprocessing.get_all_start_methods()
@@ -781,11 +1014,23 @@ class BatchExecutor:
 
     # ------------------------------------------------------------------
 
+    @property
+    def active_backend(self) -> str:
+        """The backend tier currently in use (after any ladder demotions)."""
+        return self._ladder[self._tier_index]
+
     def close(self) -> None:
         """Release worker pools (idempotent)."""
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
+        for stale in self._stale_thread_pools:
+            # Hung threads cannot be joined without blocking close (and,
+            # under a real hang, forever); abandon them.  Tests that
+            # inject thread-tier hangs use bounded sleeps so interpreter
+            # exit still completes.
+            stale.shutdown(wait=False)
+        self._stale_thread_pools = []
         self._discard_pool()
 
     def route_nets(self, nets: Sequence[Net], solution: RoutingSolution) -> None:
@@ -819,36 +1064,101 @@ class BatchExecutor:
 
     def _run_batch_parallel(self, batch: Sequence[Net], solution: RoutingSolution) -> bool:
         """Try the speculative backend on *batch*; return ``False`` to let
-        the caller route it serially instead."""
-        if self.backend == "serial" or len(batch) < 2:
-            return False
-        if self.backend == "process" and (
-            self._fork_context is None or len(batch) < self.min_fork_batch
-        ):
-            return False
-        if self.backend == "pool" and (
-            self._pool is None and len(batch) < self.min_fork_batch
-        ):
-            # Don't pay the one-time worker start for a campaign of tiny
-            # batches; once the pool exists it serves every parallel batch.
-            # (Whether a pool is even possible -- fork availability,
-            # worker_spec support -- is _ensure_pool's call.)
-            return False
-        try:
-            if self.backend == "thread":
-                results = self._compute_batch_threaded(batch)
-            elif self.backend == "pool":
-                results = self._compute_batch_pooled(batch)
-            else:
-                results = self._compute_batch_forked(batch)
-        except Exception:
-            self.stats.worker_errors += 1
-            return False
-        if results is None:
-            return False
-        self.stats.parallel_batches += 1
-        self._commit_batch(batch, results, solution)
-        return True
+        the caller route it serially instead.
+
+        Supervised: a failed attempt is retried up to
+        ``supervisor.max_retries`` times with exponential backoff
+        (:meth:`_compute_batch_with_retry`); once retries are exhausted the
+        batch falls back to serial, and after ``supervisor.demote_after``
+        *consecutive* exhausted batches the executor demotes itself down
+        the degradation ladder (pool -> process -> thread -> serial) for
+        the remainder of the campaign and re-attempts the batch at the
+        lower tier.  Serial is the floor: always available, bit-identical
+        by construction.  Every outcome is deterministic in *route terms*
+        -- retry, fallback and demotion all recompute from the same
+        authoritative parent grid state.
+        """
+        while True:
+            backend = self.active_backend
+            if backend == "serial" or len(batch) < 2:
+                return False
+            if backend == "process" and (
+                self._fork_context is None or len(batch) < self.min_fork_batch
+            ):
+                return False
+            if backend == "pool" and (
+                self._pool is None and len(batch) < self.min_fork_batch
+            ):
+                # Don't pay the one-time worker start for a campaign of tiny
+                # batches; once the pool exists it serves every parallel batch.
+                # (Whether a pool is even possible -- fork availability,
+                # worker_spec support -- is _ensure_pool's call.)
+                return False
+            try:
+                results = self._compute_batch_with_retry(backend, batch)
+            except Exception:
+                self._consecutive_failures += 1
+                if (
+                    self._consecutive_failures >= self.supervisor.demote_after
+                    and self._tier_index + 1 < len(self._ladder)
+                ):
+                    self._demote()
+                    continue  # re-attempt this batch at the lower tier
+                return False
+            if results is None:
+                return False
+            self._consecutive_failures = 0
+            self.stats.parallel_batches += 1
+            self._commit_batch(batch, results, solution)
+            return True
+
+    def _compute_batch_with_retry(
+        self, backend: str, batch: Sequence[Net]
+    ) -> Optional[List[SpeculativeRoute]]:
+        """Run one batch on *backend* with classified, bounded retry.
+
+        Retryable failures (crash/timeout/bootstrap/replay/compute) are
+        retried after exponential backoff -- the pool's surgical worker
+        removal means a retry runs on the surviving workers plus lazily
+        started replacements.  Fatal (design-error) failures and exhausted
+        retries re-raise to the ladder logic above.
+        """
+        attempt = 0
+        while True:
+            try:
+                if backend == "thread":
+                    return self._compute_batch_threaded(batch)
+                if backend == "pool":
+                    return self._compute_batch_pooled(batch)
+                return self._compute_batch_forked(batch)
+            except Exception as exc:
+                self.stats.worker_errors += 1
+                if isinstance(exc, WorkerFailure):
+                    retryable = exc.retryable
+                    self.stats.deadline_timeouts += sum(
+                        1 for detail in exc.details if detail.kind == "timeout"
+                    )
+                else:
+                    kind = classify_exception(exc)
+                    retryable = kind != "fatal"
+                    if kind == "timeout":
+                        self.stats.deadline_timeouts += 1
+                if not retryable or attempt >= self.supervisor.max_retries:
+                    raise
+                attempt += 1
+                self.stats.retries += 1
+                backoff = self.supervisor.backoff_seconds(attempt)
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    def _demote(self) -> None:
+        """Step down one tier of the degradation ladder (permanently)."""
+        leaving = self.active_backend
+        self._tier_index += 1
+        self._consecutive_failures = 0
+        self.stats.demotions += 1
+        if leaving == "pool":
+            self._discard_pool()
 
     # -- thread backend -----------------------------------------------------
 
@@ -884,7 +1194,28 @@ class BatchExecutor:
             finally:
                 queue.put(engine)
 
-        return list(self._thread_pool.map(task, batch))
+        deadline = self.supervisor.deadline_seconds(len(batch))
+        try:
+            if deadline is None:
+                return list(self._thread_pool.map(task, batch))
+            return list(self._thread_pool.map(task, batch, timeout=deadline))
+        except FuturesTimeout:
+            self._retire_thread_pool()
+            raise
+
+    def _retire_thread_pool(self) -> None:
+        """Abandon a timed-out thread pool (hung threads can't be killed).
+
+        The hung threads still hold checked-out engines, so the engine
+        queue is dropped too -- the next attempt builds a fresh pool and
+        fresh engines.  Retired pools are shut down (without waiting) at
+        :meth:`close`.
+        """
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False)
+            self._stale_thread_pools.append(self._thread_pool)
+            self._thread_pool = None
+        self._engine_queue = None
 
     # -- process (fork) backend ----------------------------------------------
 
@@ -897,8 +1228,14 @@ class BatchExecutor:
         _FORK_TASK = (self.router, batch)
         try:
             workers = min(self.parallelism, len(batch))
+            deadline = self.supervisor.deadline_seconds(len(batch))
+            # map_async + timeout instead of map: a fork worker that dies
+            # (SIGKILL, os._exit) never delivers its result, and a plain
+            # map would wait on it forever.  On timeout the context
+            # manager's terminate() reaps the whole per-batch pool.
             with self._fork_context.Pool(processes=workers) as pool:
-                raw = pool.map(_fork_worker, range(len(batch)))
+                result = pool.map_async(_fork_worker, range(len(batch)))
+                raw = result.get(deadline) if deadline is not None else result.get()
         finally:
             _FORK_TASK = None
         return [
@@ -936,14 +1273,41 @@ class BatchExecutor:
             # re-sync by replaying everything recorded past their cursor.
             self._owned_journal = grid.attach_journal()
         self._pool = PersistentWorkerPool(
-            context, self.router, self.parallelism, bootstrap=bootstrap
+            context, self.router, self.parallelism, bootstrap=bootstrap,
+            config=self.supervisor, fork_ok=self._fork_context is not None,
         )
+        self._pool_seen = {}
         return self._pool
+
+    #: Pool counter -> ExecutorStats counter (drained as deltas so every
+    #: exit path -- success, classified failure, discard -- accounts once).
+    _POOL_STAT_MAP = (
+        ("total_forks", "pool_forks"),
+        ("total_snapshot_bootstraps", "snapshot_bootstraps"),
+        ("total_kills", "worker_kills"),
+        ("total_replacements", "worker_replacements"),
+        ("total_bootstrap_fallbacks", "bootstrap_fallbacks"),
+        ("total_heartbeats", "heartbeats"),
+    )
+
+    def _drain_pool_stats(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        seen = self._pool_seen
+        for pool_attr, stat_attr in self._POOL_STAT_MAP:
+            value = getattr(pool, pool_attr)
+            delta = value - seen.get(pool_attr, 0)
+            if delta:
+                setattr(self.stats, stat_attr, getattr(self.stats, stat_attr) + delta)
+                seen[pool_attr] = value
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
-            self.stats.worker_kills += self._pool.close()
+            self._pool.close()
+            self._drain_pool_stats()
             self._pool = None
+            self._pool_seen = {}
         if self._owned_journal is not None:
             # Only detach what we attached; a caller-provided journal keeps
             # recording (checkpoint/resume wants the full campaign log).
@@ -956,17 +1320,26 @@ class BatchExecutor:
 
         ``route_with_checkpoint`` calls this before folding a live campaign
         journal: after it, no worker cursor lies below the head, so the
-        fold's compaction cannot strand one.  A catch-up failure discards
-        the pool (the standard recovery -- the next parallel batch starts
-        fresh workers from the authoritative parent state).
+        fold's compaction cannot strand one.  A classified catch-up failure
+        removes just the failed workers (the survivors are at the head, so
+        the post-condition still holds); an unclassified failure discards
+        the pool (the next parallel batch starts fresh workers from the
+        authoritative parent state).
         """
-        if self._pool is None:
+        pool = self._pool
+        if pool is None:
             return
+        deadline = self.supervisor.deadline_seconds(max(1, len(pool.workers)))
         try:
-            self.stats.replayed_ops += self._pool.catch_up_all()
+            self.stats.replayed_ops += pool.catch_up_all(deadline=deadline)
+        except WorkerFailure:
+            self.stats.worker_errors += 1
+            self._drain_pool_stats()
         except Exception:
             self.stats.worker_errors += 1
             self._discard_pool()
+        else:
+            self._drain_pool_stats()
 
     def _compute_batch_pooled(
         self, batch: Sequence[Net]
@@ -974,24 +1347,25 @@ class BatchExecutor:
         pool = self._ensure_pool()
         if pool is None:
             return None
-        forks_before = pool.total_forks
-        bootstraps_before = pool.total_snapshot_bootstraps
+        deadline = self.supervisor.deadline_seconds(len(batch))
         try:
-            raw, replayed = pool.compute([net.name for net in batch])
-        except Exception:
-            # A failed worker may have died mid-replay; its grid can no
-            # longer be trusted, so drop the whole pool.  The next parallel
-            # batch re-forks from the (authoritative) parent state.
-            self.stats.pool_forks += pool.total_forks - forks_before
-            self.stats.snapshot_bootstraps += (
-                pool.total_snapshot_bootstraps - bootstraps_before
+            raw, replayed = pool.compute(
+                [net.name for net in batch], deadline=deadline
             )
+        except WorkerFailure:
+            # Classified failure: the pool already removed and reaped just
+            # the failed workers; the survivors are in sync and keep the
+            # pool alive for the retry.
+            self._drain_pool_stats()
+            raise
+        except Exception:
+            # Unclassified failure: trust nothing, drop the whole pool.
+            # The next parallel batch re-forks from the (authoritative)
+            # parent state.
+            self._drain_pool_stats()
             self._discard_pool()
             raise
-        self.stats.pool_forks += pool.total_forks - forks_before
-        self.stats.snapshot_bootstraps += (
-            pool.total_snapshot_bootstraps - bootstraps_before
-        )
+        self._drain_pool_stats()
         self.stats.replayed_ops += replayed
         if self._owned_journal is not None:
             # The executor's own journal exists solely to feed the pool;

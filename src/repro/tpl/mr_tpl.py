@@ -170,6 +170,9 @@ class MrTPLRouter:
             and campaign.best_routes is not None
         ):
             solution.routes = campaign.best_routes
+        # Surface the executor's supervision counters on the campaign
+        # before declaring it done (checkpointed or not).
+        campaign.update_executor_stats(self.batch_executor)
         campaign.done = True
 
         if self.refine_colors:

@@ -373,6 +373,7 @@ def test_v1_checkpoints_still_load(tmp_path):
     document = checkpoint_to_dict(design, journal, solution)
     document["format"] = CHECKPOINT_FORMAT_V1
     document.pop("campaign", None)
+    document.pop("checksum", None)  # v1 documents predate the integrity field
     path = tmp_path / "v1.json"
     path.write_text(json.dumps(document))
 
@@ -523,7 +524,15 @@ def test_shutdown_workers_escalates_on_hung_worker():
 
 def test_discard_pool_accounts_worker_kills():
     class FakePool:
+        total_forks = 0
+        total_snapshot_bootstraps = 0
+        total_replacements = 0
+        total_bootstrap_fallbacks = 0
+        total_heartbeats = 0
+        total_kills = 0
+
         def close(self):
+            self.total_kills += 3
             return 3
 
     design = fig1_dense_cluster()
