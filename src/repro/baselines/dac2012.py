@@ -227,7 +227,9 @@ class Dac2012Router:
 
     The ``parallelism`` / ``batch_size`` / ``batch_backend`` knobs switch
     the rip-up loop onto the :mod:`repro.sched` disjoint-batch executor;
-    the default keeps the plain sequential loop.
+    the default keeps the plain sequential loop.  ``batch_backend="auto"``
+    or the ``autotune`` knob (``REPRO_AUTOTUNE=probe|full``) hands the
+    choice to the self-tuning scheduler (:mod:`repro.sched.autotune`).
     """
 
     name = "dac2012"
@@ -246,6 +248,7 @@ class Dac2012Router:
         batch_policy: str = "prefix",
         min_fork_batch: Optional[int] = None,
         batch_margin: Optional[int] = None,
+        autotune: Optional[str] = None,
     ) -> None:
         self.design = design
         self.grid = grid if grid is not None else RoutingGrid(design)
@@ -284,6 +287,7 @@ class Dac2012Router:
             batch_policy,
             min_fork_batch=min_fork_batch,
             margin_cells=batch_margin,
+            autotune=autotune,
         )
 
     # ------------------------------------------------------------------

@@ -32,8 +32,29 @@ graceful-degradation ladder (pool -> process -> thread -> serial) that
 demotes the backend after consecutive failures -- serial being the
 always-correct floor, every recovery path stays bit-identical to the
 fault-free sequential run.
+
+Execution is also **self-tuning** (:mod:`repro.sched.autotune`): a
+one-shot per-process calibration probe (:func:`calibrate` ->
+:class:`HardwareProfile`) measures usable cores, fork/pipe/thread costs
+and the active kernel tier; ``batch_backend="auto"`` resolves the
+starting backend from it, and ``REPRO_AUTOTUNE=full`` engages the
+seeded, deterministic :class:`AutotuneController`, which re-picks the
+backend and adapts the batch knobs per rip-up iteration from the
+executor's own counters -- never outside what the degradation ladder
+still allows, and never affecting results.
 """
 
+from repro.sched.autotune import (
+    AUTOTUNE_MODES,
+    AutotuneController,
+    Decision,
+    HardwareProfile,
+    calibrate,
+    recommend_backend,
+    reset_calibration_cache,
+    resolve_autotune_mode,
+    usable_cpu_count,
+)
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import GridSink, RecordingSink, apply_route_ops
 from repro.sched.executor import (
@@ -57,11 +78,20 @@ from repro.sched.supervisor import (
 )
 
 __all__ = [
+    "AUTOTUNE_MODES",
+    "AutotuneController",
     "BACKENDS",
     "BatchExecutor",
     "BatchScheduler",
     "CellWindow",
+    "Decision",
     "ExecutorStats",
+    "HardwareProfile",
+    "calibrate",
+    "recommend_backend",
+    "reset_calibration_cache",
+    "resolve_autotune_mode",
+    "usable_cpu_count",
     "FailureDetail",
     "GridSink",
     "PersistentWorkerPool",

@@ -1,0 +1,492 @@
+"""Self-tuning scheduler: hardware calibration + online backend/knob control.
+
+Every performance-critical scheduler decision used to be a static knob
+(``batch_size``, ``min_fork_batch``, ``margin_cells``, ``batch_backend``)
+frozen per run -- tuned, if at all, for whatever machine the tuner happened
+to sit at.  This module closes the ROADMAP's "multi-core truth +
+self-tuning scheduler" loop in two parts:
+
+**Part 1 -- calibration probe** (:func:`calibrate`): a one-shot,
+per-process-cached micro-benchmark of the things the backend choice
+actually depends on -- usable cores, fork+bootstrap cost, pipe round-trip
+latency, thread-dispatch overhead, and whether the native search kernel
+(which releases the GIL, making *threads* real parallelism) is active.
+The result is a :class:`HardwareProfile`, recorded into
+``ExecutorStats``/bench JSON so every benchmark states the hardware truth
+it was measured on.
+
+**Part 2 -- online controller** (:class:`AutotuneController`): a
+per-rip-up-iteration feedback loop over the executor's own counters
+(speculative-fallback rate, ``pool_forks``, ``replayed_ops``, batch-size
+distribution, per-batch wall time vs. the serial baseline) that adjusts
+``max_batch`` / ``min_fork_batch`` / ``margin_cells`` within safe bounds
+and picks serial-vs-thread-vs-pool per iteration.  The controller is
+seeded and **deterministic given the same stats feed**, and it only ever
+steers *which backend computes* and *how batches are partitioned* -- every
+route still commits through the executor's explored-region validation, so
+an autotuned run stays bit-identical to the sequential loop (the
+differential suite in ``tests/test_autotune.py`` pins this for all three
+routers).  The supervisor's degradation ladder always wins: a demoted tier
+is simply removed from the controller's allowed set.
+
+Env knob: ``REPRO_AUTOTUNE=off|probe|full`` (default ``off``) -- ``probe``
+calibrates and records the profile but keeps static knobs; ``full`` also
+engages the controller.  ``backend="auto"`` on any router implies at least
+``probe`` and resolves the starting backend from the profile.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accel import active_search_tier
+from repro.utils.env import env_choice
+
+#: Autotune mode knob: ``off`` (static knobs, no probe), ``probe``
+#: (calibrate + record the profile, knobs stay static), ``full`` (probe +
+#: online controller).
+AUTOTUNE_ENV = "REPRO_AUTOTUNE"
+
+#: Modes accepted by :func:`resolve_autotune_mode`.
+AUTOTUNE_MODES = ("off", "probe", "full")
+
+DEFAULT_AUTOTUNE = "off"
+
+#: Safe adjustment bounds for the controller (the knobs are performance
+#: heuristics only -- correctness never depends on them -- but runaway
+#: growth would still waste planning time and memory).
+MIN_MAX_BATCH = 2
+MAX_MAX_BATCH = 64
+MAX_MARGIN_CELLS = 8
+MAX_MIN_FORK_BATCH = 16
+
+
+def resolve_autotune_mode(explicit: Optional[str] = None) -> str:
+    """Return the effective autotune mode (arg > ``REPRO_AUTOTUNE`` > off)."""
+    if explicit is not None:
+        if explicit not in AUTOTUNE_MODES:
+            raise ValueError(
+                f"unknown autotune mode {explicit!r}; expected one of {AUTOTUNE_MODES}"
+            )
+        return explicit
+    return env_choice(AUTOTUNE_ENV, AUTOTUNE_MODES, DEFAULT_AUTOTUNE)
+
+
+# ----------------------------------------------------------------------
+# Part 1: the calibration probe
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """One process's measured execution-substrate characteristics."""
+
+    #: Cores this process may actually run on (CPU affinity respected --
+    #: a containerised 1-core slice of a 64-core host must not fork 64
+    #: workers).
+    cpu_count: int
+    #: Whether the ``fork`` start method exists (pool/process backends).
+    fork_available: bool
+    #: Wall-clock cost of forking one trivial child and collecting its
+    #: pipe reply + exit (the pool's per-worker startup floor).  ``0.0``
+    #: when fork is unavailable.
+    fork_seconds: float
+    #: One small-message pipe send+recv (the pool's per-message IPC floor).
+    pipe_roundtrip_seconds: float
+    #: One trivial thread-pool dispatch+result (the thread backend's floor).
+    thread_dispatch_seconds: float
+    #: Active search-acceleration tier (``native`` releases the GIL, so
+    #: threads scale; the pure-python tiers serialise on it).
+    native_tier: str
+    #: Total wall-clock the probe itself took.
+    probe_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the profile as a plain dict (benchmark JSON friendly)."""
+        return {
+            "cpu_count": self.cpu_count,
+            "fork_available": self.fork_available,
+            "fork_seconds": self.fork_seconds,
+            "pipe_roundtrip_seconds": self.pipe_roundtrip_seconds,
+            "thread_dispatch_seconds": self.thread_dispatch_seconds,
+            "native_tier": self.native_tier,
+            "probe_seconds": self.probe_seconds,
+        }
+
+
+def usable_cpu_count() -> int:
+    """Return the number of cores this process may schedule on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _fork_probe_child(conn) -> None:  # pragma: no cover - runs in the child
+    conn.send(b"ok")
+    conn.close()
+
+
+def _probe_fork_seconds() -> Tuple[bool, float]:
+    """Measure fork + pipe-handshake + join for one trivial child."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False, 0.0
+    context = multiprocessing.get_context("fork")
+    started = time.perf_counter()
+    try:
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_fork_probe_child, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        parent_conn.recv()
+        process.join(timeout=10.0)
+        parent_conn.close()
+    except Exception:
+        return False, 0.0
+    return True, time.perf_counter() - started
+
+
+def _probe_pipe_roundtrip(iterations: int = 5) -> float:
+    """Measure one small pickled message through an OS pipe (best of N)."""
+    reader, writer = multiprocessing.Pipe(duplex=False)
+    payload = list(range(32))
+    best = float("inf")
+    try:
+        for _ in range(iterations):
+            started = time.perf_counter()
+            writer.send(payload)
+            reader.recv()
+            best = min(best, time.perf_counter() - started)
+    finally:
+        reader.close()
+        writer.close()
+    return best if best != float("inf") else 0.0
+
+
+def _probe_thread_dispatch(iterations: int = 5) -> float:
+    """Measure one trivial thread-pool submit+result round trip (best of N)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    best = float("inf")
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        pool.submit(int).result()  # warm the worker thread
+        for _ in range(iterations):
+            started = time.perf_counter()
+            pool.submit(int).result()
+            best = min(best, time.perf_counter() - started)
+    return best if best != float("inf") else 0.0
+
+
+#: Per-process probe cache: calibration is a one-shot cost.
+_PROFILE: Optional[HardwareProfile] = None
+
+
+def calibrate(refresh: bool = False) -> HardwareProfile:
+    """Measure (once per process) and return the :class:`HardwareProfile`.
+
+    The probe is deliberately cheap (a single fork, a handful of pipe and
+    thread round trips -- tens of milliseconds) because it runs inside
+    user campaigns, and cached because nothing it measures changes within
+    a process lifetime.  *refresh* forces a re-probe (tests).
+    """
+    global _PROFILE
+    if _PROFILE is not None and not refresh:
+        return _PROFILE
+    started = time.perf_counter()
+    fork_available, fork_seconds = _probe_fork_seconds()
+    profile = HardwareProfile(
+        cpu_count=usable_cpu_count(),
+        fork_available=fork_available,
+        fork_seconds=fork_seconds,
+        pipe_roundtrip_seconds=_probe_pipe_roundtrip(),
+        thread_dispatch_seconds=_probe_thread_dispatch(),
+        native_tier=active_search_tier(),
+        probe_seconds=time.perf_counter() - started,
+    )
+    _PROFILE = profile
+    return profile
+
+
+def reset_calibration_cache() -> None:
+    """Drop the cached profile so the next :func:`calibrate` re-probes (tests)."""
+    global _PROFILE
+    _PROFILE = None
+
+
+def recommend_backend(profile: HardwareProfile, parallelism: int) -> str:
+    """Return the profile's starting backend (``backend="auto"`` resolution).
+
+    Single-core (or single-worker) hosts route serially -- speculation and
+    IPC are pure overhead without cores to hide them on.  With the native
+    kernel active the thread backend is the cheapest real parallelism (the
+    C relaxation loop drops the GIL; no fork, no IPC, no journal replay).
+    Otherwise threads serialise on the GIL, so the journal-replicated pool
+    is the only tier that can scale -- when fork exists to build it.
+    """
+    if profile.cpu_count < 2 or parallelism < 2:
+        return "serial"
+    if profile.native_tier == "native":
+        return "thread"
+    if profile.fork_available:
+        return "pool"
+    return "thread"
+
+
+# ----------------------------------------------------------------------
+# Part 2: the online controller
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Decision:
+    """One iteration's chosen scheduler configuration (and why)."""
+
+    iteration: int
+    backend: str
+    max_batch: int
+    min_fork_batch: int
+    margin_cells: int
+    reason: str
+    #: Backends the degradation ladder allowed when the choice was made.
+    allowed: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the decision as a plain dict (decision-log JSON friendly)."""
+        return {
+            "iteration": self.iteration,
+            "backend": self.backend,
+            "max_batch": self.max_batch,
+            "min_fork_batch": self.min_fork_batch,
+            "margin_cells": self.margin_cells,
+            "reason": self.reason,
+            "allowed": list(self.allowed),
+        }
+
+
+#: Stats counters whose per-iteration deltas drive the controller.
+_FEEDBACK_KEYS = (
+    "batches",
+    "parallel_batches",
+    "speculative_accepted",
+    "speculative_fallbacks",
+    "pool_forks",
+    "replayed_ops",
+    "worker_errors",
+)
+
+
+class AutotuneController:
+    """Per-iteration scheduler-configuration controller.
+
+    The executor calls :meth:`begin_iteration` once per ``route_nets``
+    round (initial routing + every rip-up iteration) with the pending-net
+    count, its live :class:`~repro.sched.executor.ExecutorStats` and the
+    backends the degradation ladder still allows; the returned
+    :class:`Decision` is applied before planning.  After every routed
+    batch the executor reports the backend used and the wall time through
+    :meth:`observe_batch`, feeding per-backend per-net EWMAs the next
+    decision ranks candidates by.
+
+    Determinism: the controller reads only the stats feed and its seeded
+    RNG, so the same feed produces the same decision sequence -- and none
+    of its outputs can change routing *results* (backend choice and
+    prefix-policy batch partitioning are results-neutral by the executor's
+    validation guarantee).
+    """
+
+    #: EWMA smoothing for per-backend per-net seconds.
+    EWMA_ALPHA = 0.5
+    #: In ``full`` mode, re-measure a stale candidate every N iterations.
+    EXPLORE_EVERY = 4
+    #: Fallback-rate thresholds: above the high mark batches shrink and
+    #: margins widen; below the low mark (with parallel wins) they grow.
+    FALLBACK_HIGH = 0.5
+    FALLBACK_LOW = 0.1
+
+    def __init__(
+        self,
+        profile: Optional[HardwareProfile],
+        backend: str,
+        parallelism: int,
+        max_batch: int,
+        min_fork_batch: int,
+        margin_cells: int,
+        seed: int = 0xD5EED,
+    ) -> None:
+        self.profile = profile
+        self.parallelism = max(1, parallelism)
+        self.max_batch = max(MIN_MAX_BATCH, min(max_batch, MAX_MAX_BATCH))
+        self.min_fork_batch = max(2, min(min_fork_batch, MAX_MIN_FORK_BATCH))
+        self.margin_cells = max(0, min(margin_cells, MAX_MARGIN_CELLS))
+        self.preferred_backend = backend
+        self.decisions: List[Decision] = []
+        self._rng = random.Random(seed)
+        self._iteration = 0
+        self._last_stats: Dict[str, int] = {}
+        #: backend -> EWMA seconds per net (measured by observe_batch).
+        self._per_net: Dict[str, float] = {}
+        #: backend -> iteration it was last measured at.
+        self._measured_at: Dict[str, int] = {}
+
+    # -- feedback ------------------------------------------------------
+
+    def observe_batch(self, backend: str, nets: int, seconds: float) -> None:
+        """Fold one routed batch's wall time into *backend*'s EWMA."""
+        if nets <= 0 or seconds < 0.0:
+            return
+        per_net = seconds / nets
+        previous = self._per_net.get(backend)
+        if previous is None:
+            self._per_net[backend] = per_net
+        else:
+            self._per_net[backend] = previous + self.EWMA_ALPHA * (per_net - previous)
+        self._measured_at[backend] = self._iteration
+
+    # -- decision ------------------------------------------------------
+
+    def candidate_order(self) -> Tuple[str, ...]:
+        """Profile-ranked backend preference, most promising first."""
+        profile = self.profile
+        if profile is None:
+            return (self.preferred_backend, "serial")
+        if profile.cpu_count < 2 or self.parallelism < 2:
+            return ("serial",)
+        order: List[str] = []
+        if profile.native_tier == "native":
+            order.append("thread")
+        if profile.fork_available:
+            order.append("pool")
+        if "thread" not in order:
+            order.append("thread")
+        order.append("serial")
+        return tuple(order)
+
+    def begin_iteration(
+        self,
+        pending_nets: int,
+        stats,
+        allowed: Sequence[str],
+    ) -> Decision:
+        """Return this iteration's :class:`Decision` from the stats feed.
+
+        *allowed* is the executor's remaining degradation-ladder suffix;
+        the controller never chooses outside it -- supervisor demotions
+        always override the controller.
+        """
+        snapshot = stats.as_dict()
+        delta = {
+            key: snapshot.get(key, 0) - self._last_stats.get(key, 0)
+            for key in _FEEDBACK_KEYS
+        }
+        self._last_stats = {key: snapshot.get(key, 0) for key in _FEEDBACK_KEYS}
+        reasons: List[str] = []
+        self._adapt_knobs(delta, reasons)
+        backend = self._pick_backend(pending_nets, tuple(allowed), reasons)
+        decision = Decision(
+            iteration=self._iteration,
+            backend=backend,
+            max_batch=self.max_batch,
+            min_fork_batch=self.min_fork_batch,
+            margin_cells=self.margin_cells,
+            reason="; ".join(reasons) if reasons else "steady state",
+            allowed=tuple(allowed),
+        )
+        self.decisions.append(decision)
+        self._iteration += 1
+        return decision
+
+    def _adapt_knobs(self, delta: Dict[str, int], reasons: List[str]) -> None:
+        """Adjust batch/margin knobs from the last iteration's outcomes."""
+        attempts = delta["speculative_accepted"] + delta["speculative_fallbacks"]
+        fallback_rate = (
+            delta["speculative_fallbacks"] / attempts if attempts > 0 else 0.0
+        )
+        if attempts > 0 and fallback_rate > self.FALLBACK_HIGH:
+            # Speculation mostly wasted: batch-mates' explored regions keep
+            # colliding with commits.  Smaller batches commit sooner and a
+            # wider window margin separates the planner's groupings.
+            shrunk = max(MIN_MAX_BATCH, self.max_batch // 2)
+            widened = min(MAX_MARGIN_CELLS, self.margin_cells + 1)
+            if shrunk != self.max_batch or widened != self.margin_cells:
+                self.max_batch = shrunk
+                self.margin_cells = widened
+                reasons.append(
+                    f"fallback rate {fallback_rate:.2f}: "
+                    f"max_batch->{shrunk}, margin->{widened}"
+                )
+        elif (
+            attempts > 0
+            and fallback_rate < self.FALLBACK_LOW
+            and delta["parallel_batches"] > 0
+        ):
+            # Speculation almost always lands: expose more concurrency.
+            grown = min(MAX_MAX_BATCH, self.max_batch * 2)
+            if grown != self.max_batch:
+                self.max_batch = grown
+                reasons.append(
+                    f"fallback rate {fallback_rate:.2f}: max_batch->{grown}"
+                )
+        if delta["pool_forks"] > 0 and delta["parallel_batches"] == 0:
+            # Paid worker startup without ever winning a parallel batch:
+            # raise the engagement bar so tiny campaigns stop paying it.
+            raised = min(MAX_MIN_FORK_BATCH, self.min_fork_batch + 1)
+            if raised != self.min_fork_batch:
+                self.min_fork_batch = raised
+                reasons.append(f"forks without parallel wins: min_fork_batch->{raised}")
+
+    def _pick_backend(
+        self, pending_nets: int, allowed: Tuple[str, ...], reasons: List[str]
+    ) -> str:
+        """Choose the iteration's backend within *allowed*."""
+        candidates = [
+            backend for backend in self.candidate_order() if backend in allowed
+        ]
+        if not candidates:
+            # The ladder demoted below every profile candidate; take its
+            # own floor (serial is always last and always allowed).
+            reasons.append("ladder override: no profile candidate allowed")
+            return allowed[-1] if allowed else "serial"
+        measured = {
+            backend: self._per_net[backend]
+            for backend in candidates
+            if backend in self._per_net
+        }
+        # Exploration (bounded, seeded): periodically refresh a candidate
+        # the EWMAs know nothing (or only stale things) about, so a
+        # backend that *became* fast (e.g. pool workers already forked)
+        # gets re-ranked instead of being written off forever.
+        if (
+            len(candidates) > 1
+            and pending_nets >= self.min_fork_batch
+            and self._iteration % self.EXPLORE_EVERY == self.EXPLORE_EVERY - 1
+        ):
+            stale = [
+                backend
+                for backend in candidates
+                if backend != "serial"
+                and self._iteration - self._measured_at.get(backend, -(10**9))
+                >= self.EXPLORE_EVERY
+            ]
+            if stale:
+                choice = self._rng.choice(stale)
+                reasons.append(f"explore {choice}")
+                return choice
+        if len(measured) >= 2:
+            best = min(sorted(measured), key=measured.get)
+            reasons.append(
+                "measured best: "
+                + ", ".join(
+                    f"{backend}={measured[backend] * 1e3:.3g}ms/net"
+                    for backend in sorted(measured)
+                )
+            )
+            return best
+        reasons.append(f"profile pick {candidates[0]}")
+        return candidates[0]

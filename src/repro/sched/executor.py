@@ -64,9 +64,18 @@ from repro import faults
 from repro.accel import get_native_kernel
 from repro.design import Net
 from repro.grid import RoutingSolution
+from repro.sched.autotune import (
+    AutotuneController,
+    Decision,
+    HardwareProfile,
+    calibrate,
+    recommend_backend,
+    resolve_autotune_mode,
+)
 from repro.sched.batches import BatchScheduler, CellWindow, windows_overlap
 from repro.sched.commit import CommitOp, RecordingSink, apply_route_ops
 from repro.sched.supervisor import (
+    LADDER,
     FailureDetail,
     SupervisorConfig,
     WorkerFailure,
@@ -77,7 +86,9 @@ from repro.sched.supervisor import (
 )
 from repro.utils.env import env_int, env_str
 
-#: Backends accepted by :class:`BatchExecutor`.
+#: Backends accepted by :class:`BatchExecutor` (``"auto"`` additionally
+#: accepted by :func:`make_batch_executor`, which resolves it from the
+#: calibration profile before the executor is built).
 BACKENDS = ("serial", "thread", "process", "pool")
 
 #: Environment knobs (overridden by explicit arguments): the smallest batch
@@ -177,6 +188,26 @@ class ExecutorStats:
     bootstrap_fallbacks: int = 0
     #: Heartbeat messages received from pool workers (liveness evidence).
     heartbeats: int = 0
+    #: Autotune controller decisions applied (one per route_nets round).
+    autotune_decisions: int = 0
+    #: Coalesced journal-suffix catch-up messages actually shipped to pool
+    #: workers (one framed message per worker per batch).
+    suffix_messages: int = 0
+    #: Distinct suffix serialisations performed (cache misses); the gap to
+    #: :attr:`suffix_messages` is work the frame cache saved.
+    suffix_pickles: int = 0
+    #: Total suffix payload bytes shipped down worker pipes.
+    suffix_bytes: int = 0
+    #: Suffix payload bytes *not* re-serialised thanks to the shared frame
+    #: cache (same-cursor workers reuse one pickled frame).
+    suffix_bytes_saved: int = 0
+    #: Catch-up sends elided outright because the worker was already at the
+    #: journal head (``None`` sentinel instead of a pickled empty suffix).
+    suffix_elisions: int = 0
+    #: Calibration profile of the host this executor ran on (``None`` until
+    #: a probe ran).  Not a counter: excluded from :meth:`as_dict` so the
+    #: campaign's additive stats merge stays numeric.
+    profile: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict (benchmark JSON friendly)."""
@@ -198,6 +229,12 @@ class ExecutorStats:
             "demotions": self.demotions,
             "bootstrap_fallbacks": self.bootstrap_fallbacks,
             "heartbeats": self.heartbeats,
+            "autotune_decisions": self.autotune_decisions,
+            "suffix_messages": self.suffix_messages,
+            "suffix_pickles": self.suffix_pickles,
+            "suffix_bytes": self.suffix_bytes,
+            "suffix_bytes_saved": self.suffix_bytes_saved,
+            "suffix_elisions": self.suffix_elisions,
         }
 
 
@@ -309,10 +346,13 @@ def _serve_pool_worker(conn, router, engine, worker_index: int = 0) -> None:
                     faults.fire("reply.delay", worker=worker_index)
                 try:
                     # The suffix arrives pre-pickled: the parent serialises
-                    # each distinct catch-up suffix once, not once per worker.
-                    ops = pickle.loads(suffix_payload)
-                    replay_ops(grid, ops)
-                    ops_seen += len(ops)
+                    # each distinct catch-up suffix once, not once per
+                    # worker.  ``None`` means "already at the head" -- no
+                    # payload at all rides the pipe for an in-sync worker.
+                    if suffix_payload is not None:
+                        ops = pickle.loads(suffix_payload)
+                        replay_ops(grid, ops)
+                        ops_seen += len(ops)
                 except Exception as exc:
                     conn.send(("error", {
                         "kind": "replay", "error": repr(exc),
@@ -545,6 +585,19 @@ class PersistentWorkerPool:
         self.total_bootstrap_fallbacks = 0
         #: Heartbeat messages received across all supervised receives.
         self.total_heartbeats = 0
+        #: Journal ops shipped as catch-up suffixes, counted **at send
+        #: time** so a later WorkerFailure in the same batch cannot lose
+        #: them (the executor drains this as deltas, like every other pool
+        #: counter, instead of trusting a return value that a raise eats).
+        self.total_replayed_ops = 0
+        #: Suffix-frame accounting (suffix-message batching): messages
+        #: shipped, distinct serialisations, bytes shipped, bytes the
+        #: shared frame cache saved, and sends elided for in-sync workers.
+        self.total_suffix_messages = 0
+        self.total_suffix_pickles = 0
+        self.total_suffix_bytes = 0
+        self.total_suffix_bytes_saved = 0
+        self.total_suffix_elisions = 0
         # Pool-lifetime-unique worker index (replacements get fresh ones).
         self._next_index = 0
         # Cached snapshot-mode bootstrap payload and the journal cursor the
@@ -594,6 +647,35 @@ class PersistentWorkerPool:
             self._payload_cursor = head
         suffix = pickle.dumps(self.journal.suffix(self._payload_cursor))
         return self._payload, suffix, head
+
+    def _suffix_frame(
+        self, cursor: int, head: int, cache: Dict[int, Tuple[Optional[bytes], int]]
+    ) -> Tuple[Optional[bytes], int]:
+        """Return ``(frame, op_count)`` catching a worker up from *cursor*.
+
+        One framed message per worker per batch: the whole suffix is
+        serialised as a single payload (never per-op pipe writes), the
+        pickled frame is cached per distinct cursor so same-cursor workers
+        share one serialisation, and a worker already at *head* gets the
+        ``None`` sentinel -- no suffix bytes ride the pipe at all.  Every
+        path updates the pool's suffix counters, which the executor drains
+        into :class:`ExecutorStats` (bytes/messages saved are part of the
+        bench record).
+        """
+        if cursor >= head:
+            self.total_suffix_elisions += 1
+            return None, 0
+        cached = cache.get(cursor)
+        if cached is None:
+            suffix = self.journal.suffix(cursor)
+            cached = (pickle.dumps(suffix), len(suffix))
+            cache[cursor] = cached
+            self.total_suffix_pickles += 1
+        else:
+            self.total_suffix_bytes_saved += len(cached[0])
+        self.total_suffix_messages += 1
+        self.total_suffix_bytes += len(cached[0])
+        return cached
 
     def _start_worker(self, bootstrap: str) -> None:
         """Start and register one worker via *bootstrap* (fork or snapshot).
@@ -739,18 +821,14 @@ class PersistentWorkerPool:
         sent: List[Tuple[int, _PoolWorker]] = []
         # Workers that were active together share a cursor, so the common
         # case serialises one suffix once and ships the same bytes to all.
-        payload_cache: Dict[int, Tuple[bytes, int]] = {}
+        payload_cache: Dict[int, Tuple[Optional[bytes], int]] = {}
         for slot, worker in enumerate(active):
-            cached = payload_cache.get(worker.cursor)
-            if cached is None:
-                # suffix() honours the compaction base; nothing mutates the
-                # grid between the head snapshot and these sends, so the
-                # suffix past each worker's cursor ends exactly at `head`.
-                suffix = self.journal.suffix(worker.cursor)
-                cached = (pickle.dumps(suffix), len(suffix))
-                payload_cache[worker.cursor] = cached
+            # suffix() honours the compaction base; nothing mutates the
+            # grid between the head snapshot and these sends, so the
+            # suffix past each worker's cursor ends exactly at `head`.
+            frame, op_count = self._suffix_frame(worker.cursor, head, payload_cache)
             try:
-                worker.conn.send((cached[0], list(net_names[slot::stride])))
+                worker.conn.send((frame, list(net_names[slot::stride])))
             except (BrokenPipeError, OSError) as exc:
                 failures.append(FailureDetail(
                     worker=worker.index, kind="crash", cursor=worker.cursor,
@@ -759,7 +837,10 @@ class PersistentWorkerPool:
                 failed_workers.append(worker)
                 continue
             worker.cursor = head
-            replayed += cached[1]
+            # Counted at send time on the pool itself: a WorkerFailure
+            # raised below must not lose ops that were actually shipped.
+            self.total_replayed_ops += op_count
+            replayed += op_count
             sent.append((slot, worker))
         deadline_at = time.monotonic() + deadline if deadline else None
         results: List[Optional[Tuple]] = [None] * len(net_names)
@@ -796,7 +877,7 @@ class PersistentWorkerPool:
         :class:`WorkerFailure` aggregating every detail is raised.
         """
         head = self.journal.cursor
-        payload_cache: Dict[int, Tuple[bytes, int]] = {}
+        payload_cache: Dict[int, Tuple[Optional[bytes], int]] = {}
         pending: List[_PoolWorker] = []
         failures: List[FailureDetail] = []
         failed_workers: List[_PoolWorker] = []
@@ -804,14 +885,10 @@ class PersistentWorkerPool:
         for worker in self.workers:
             if worker.cursor >= head:
                 continue
-            cached = payload_cache.get(worker.cursor)
-            if cached is None:
-                suffix = self.journal.suffix(worker.cursor)
-                cached = (pickle.dumps(suffix), len(suffix))
-                payload_cache[worker.cursor] = cached
+            frame, op_count = self._suffix_frame(worker.cursor, head, payload_cache)
             # An empty net list makes this a pure catch-up round trip.
             try:
-                worker.conn.send((cached[0], []))
+                worker.conn.send((frame, []))
             except (BrokenPipeError, OSError) as exc:
                 failures.append(FailureDetail(
                     worker=worker.index, kind="crash", cursor=worker.cursor,
@@ -820,7 +897,8 @@ class PersistentWorkerPool:
                 failed_workers.append(worker)
                 continue
             worker.cursor = head
-            replayed += cached[1]
+            self.total_replayed_ops += op_count
+            replayed += op_count
             pending.append(worker)
         deadline_at = time.monotonic() + deadline if deadline else None
         for worker in pending:
@@ -888,17 +966,47 @@ def make_batch_executor(
     policy: str = "prefix",
     min_fork_batch: Optional[int] = None,
     margin_cells: Optional[int] = None,
+    autotune: Optional[str] = None,
 ) -> Optional["BatchExecutor"]:
     """Build a router's executor from its constructor knobs.
 
     Batching engages when any knob leaves its default (``parallelism > 1``,
-    an explicit ``batch_size``, or a non-serial backend); otherwise ``None``
-    is returned and the router keeps its plain sequential loop.
-    ``min_fork_batch`` and ``margin_cells`` fall back to the
-    ``REPRO_MIN_FORK_BATCH`` / ``REPRO_BATCH_MARGIN`` environment knobs so
-    multi-core hosts can tune them without touching call sites.
+    an explicit ``batch_size``, a non-serial backend, or
+    ``REPRO_AUTOTUNE=full``); otherwise ``None`` is returned and the router
+    keeps its plain sequential loop.  ``min_fork_batch`` and
+    ``margin_cells`` fall back to the ``REPRO_MIN_FORK_BATCH`` /
+    ``REPRO_BATCH_MARGIN`` environment knobs so multi-core hosts can tune
+    them without touching call sites.
+
+    Self-tuning (:mod:`repro.sched.autotune`): *autotune* (arg >
+    ``REPRO_AUTOTUNE`` env > ``off``) selects ``probe`` (run the one-shot
+    hardware calibration and record the :class:`HardwareProfile` in
+    ``stats.profile``) or ``full`` (probe + the per-iteration online
+    controller).  ``backend="auto"`` resolves the starting backend -- and,
+    when ``parallelism`` was left at 1, the worker count -- from the
+    profile; it implies at least ``probe``.
     """
-    if parallelism <= 1 and batch_size is None and backend == "serial":
+    mode = resolve_autotune_mode(autotune)
+    if backend == "auto" and mode == "off":
+        mode = "probe"  # auto resolution needs the profile
+    profile: Optional[HardwareProfile] = None
+    if mode != "off":
+        profile = calibrate()
+    if backend == "auto":
+        if parallelism <= 1:
+            parallelism = profile.cpu_count
+        backend = recommend_backend(profile, parallelism)
+        # Even when the profile says "serial" (1-core host), keep the
+        # executor: the run still records the profile and, under ``full``,
+        # the controller's decision log -- the hardware truth the bench
+        # JSON wants.
+        engaged = True
+    else:
+        engaged = (
+            parallelism > 1 or batch_size is not None
+            or backend != "serial" or mode == "full"
+        )
+    if not engaged:
         return None
     parallelism = max(1, parallelism)
     max_batch = batch_size if batch_size is not None else 4 * parallelism
@@ -908,13 +1016,28 @@ def make_batch_executor(
         max_batch=max_batch,
         margin_cells=resolve_batch_margin(margin_cells),
     )
-    return BatchExecutor(
+    resolved_min_fork = resolve_min_fork_batch(min_fork_batch)
+    controller: Optional[AutotuneController] = None
+    if mode == "full":
+        controller = AutotuneController(
+            profile,
+            backend=backend,
+            parallelism=parallelism,
+            max_batch=max_batch,
+            min_fork_batch=resolved_min_fork,
+            margin_cells=scheduler.margin_cells,
+        )
+    executor = BatchExecutor(
         router,
         backend=backend,
         parallelism=parallelism,
         scheduler=scheduler,
-        min_fork_batch=resolve_min_fork_batch(min_fork_batch),
+        min_fork_batch=resolved_min_fork,
+        autotune=controller,
     )
+    if profile is not None:
+        executor.stats.profile = profile.as_dict()
+    return executor
 
 
 class BatchExecutor:
@@ -946,6 +1069,14 @@ class BatchExecutor:
         How pool workers obtain the parent's grid state: ``"fork"``,
         ``"snapshot"`` or ``"auto"`` (default: the ``REPRO_POOL_BOOTSTRAP``
         env knob, falling back to ``auto`` = fork when available).
+    autotune:
+        Optional :class:`~repro.sched.autotune.AutotuneController`.  When
+        present the executor consults it once per :meth:`route_nets` round
+        (backend + batch knobs for that iteration) and feeds it per-batch
+        wall times; the degradation ladder widens to the full
+        pool->process->thread->serial range so the controller may pick any
+        tier -- but a supervisor demotion still narrows the allowed set,
+        overriding the controller for the rest of the campaign.
     """
 
     def __init__(
@@ -957,6 +1088,7 @@ class BatchExecutor:
         min_fork_batch: int = DEFAULT_MIN_FORK_BATCH,
         pool_bootstrap: Optional[str] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        autotune: Optional[AutotuneController] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown batch backend {backend!r}; expected one of {BACKENDS}")
@@ -974,8 +1106,13 @@ class BatchExecutor:
         self.supervisor = (
             supervisor if supervisor is not None else SupervisorConfig.from_env()
         )
-        self._ladder = degradation_ladder(backend)
+        self.autotune = autotune
+        # With a controller the ladder spans every tier (the controller
+        # may pick any backend at or below its recommendation); the
+        # per-iteration override starts at the configured backend.
+        self._ladder = LADDER if autotune is not None else degradation_ladder(backend)
         self._tier_index = 0
+        self._backend_override: Optional[str] = backend if autotune is not None else None
         self._consecutive_failures = 0
         # Thread pools retired after a deadline timeout: their hung threads
         # cannot be killed, only abandoned (fresh pool + fresh engines) and
@@ -998,12 +1135,14 @@ class BatchExecutor:
         # Last-seen pool counters, so stats deltas survive any exit path.
         self._pool_seen: Dict[str, int] = {}
         self._fork_context = None
-        if backend in ("process", "pool"):
+        if backend in ("process", "pool") or autotune is not None:
+            # The controller may promote a thread/serial recommendation to
+            # the forked tiers mid-campaign, so the context must exist.
             methods = multiprocessing.get_all_start_methods()
             self._fork_context = (
                 multiprocessing.get_context("fork") if "fork" in methods else None
             )
-        if backend != "serial":
+        if backend != "serial" or autotune is not None:
             # Warm the native kernel in the parent before any worker
             # exists: threads share the loaded module outright, and forked
             # workers (per-batch or persistent pool) inherit the mapped
@@ -1016,8 +1155,21 @@ class BatchExecutor:
 
     @property
     def active_backend(self) -> str:
-        """The backend tier currently in use (after any ladder demotions)."""
+        """The backend tier currently in use (after any ladder demotions).
+
+        An autotune override applies only while the degradation ladder
+        still allows that tier: a demotion narrows the allowed suffix, and
+        an override outside it falls back to the demoted tier -- the
+        supervisor always wins over the controller.
+        """
+        if self._backend_override is not None:
+            if self._backend_override in self._ladder[self._tier_index:]:
+                return self._backend_override
         return self._ladder[self._tier_index]
+
+    def allowed_backends(self) -> Tuple[str, ...]:
+        """The degradation-ladder suffix demotions have not yet removed."""
+        return tuple(self._ladder[self._tier_index:])
 
     def close(self) -> None:
         """Release worker pools (idempotent)."""
@@ -1049,12 +1201,57 @@ class BatchExecutor:
         # internals make debugging sane).
         for net in nets:
             grid.net_id(net.name)
+        if self.autotune is not None:
+            decision = self.autotune.begin_iteration(
+                len(nets), self.stats, self.allowed_backends()
+            )
+            self._apply_decision(decision)
+            if decision.backend == "serial" and self.scheduler.policy == "prefix":
+                # The controller chose the serial floor: prefix batches
+                # concatenate back to the input order whatever the
+                # partition, so window planning is pure overhead here --
+                # route the queue directly as one serial batch (and feed
+                # its wall time back so serial stays ranked).
+                self.stats.batches += 1
+                self.stats.nets_routed += len(nets)
+                self.stats.largest_batch = max(self.stats.largest_batch, len(nets))
+                started = time.perf_counter()
+                self._run_batch_serial(nets, solution)
+                self.autotune.observe_batch(
+                    "serial", len(nets), time.perf_counter() - started
+                )
+                return
         for batch in self.scheduler.plan(nets):
             self.stats.batches += 1
             self.stats.nets_routed += len(batch)
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-            if not self._run_batch_parallel(batch, solution):
+            started = time.perf_counter()
+            used = self._run_batch_parallel(batch, solution)
+            if used is None:
                 self._run_batch_serial(batch, solution)
+                used = "serial"
+            if self.autotune is not None:
+                self.autotune.observe_batch(
+                    used, len(batch), time.perf_counter() - started
+                )
+
+    def _apply_decision(self, decision: Decision) -> None:
+        """Adopt an autotune :class:`~repro.sched.autotune.Decision`.
+
+        Backend choice and ``min_fork_batch`` are always results-neutral
+        (every backend commits through the explored-region validation).
+        The scheduler's partitioning knobs are adopted only under the
+        order-preserving ``prefix`` policy: prefix batches concatenate
+        back to the input order whatever the partition, while ``greedy``
+        *permutes* the queue, so resizing its batches mid-campaign would
+        silently change which permutation a run produces.
+        """
+        self._backend_override = decision.backend
+        self.min_fork_batch = max(2, decision.min_fork_batch)
+        if self.scheduler.policy == "prefix":
+            self.scheduler.max_batch = decision.max_batch
+            self.scheduler.margin_cells = decision.margin_cells
+        self.stats.autotune_decisions += 1
 
     # ------------------------------------------------------------------
 
@@ -1062,9 +1259,15 @@ class BatchExecutor:
         for net in batch:
             solution.add_route(self.router.route_net(net))
 
-    def _run_batch_parallel(self, batch: Sequence[Net], solution: RoutingSolution) -> bool:
-        """Try the speculative backend on *batch*; return ``False`` to let
-        the caller route it serially instead.
+    def _run_batch_parallel(
+        self, batch: Sequence[Net], solution: RoutingSolution
+    ) -> Optional[str]:
+        """Try the speculative backend on *batch*.
+
+        Returns the backend name that actually computed the batch, or
+        ``None`` to let the caller route it serially instead (the autotune
+        controller's timing feed needs to know which tier each wall-clock
+        measurement belongs to).
 
         Supervised: a failed attempt is retried up to
         ``supervisor.max_retries`` times with exponential backoff
@@ -1081,11 +1284,11 @@ class BatchExecutor:
         while True:
             backend = self.active_backend
             if backend == "serial" or len(batch) < 2:
-                return False
+                return None
             if backend == "process" and (
                 self._fork_context is None or len(batch) < self.min_fork_batch
             ):
-                return False
+                return None
             if backend == "pool" and (
                 self._pool is None and len(batch) < self.min_fork_batch
             ):
@@ -1093,24 +1296,24 @@ class BatchExecutor:
                 # batches; once the pool exists it serves every parallel batch.
                 # (Whether a pool is even possible -- fork availability,
                 # worker_spec support -- is _ensure_pool's call.)
-                return False
+                return None
             try:
                 results = self._compute_batch_with_retry(backend, batch)
             except Exception:
                 self._consecutive_failures += 1
                 if (
                     self._consecutive_failures >= self.supervisor.demote_after
-                    and self._tier_index + 1 < len(self._ladder)
+                    and self._ladder.index(backend) + 1 < len(self._ladder)
                 ):
                     self._demote()
                     continue  # re-attempt this batch at the lower tier
-                return False
+                return None
             if results is None:
-                return False
+                return None
             self._consecutive_failures = 0
             self.stats.parallel_batches += 1
             self._commit_batch(batch, results, solution)
-            return True
+            return backend
 
     def _compute_batch_with_retry(
         self, backend: str, batch: Sequence[Net]
@@ -1152,12 +1355,20 @@ class BatchExecutor:
                     time.sleep(backoff)
 
     def _demote(self) -> None:
-        """Step down one tier of the degradation ladder (permanently)."""
+        """Step down one tier of the degradation ladder (permanently).
+
+        The new floor sits one below the tier that actually failed --
+        which, under an autotune override, may be below ``_tier_index``
+        already (e.g. the controller chose ``thread`` while the ladder
+        still allowed ``pool``: a thread failure demotes straight past it).
+        The narrowed ladder suffix overrides any controller choice from
+        here on (:attr:`active_backend` ignores overrides outside it).
+        """
         leaving = self.active_backend
-        self._tier_index += 1
+        self._tier_index = self._ladder.index(leaving) + 1
         self._consecutive_failures = 0
         self.stats.demotions += 1
-        if leaving == "pool":
+        if leaving == "pool" or "pool" not in self._ladder[self._tier_index:]:
             self._discard_pool()
 
     # -- thread backend -----------------------------------------------------
@@ -1288,6 +1499,16 @@ class BatchExecutor:
         ("total_replacements", "worker_replacements"),
         ("total_bootstrap_fallbacks", "bootstrap_fallbacks"),
         ("total_heartbeats", "heartbeats"),
+        # Replayed ops are counted on the pool at send time (not via
+        # compute()'s return value) so ops shipped before a WorkerFailure
+        # are never lost, and drained as deltas so the discard + lazy
+        # re-fork cycle never double-counts them.
+        ("total_replayed_ops", "replayed_ops"),
+        ("total_suffix_messages", "suffix_messages"),
+        ("total_suffix_pickles", "suffix_pickles"),
+        ("total_suffix_bytes", "suffix_bytes"),
+        ("total_suffix_bytes_saved", "suffix_bytes_saved"),
+        ("total_suffix_elisions", "suffix_elisions"),
     )
 
     def _drain_pool_stats(self) -> None:
@@ -1296,7 +1517,7 @@ class BatchExecutor:
             return
         seen = self._pool_seen
         for pool_attr, stat_attr in self._POOL_STAT_MAP:
-            value = getattr(pool, pool_attr)
+            value = getattr(pool, pool_attr, 0)
             delta = value - seen.get(pool_attr, 0)
             if delta:
                 setattr(self.stats, stat_attr, getattr(self.stats, stat_attr) + delta)
@@ -1331,7 +1552,9 @@ class BatchExecutor:
             return
         deadline = self.supervisor.deadline_seconds(max(1, len(pool.workers)))
         try:
-            self.stats.replayed_ops += pool.catch_up_all(deadline=deadline)
+            # Replayed-op accounting happens on the pool's own counters at
+            # send time (drained below): the return value is informational.
+            pool.catch_up_all(deadline=deadline)
         except WorkerFailure:
             self.stats.worker_errors += 1
             self._drain_pool_stats()
@@ -1349,7 +1572,7 @@ class BatchExecutor:
             return None
         deadline = self.supervisor.deadline_seconds(len(batch))
         try:
-            raw, replayed = pool.compute(
+            raw, _replayed = pool.compute(
                 [net.name for net in batch], deadline=deadline
             )
         except WorkerFailure:
@@ -1366,7 +1589,6 @@ class BatchExecutor:
             self._discard_pool()
             raise
         self._drain_pool_stats()
-        self.stats.replayed_ops += replayed
         if self._owned_journal is not None:
             # The executor's own journal exists solely to feed the pool;
             # ops every worker has consumed can never be shipped again, so
