@@ -1,12 +1,13 @@
 """Legacy setup script.
 
 The project is fully described by ``pyproject.toml``; this file additionally
-declares the optional compiled relaxation kernel
-(``repro.native._relaxation``) so ``python setup.py build_ext --inplace``
-builds it ahead of time.  The extension is strictly optional: when it is
-absent (or the build fails -- see the ``optional`` flag) the engines run on
-the buffered Python tier with identical results, and
-``repro.native.load_kernel`` can still auto-build it lazily at runtime.
+declares the optional compiled kernels (``repro.native._relaxation`` and
+``repro.native._checkwork``) so ``python setup.py build_ext --inplace``
+builds them ahead of time.  The extensions are strictly optional: when one
+is absent (or the build fails -- see the ``optional`` flag) the engines and
+checkers run on the buffered Python tiers with identical results, and
+``repro.native.load_kernel`` / ``load_check_kernel`` can still auto-build
+them lazily at runtime.
 
 On offline machines whose setuptools/pip combination cannot build PEP 660
 editable wheels (no ``wheel`` package available) use::
@@ -23,9 +24,16 @@ _relaxation = Extension(
     optional=True,
 )
 
+_checkwork = Extension(
+    "repro.native._checkwork",
+    sources=["src/repro/native/_checkwork.c"],
+    extra_compile_args=["-O2", "-ffp-contract=off"],
+    optional=True,
+)
+
 setup(
     name="repro",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    ext_modules=[_relaxation],
+    ext_modules=[_relaxation, _checkwork],
 )

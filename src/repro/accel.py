@@ -25,10 +25,13 @@ Gates are process-global and runtime-switchable:
 
 * ``REPRO_PURE_PYTHON=1`` disables numpy *and* the native kernel at import
   time (the CI fallback leg);
-* ``REPRO_NO_NATIVE=1`` disables only the native kernel;
-* :func:`set_numpy_enabled` / :func:`set_native_enabled` toggle at runtime
-  (the differential tests force lower tiers on a fully-equipped
-  interpreter and compare).
+* ``REPRO_NO_NATIVE=1`` disables only the native search kernel;
+* ``REPRO_NO_NATIVE_CHECK=1`` disables only the native check kernel
+  (``repro.native._checkwork``, the incremental DRC/conflict neighborhood
+  scan -- see :func:`get_check_kernel` / :func:`active_check_tier`);
+* :func:`set_numpy_enabled` / :func:`set_native_enabled` /
+  :func:`set_check_native_enabled` toggle at runtime (the differential
+  tests force lower tiers on a fully-equipped interpreter and compare).
 
 Hot paths call :func:`get_numpy` / :func:`get_native_kernel` once per
 kernel invocation and branch on ``None``, so toggling takes effect
@@ -49,10 +52,19 @@ except ImportError:  # pragma: no cover - numpy-free environments
 #: Tier names, fastest first (``repro.bench.micro`` records the active one).
 SEARCH_TIERS = ("native", "buffered", "legacy")
 
+#: Tier names of the incremental-check path, fastest first.
+CHECK_TIERS = ("native", "buffered", "pure")
+
 _PURE_PYTHON = env_flag("REPRO_PURE_PYTHON", False)
 
 _enabled = _numpy is not None and not _PURE_PYTHON
 _native_enabled = not _PURE_PYTHON and not env_flag("REPRO_NO_NATIVE", False)
+_check_native_enabled = not _PURE_PYTHON and not env_flag("REPRO_NO_NATIVE_CHECK", False)
+# Runtime-only gate over the whole accelerated check-scan path (numpy
+# broadcast AND native kernel) that leaves the search-path numpy gate
+# alone -- the check-kernel benchmark forces the pure check tier with it
+# without also slowing the search engines it is not measuring.
+_check_scan_enabled = True
 
 
 def have_numpy() -> bool:
@@ -128,6 +140,91 @@ def get_native_kernel() -> Optional[object]:
     from repro.native import load_kernel
 
     return load_kernel()
+
+
+# ----------------------------------------------------------------------
+# Check-kernel tier (incremental DRC / conflict neighborhood scans)
+# ----------------------------------------------------------------------
+
+def check_native_available() -> bool:
+    """Return ``True`` when a usable check-kernel binary is loaded/loadable.
+
+    Ignores the runtime gates, like :func:`native_available` -- it answers
+    "could the native check tier run here at all?" for bench/CI reporting.
+    """
+    from repro.native import load_check_kernel
+
+    return load_check_kernel() is not None
+
+
+def check_native_enabled() -> bool:
+    """Return ``True`` when the native check-kernel gate is open."""
+    return _check_native_enabled
+
+
+def set_check_native_enabled(enabled: bool) -> bool:
+    """Enable/disable the native check kernel; return the previous setting.
+
+    The differential suites force the numpy and pure fallbacks on an
+    interpreter that has the extension built, then compare reports.
+    """
+    global _check_native_enabled
+    previous = _check_native_enabled
+    _check_native_enabled = bool(enabled)
+    return previous
+
+
+def check_scan_enabled() -> bool:
+    """Return ``True`` when the accelerated check-scan path is open."""
+    return _check_scan_enabled
+
+
+def set_check_scan_enabled(enabled: bool) -> bool:
+    """Enable/disable the whole accelerated check scan; return the previous.
+
+    Unlike :func:`set_numpy_enabled` this only gates
+    :func:`repro.check.kernels.scan_hits` (numpy broadcast and native
+    kernel alike), so benchmarks can force the pure check loops while the
+    search engines keep their tiers.
+    """
+    global _check_scan_enabled
+    previous = _check_scan_enabled
+    _check_scan_enabled = bool(enabled)
+    return previous
+
+
+def get_check_numpy() -> Optional[object]:
+    """Return numpy for the check-scan path, or ``None`` to force pure loops."""
+    return _numpy if (_enabled and _check_scan_enabled) else None
+
+
+def get_check_kernel() -> Optional[object]:
+    """Return the loaded check-kernel module when its tier is active.
+
+    ``None`` when gated off (``REPRO_NO_NATIVE_CHECK``,
+    :func:`set_check_native_enabled`, :func:`set_check_scan_enabled`),
+    when no binary could be loaded or built, or when the numpy tier is off
+    (the Python wrapper stages the kernel's output through numpy arrays).
+    The load attempt is made once per process and cached either way.
+    """
+    if not _check_native_enabled or not _enabled or not _check_scan_enabled:
+        return None
+    from repro.native import load_check_kernel
+
+    return load_check_kernel()
+
+
+def active_check_tier() -> str:
+    """Return the name of the fastest incremental-check tier active.
+
+    ``native`` is the compiled ``_checkwork`` neighborhood scan,
+    ``buffered-numpy`` the broadcast scan over the flat mirrors, and
+    ``buffered-python`` the original pure dict/set loops (always the
+    differential oracle's path).
+    """
+    if get_check_kernel() is not None:
+        return "native"
+    return "buffered-numpy" if _enabled and _check_scan_enabled else "buffered-python"
 
 
 def active_search_tier() -> str:

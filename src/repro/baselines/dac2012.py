@@ -21,6 +21,7 @@ with Mr.TPL so the Table II comparison is apples-to-apples.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.campaign import CampaignState
@@ -33,6 +34,7 @@ from repro.gr import GlobalRouter, GuideSet
 from repro.gr.steiner import rectilinear_mst
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
 from repro.native.spec import MODE_MASK_EXPANDED, attach_native_spec
+from repro.profiling import PhaseTimes
 from repro.sched import GridSink, make_batch_executor
 from repro.search import SearchCore
 from repro.tpl.color_state import ALL_COLORS
@@ -289,6 +291,13 @@ class Dac2012Router:
             margin_cells=batch_margin,
             autotune=autotune,
         )
+        # Per-phase wall-clock record: shared with the executor's stats when
+        # one is engaged, so campaign merges and bench JSON see one record.
+        self.phases = (
+            self.batch_executor.stats.phases
+            if self.batch_executor is not None
+            else PhaseTimes()
+        )
 
     # ------------------------------------------------------------------
 
@@ -321,7 +330,9 @@ class Dac2012Router:
 
         iterations = campaign.iteration
         for iteration in range(campaign.iteration, self.max_iterations):
+            check_started = perf_counter()
             report = self.incremental_conflicts.check(solution)
+            self.phases.add("check", perf_counter() - check_started)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
             if not offenders:
@@ -366,8 +377,10 @@ class Dac2012Router:
         if self.batch_executor is not None:
             self.batch_executor.route_nets(nets, solution)
         else:
+            search_started = perf_counter()
             for net in nets:
                 solution.add_route(self.route_net(net))
+            self.phases.add("search", perf_counter() - search_started)
 
     def make_search_engine(self) -> Optional[MaskExpandedSearch]:
         """Return a fresh flat mask-expanded engine over this router's grid.

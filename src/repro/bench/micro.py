@@ -80,12 +80,17 @@ from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from repro.accel import (
+    active_check_tier,
     active_search_tier,
+    check_native_available,
     have_numpy,
     native_available,
     numpy_enabled,
+    set_check_scan_enabled,
     set_native_enabled,
+    set_numpy_enabled,
 )
+from repro.profiling import PHASE_NAMES, global_phase_delta, global_phase_snapshot
 from repro.design import Design, Net, Obstacle, Pin
 from repro.geometry import Point, Rect
 from repro.tech import DesignRules, make_default_tech
@@ -718,6 +723,246 @@ def run_incremental_check_benchmarks(
     }
 
 
+def run_check_kernel_benchmarks(
+    suite: str = "ispd18",
+    cases: Tuple[int, ...] = (1, 2, 3),
+    scale: Optional[float] = None,
+    rounds: int = 16,
+    campaign_routers: Tuple[str, ...] = ("maze", "color-state", "dac2012"),
+) -> Dict[str, object]:
+    """Benchmark the accelerated incremental-check tier against the pure loops.
+
+    Two legs per suite case.  The **refresh** leg routes a *sparse
+    variant* of the suite case once with Mr.TPL, then replays *rounds*
+    rip-up/reroute mutations; after each mutation two independent
+    incremental checker pairs ``refresh`` the same solution -- one on the
+    fastest available tier (native ``_checkwork`` kernel or the numpy
+    broadcast scan) and one forced onto the pure dict/set loops -- timing
+    exactly the refresh calls and, outside the timed region, asserting
+    that both reports match each other *and* a full re-scan by the frozen
+    oracles.  The sparse variant keeps each net's compact pin cluster but
+    scatters the clusters across an enlarged grid under a widened hard
+    spacing: every occupied vertex probes a large planar neighborhood and
+    nearly all probes miss, which is the regime the accelerated scan
+    exists for.  On the dense suite defaults both tiers spend their time
+    in identical per-violation Python work and the scan measures nothing
+    but it (Amdahl).  The **campaign** leg runs a full routing campaign
+    per router (plain maze, Mr.TPL, DAC-2012 baseline) on the unmodified
+    suite case under both tiers and asserts the solutions are
+    bit-identical (vertices, colors, edges, stitches).
+
+    ``geomean_speedup`` covers the refresh legs (the tentpole criterion);
+    ``all_identical`` covers every leg.  Returns the result document that
+    :func:`main` serialises to ``BENCH_check_kernel.json``.
+    """
+    import dataclasses
+
+    from repro.baselines.dac2012 import Dac2012Router
+    from repro.bench.suites import suite_case
+    from repro.bench.synthetic import generate_design
+    from repro.check import IncrementalConflictChecker, IncrementalDRCChecker
+    from repro.dr.drc import DRCChecker
+    from repro.dr.router import DetailedRouter
+    from repro.grid import RoutingGrid
+    from repro.tpl.conflict import ConflictChecker
+    from repro.tpl.mr_tpl import MrTPLRouter
+
+    if scale is None:
+        scale = default_bench_scale()
+
+    def forced_pure(run):
+        # Gates only the check scan: the search engines keep their tiers,
+        # so the legs differ in exactly the code under measurement.
+        previous = set_check_scan_enabled(False)
+        try:
+            return run()
+        finally:
+            set_check_scan_enabled(previous)
+
+    tier = active_check_tier()
+    results: List[Dict[str, object]] = []
+    # Sparse-variant knobs per case number: (grid multiplier, net-count
+    # cap).  The densest case needs extra spreading to stay in the sparse
+    # regime; the others keep the suite's net count.
+    refresh_overrides: Dict[int, Tuple[int, Optional[int]]] = {3: (7, 16)}
+    for number in cases:
+        base_spec = suite_case(suite, number, scale).spec
+        mult, net_cap = refresh_overrides.get(number, (5, None))
+        spec = dataclasses.replace(
+            base_spec,
+            cols=base_spec.cols * mult,
+            rows=base_spec.rows * mult,
+            num_nets=net_cap if net_cap is not None else base_spec.num_nets,
+        )
+        design = generate_design(spec)
+        # Widen the hard spacing so each occupied vertex probes a large
+        # planar neighborhood (the suite defaults keep min_spacing under
+        # one pitch, which leaves the spacing scan with an empty offset
+        # table -- no check work for either tier to chew on).
+        design.tech.rules.min_spacing = max(design.tech.rules.min_spacing, 44)
+        grid = RoutingGrid(design)
+        router = MrTPLRouter(design, grid=grid, use_global_router=False)
+        solution = router.run()
+
+        full_drc = DRCChecker(design, grid)
+        full_conflicts = ConflictChecker(design, grid)
+        accel_drc = IncrementalDRCChecker(design, grid)
+        accel_conflicts = IncrementalConflictChecker(design, grid)
+        pure_drc = IncrementalDRCChecker(design, grid)
+        pure_conflicts = IncrementalConflictChecker(design, grid)
+        # Initial builds happen once, outside timing, each on its own tier.
+        accel_drc.refresh(solution)
+        accel_conflicts.refresh(solution)
+        forced_pure(lambda: (pure_drc.refresh(solution), pure_conflicts.refresh(solution)))
+
+        net_names = sorted(
+            route.net_name for route in solution.routes.values() if route.routed
+        )
+        if not net_names:
+            results.append(
+                {
+                    "kind": "refresh", "suite": suite, "case": number,
+                    "rounds": 0, "pure_seconds": 0.0, "accel_seconds": 0.0,
+                    "speedup": 1.0, "identical_reports": True,
+                    "check_tier": tier,
+                    "note": "no routed nets; mutation loop skipped",
+                }
+            )
+            continue
+        pure_seconds = 0.0
+        accel_seconds = 0.0
+        identical = True
+        # A real negotiation iteration rips up a whole offender set, so each
+        # round dirties a sliding batch of nets, not a single one.
+        batch = max(1, len(net_names) // 4)
+        for round_number in range(rounds):
+            for slot in range(batch):
+                name = net_names[(round_number * batch + slot) % len(net_names)]
+                grid.release_net(name)
+                solution.routes.pop(name, None)
+                solution.add_route(router.route_net(design.net_by_name(name)))
+
+            start = time.perf_counter()
+            accel_drc.refresh(solution)
+            accel_conflicts.refresh(solution)
+            accel_seconds += time.perf_counter() - start
+
+            def pure_leg():
+                start = time.perf_counter()
+                pure_drc.refresh(solution)
+                pure_conflicts.refresh(solution)
+                return time.perf_counter() - start
+
+            pure_seconds += forced_pure(pure_leg)
+
+            # Report comparison runs outside the timed region: ``check``
+            # re-sorts the full violation report, identical work on both
+            # tiers that would only dilute the refresh measurement.  The
+            # refreshes above already absorbed the dirty nets, so these
+            # calls just sort and compare.
+            accel_grouped = accel_drc.check(solution)
+            accel_report = accel_conflicts.check(solution)
+            identical = (
+                identical
+                and _drc_digest(accel_grouped) == _drc_digest(pure_drc.check(solution))
+                and _conflict_digest(accel_report)
+                == _conflict_digest(pure_conflicts.check(solution))
+                and _drc_digest(accel_grouped) == _drc_digest(full_drc.check(solution))
+                and _conflict_digest(accel_report)
+                == _conflict_digest(full_conflicts.check(solution))
+            )
+        results.append(
+            {
+                "kind": "refresh",
+                "suite": suite,
+                "case": number,
+                "rounds": rounds,
+                "workload": {
+                    "cols": spec.cols,
+                    "rows": spec.rows,
+                    "num_nets": spec.num_nets,
+                    "min_spacing": design.tech.rules.min_spacing,
+                    "grid_multiplier": mult,
+                },
+                "pure_seconds": round(pure_seconds, 4),
+                "accel_seconds": round(accel_seconds, 4),
+                "speedup": round(pure_seconds / max(accel_seconds, 1e-9), 3),
+                "identical_reports": identical,
+                "check_tier": tier,
+            }
+        )
+
+    router_classes = {
+        "maze": DetailedRouter,
+        "color-state": MrTPLRouter,
+        "dac2012": Dac2012Router,
+    }
+    campaign_case = cases[0]
+    for router_key in campaign_routers:
+        router_class = router_classes[router_key]
+        legs: Dict[str, Tuple[float, object, object, Dict[str, float]]] = {}
+        for leg in ("accel", "pure"):
+            def campaign():
+                design = suite_case(suite, campaign_case, scale).build()
+                leg_router = router_class(design)
+                start = time.perf_counter()
+                leg_solution = leg_router.run()
+                elapsed = time.perf_counter() - start
+                return (
+                    elapsed,
+                    solution_fingerprint(leg_solution),
+                    solution_metrics(leg_solution),
+                    leg_router.phases.as_dict(),
+                )
+
+            legs[leg] = campaign() if leg == "accel" else forced_pure(campaign)
+        accel_elapsed, accel_digest, accel_metrics, accel_phases = legs["accel"]
+        pure_elapsed, pure_digest, pure_metrics, _ = legs["pure"]
+        results.append(
+            {
+                "kind": "campaign",
+                "suite": suite,
+                "case": campaign_case,
+                "router": router_key,
+                "pure_seconds": round(pure_elapsed, 4),
+                "accel_seconds": round(accel_elapsed, 4),
+                "speedup": round(pure_elapsed / max(accel_elapsed, 1e-9), 3),
+                "identical_solutions": accel_digest == pure_digest
+                and accel_metrics == pure_metrics,
+                "check_tier": tier,
+                "metrics": accel_metrics,
+                "phase_seconds": {
+                    name: round(value, 4) for name, value in accel_phases.items()
+                },
+            }
+        )
+
+    refresh_speedups = [
+        entry["speedup"] for entry in results if entry["kind"] == "refresh"
+    ]
+    geomean = 1.0
+    for value in refresh_speedups:
+        geomean *= max(value, 1e-9)
+    geomean **= 1.0 / max(len(refresh_speedups), 1)
+    return {
+        "benchmark": "incremental-check tiers: accelerated scan vs pure loops",
+        "suite": suite,
+        "scale": scale,
+        "cases": list(cases),
+        "rounds": rounds,
+        "check_tier": tier,
+        "check_native_available": check_native_available(),
+        "numpy_available": have_numpy(),
+        "numpy_enabled": numpy_enabled(),
+        "results": results,
+        "geomean_speedup": round(geomean, 3),
+        "all_identical": all(
+            entry.get("identical_reports", entry.get("identical_solutions", True))
+            for entry in results
+        ),
+    }
+
+
 def run_checkpoint_benchmarks(
     suite: str = "ispd18",
     cases: Tuple[int, ...] = (1, 2, 3),
@@ -1180,6 +1425,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default output: BENCH_native_kernel.json)",
     )
     parser.add_argument(
+        "--check-kernel",
+        action="store_true",
+        help="benchmark the accelerated incremental-check tier (native "
+        "_checkwork kernel / numpy broadcast scan) against the pure "
+        "dict/set loops, plus full-campaign bit-identity legs for all "
+        "three routers (default output: BENCH_check_kernel.json)",
+    )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="print the per-phase wall-clock breakdown (plan/search/commit/"
+        "check/ipc/checkpoint) accumulated while producing the report; the "
+        "breakdown is recorded in the JSON as phase_seconds either way",
+    )
+    parser.add_argument(
         "--checkpoint",
         action="store_true",
         help="benchmark checkpoint-v2 snapshot-folded restore against full "
@@ -1261,6 +1521,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.out = "BENCH_fault_tolerance.json"
         elif args.checkpoint:
             args.out = "BENCH_checkpoint.json"
+        elif args.check_kernel:
+            args.out = "BENCH_check_kernel.json"
         elif args.native:
             args.out = "BENCH_native_kernel.json"
         else:
@@ -1309,6 +1571,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return run_incremental_check_benchmarks(
                 suite=args.suite, cases=cases, scale=scale
             )
+        if args.check_kernel:
+            return run_check_kernel_benchmarks(
+                suite=args.suite,
+                cases=cases,
+                scale=scale,
+                campaign_routers=("color-state",)
+                if args.smoke
+                else ("maze", "color-state", "dac2012"),
+            )
         if args.checkpoint:
             return run_checkpoint_benchmarks(
                 suite=args.suite, cases=cases, scale=scale, repeat=args.repeat
@@ -1342,6 +1613,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             dense_cases=dense_cases,
         )
 
+    phase_snapshot = global_phase_snapshot()
     if args.profile is not None:
         import cProfile
         import pstats
@@ -1359,6 +1631,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"profile stats dumped to {stats_path}")
     else:
         report = produce_report()
+    # Every benchmark document carries the per-phase wall-clock breakdown
+    # accumulated across all routers/executors the scenario constructed.
+    report["phase_seconds"] = {
+        name: round(value, 4)
+        for name, value in global_phase_delta(phase_snapshot).items()
+    }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -1401,6 +1679,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"incremental={entry['incremental_seconds']:.3f}s "
                 f"speedup={entry['speedup']:.2f}x identical={entry['identical_reports']}"
             )
+        elif args.check_kernel:
+            if entry["kind"] == "refresh":
+                print(
+                    f"{entry['suite']} case{entry['case']:>2} refresh      "
+                    f"rounds={entry['rounds']} "
+                    f"pure={entry['pure_seconds']:.3f}s "
+                    f"accel={entry['accel_seconds']:.3f}s "
+                    f"speedup={entry['speedup']:.2f}x "
+                    f"tier={entry['check_tier']} "
+                    f"identical={entry['identical_reports']}"
+                )
+            else:
+                print(
+                    f"{entry['suite']} case{entry['case']:>2} campaign "
+                    f"{entry['router']:<12} "
+                    f"pure={entry['pure_seconds']:.3f}s "
+                    f"accel={entry['accel_seconds']:.3f}s "
+                    f"speedup={entry['speedup']:.2f}x "
+                    f"identical={entry['identical_solutions']}"
+                )
         elif args.checkpoint:
             print(
                 f"{entry['suite']} case{entry['case']:>2} "
@@ -1442,6 +1740,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"legacy={entry['legacy_seconds']:.3f}s flat={entry['flat_seconds']:.3f}s "
                 f"speedup={entry['speedup']:.2f}x identical={entry['identical_solutions']}"
             )
+    if args.phases:
+        phase_total = sum(report["phase_seconds"].values())
+        for name in PHASE_NAMES:
+            seconds = report["phase_seconds"].get(name, 0.0)
+            share = 100.0 * seconds / phase_total if phase_total > 0 else 0.0
+            print(f"phase {name:<10} {seconds:9.3f}s {share:5.1f}%")
     print(f"geomean speedup: {report['geomean_speedup']:.2f}x -> {args.out}")
     return 0 if report["all_identical"] else 1
 

@@ -82,7 +82,16 @@ class CampaignState:
             self._stats_baseline = dict(self.executor_stats or {})
         merged = dict(self._stats_baseline)
         for key, value in current.items():
-            merged[key] = merged.get(key, 0) + value
+            if isinstance(value, dict):
+                # Nested numeric records (phase_seconds) merge key-by-key;
+                # copied so the checkpoint never aliases live executor state.
+                baseline = merged.get(key)
+                baseline = dict(baseline) if isinstance(baseline, dict) else {}
+                for inner_key, inner_value in value.items():
+                    baseline[inner_key] = baseline.get(inner_key, 0) + inner_value
+                merged[key] = baseline
+            else:
+                merged[key] = merged.get(key, 0) + value
         self.executor_stats = merged
 
     def note_checkpoint_fallback(self) -> None:

@@ -9,7 +9,9 @@ dirtied since the previous call.  Dirtiness comes from two sources:
   per-net occupancy/color delta hooks, and
 * route-object replacement in the :class:`~repro.grid.RoutingSolution`
   (rip-up & reroute swaps ``NetRoute`` instances; snapshot restores swap
-  them back), detected by identity comparison.
+  them back), detected by the routes' monotone ``revision`` stamps
+  (identity comparison is unsound: the allocator reuses addresses of
+  collected routes).
 
 Violations between two *clean* nets cannot change -- shorts and spacing
 depend only on the two nets' geometry -- so invalidation is exact: every
@@ -18,24 +20,37 @@ metal is re-scanned against the maintained occupancy mirror inside its
 spacing radius (the per-vertex interaction offsets are the dirty-region
 expansion of :mod:`repro.check.dirty`, applied net by net).
 
+The neighborhood scan itself runs on the tiered
+:func:`repro.check.kernels.scan_hits` fast path (native ``_checkwork``
+kernel or a numpy broadcast over the flat owner mirror) when
+:mod:`repro.accel` has an accelerated tier open; the original pure
+dict/set loop is kept verbatim as the fallback and behavioral reference.
+
 The full :class:`DRCChecker` remains the frozen reference oracle;
-``tests/test_incremental_check.py`` differentially proves both report the
-same violations after every mutation.
+``tests/test_incremental_check.py`` and ``tests/test_check_kernels.py``
+differentially prove every tier reports the same violations after every
+mutation.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.check.dirty import DirtyRegionTracker
+from repro.check.kernels import scan_hits, zero_owner_mirror
 from repro.design import Design
 from repro.dr.drc import DRCChecker, Violation
 from repro.geometry import GridPoint
 from repro.gr.guide import GuideSet
 from repro.grid import RoutingGrid, RoutingSolution
 
-#: Canonical spacing-pair key: ``(net_a, net_b, vertex_a, vertex_b)``.
-PairKey = Tuple[str, str, GridPoint, GridPoint]
+#: Canonical spacing-pair key: ``(net_a, net_b, index_a, index_b)``.
+#: Net names ordered ascending with each flat index kept on its net's side;
+#: flat index order equals GridPoint (layer, col, row) order, so the key
+#: reproduces the full checker's ``_pair_key`` canonicalisation (two nets in
+#: a spacing pair never share a name) without hashing GridPoints per probe.
+PairKey = Tuple[str, str, int, int]
 
 
 class IncrementalDRCChecker:
@@ -54,23 +69,32 @@ class IncrementalDRCChecker:
         self.rules = grid.rules
         self.oracle = DRCChecker(design, grid, guides)
         self.tracker = tracker if tracker is not None else DirtyRegionTracker(grid)
-        self._spacing_offsets = [
-            offset
-            for offset in grid.interaction_offsets(self.rules.min_spacing)
-            if offset != (0, 0, 0)  # exact overlap is a short, not spacing
-        ]
+        # Canonical offset table shared through the grid cache; the center
+        # offset is dropped because exact overlap is a short, not spacing.
+        self._offset_arrays = grid.interaction_offset_arrays(
+            self.rules.min_spacing, include_center=False
+        )
+        self._spacing_offsets = self._offset_arrays.offsets
         self._reset_state()
 
     def _reset_state(self) -> None:
         self._built = False
-        self._route_ids: Dict[str, int] = {}
+        self._route_revisions: Dict[str, int] = {}
         # Per-net caches (all routes, including failed ones, mirror
         # RoutingSolution.vertex_ownership()).
-        self._net_indices: Dict[str, List[int]] = {}
+        self._net_indices: Dict[str, array] = {}
         self._net_routed: Dict[str, bool] = {}
         # Flat-index mirrors.
         self._vertex_nets: Dict[int, Set[str]] = {}
         self._spacing_occ: Dict[int, Set[str]] = {}
+        # Flat owner mirror of _spacing_occ for the scan kernels: 0 = empty,
+        # interned id = single occupant, -1 = multiple occupants.
+        self._spacing_owner = zero_owner_mirror(self.grid.num_vertices)
+        self._name_ids: Dict[str, int] = {}
+        # Reverse interning table (_name_ids inverted, index = id) so the
+        # hit loop resolves single-occupant cells without touching the
+        # occupancy dict.
+        self._id_names: List[str] = [""]
         # Running tallies.
         self._shorts: Dict[int, Violation] = {}
         self._spacing: Dict[PairKey, Violation] = {}
@@ -80,6 +104,14 @@ class IncrementalDRCChecker:
         self._wrong_way: Dict[str, int] = {}
         self._pin_groups: Dict[str, List[List[GridPoint]]] = {}
         self._routable: Dict[str, object] = {}
+
+    def _intern(self, name: str) -> int:
+        ident = self._name_ids.get(name)
+        if ident is None:
+            ident = len(self._name_ids) + 1
+            self._name_ids[name] = ident
+            self._id_names.append(name)
+        return ident
 
     # ------------------------------------------------------------------
     # Refresh
@@ -97,9 +129,9 @@ class IncrementalDRCChecker:
         else:
             dirty = set(tracked_nets)
             for name, route in solution.routes.items():
-                if self._route_ids.get(name) != id(route):
+                if self._route_revisions.get(name) != route.revision:
                     dirty.add(name)
-            for name in self._route_ids:
+            for name in self._route_revisions:
                 if name not in solution.routes:
                     dirty.add(name)
         dirty.discard("")
@@ -115,9 +147,9 @@ class IncrementalDRCChecker:
         for name in dirty:
             route = solution.routes.get(name)
             if route is None:
-                self._route_ids.pop(name, None)
+                self._route_revisions.pop(name, None)
             else:
-                self._route_ids[name] = id(route)
+                self._route_revisions[name] = route.revision
                 self._add_net(name, route, touched)
                 present.append(name)
         self._rescan_shorts(touched)
@@ -132,6 +164,8 @@ class IncrementalDRCChecker:
     # -- per-net removal / addition ----------------------------------------
 
     def _remove_net(self, name: str, touched: Set[int]) -> None:
+        routed = self._net_routed.get(name)
+        owner = self._spacing_owner
         for index in self._net_indices.pop(name, ()):
             touched.add(index)
             nets = self._vertex_nets.get(index)
@@ -139,12 +173,15 @@ class IncrementalDRCChecker:
                 nets.discard(name)
                 if not nets:
                     del self._vertex_nets[index]
-            if self._net_routed.get(name):
+            if routed:
                 occ = self._spacing_occ.get(index)
                 if occ is not None:
                     occ.discard(name)
                     if not occ:
                         del self._spacing_occ[index]
+                        owner[index] = 0
+                    elif len(occ) == 1:
+                        owner[index] = self._intern(next(iter(occ)))
         self._net_routed.pop(name, None)
         for key in self._spacing_by_net.pop(name, ()):
             self._spacing.pop(key, None)
@@ -158,15 +195,19 @@ class IncrementalDRCChecker:
 
     def _add_net(self, name: str, route, touched: Set[int]) -> None:
         index_of = self.grid.index_of
-        indices = [index_of(vertex) for vertex in route.vertices]
+        indices = array("q", [index_of(vertex) for vertex in route.vertices])
         self._net_indices[name] = indices
         self._net_routed[name] = bool(route.routed)
         for index in indices:
             touched.add(index)
             self._vertex_nets.setdefault(index, set()).add(name)
         if route.routed:
+            net_id = self._intern(name)
+            owner = self._spacing_owner
             for index in indices:
-                self._spacing_occ.setdefault(index, set()).add(name)
+                occ = self._spacing_occ.setdefault(index, set())
+                occ.add(name)
+                owner[index] = net_id if len(occ) == 1 else -1
             self._wrong_way[name] = self.oracle.route_wrong_way(route)
             if self.guides is not None:
                 self._out_of_guide[name] = self.oracle.route_out_of_guide(route)
@@ -192,34 +233,89 @@ class IncrementalDRCChecker:
     def _scan_spacing(self, name: str) -> None:
         if not self._spacing_offsets:
             return
+        indices = self._net_indices.get(name)
+        if not indices:
+            return
+        hits = scan_hits(
+            indices,
+            self._offset_arrays,
+            self._spacing_owner,
+            self._name_ids.get(name, 0),
+            self.grid.num_cols,
+            self.grid.num_rows,
+        )
+        if hits is None:
+            self._scan_spacing_pure(name)
+            return
+        vertex_table = self.grid.vertex_table()
+        detail = f"below min spacing {self.rules.min_spacing}"
+        occ_get = self._spacing_occ.get
+        owner = self._spacing_owner
+        id_names = self._id_names
+        spacing = self._spacing
+        for src, dst in hits:
+            # The kernel only reports occupied non-self cells; a positive
+            # owner id resolves the single occupant without touching the
+            # occupancy dict (the common case -- shorts are rare).
+            occupant = owner[dst]
+            if occupant > 0:
+                others: Tuple[str, ...] = (id_names[occupant],)
+            else:
+                found = occ_get(dst)
+                if not found:
+                    continue
+                others = found
+            for other in others:
+                if other == name:
+                    continue
+                key = (
+                    (name, other, src, dst)
+                    if name < other
+                    else (other, name, dst, src)
+                )
+                if key in spacing:
+                    continue
+                spacing[key] = Violation(
+                    kind="spacing",
+                    nets=(key[0], key[1]),
+                    location=vertex_table[key[2]],
+                    detail=detail,
+                )
+                self._spacing_by_net.setdefault(name, set()).add(key)
+                self._spacing_by_net.setdefault(other, set()).add(key)
+
+    def _scan_spacing_pure(self, name: str) -> None:
+        """The original dict/set scan: fallback tier and behavioral reference."""
         grid = self.grid
         rows, cols, plane = grid.num_rows, grid.num_cols, grid.plane_size
-        vertex_of = grid.vertex_of
-        min_spacing = self.rules.min_spacing
+        vertex_table = grid.vertex_table()
+        detail = f"below min spacing {self.rules.min_spacing}"
         occ_get = self._spacing_occ.get
+        spacing = self._spacing
         for index in self._net_indices.get(name, ()):
             col, row = divmod(index % plane, rows)
-            vertex: Optional[GridPoint] = None
             for dcol, drow, delta in self._spacing_offsets:
                 if not (0 <= col + dcol < cols and 0 <= row + drow < rows):
                     continue
-                others = occ_get(index + delta)
+                neighbor = index + delta
+                others = occ_get(neighbor)
                 if not others:
                     continue
-                if vertex is None:
-                    vertex = vertex_of(index)
-                other_vertex = vertex_of(index + delta)
                 for other in others:
                     if other == name:
                         continue
-                    key = DRCChecker._pair_key(name, vertex, other, other_vertex)
-                    if key in self._spacing:
+                    key = (
+                        (name, other, index, neighbor)
+                        if name < other
+                        else (other, name, neighbor, index)
+                    )
+                    if key in spacing:
                         continue
-                    self._spacing[key] = Violation(
+                    spacing[key] = Violation(
                         kind="spacing",
-                        nets=tuple(sorted((name, other))),
-                        location=key[2],
-                        detail=f"below min spacing {min_spacing}",
+                        nets=(key[0], key[1]),
+                        location=vertex_table[key[2]],
+                        detail=detail,
                     )
                     self._spacing_by_net.setdefault(name, set()).add(key)
                     self._spacing_by_net.setdefault(other, set()).add(key)
@@ -238,7 +334,7 @@ class IncrementalDRCChecker:
             net = self._routable[name]
             groups = [self.grid.pin_access_vertices(pin) for pin in net.pins]
             self._pin_groups[name] = groups
-        if route.connects_all(groups):
+        if self._route_connects_all(route, groups):
             self._opens.pop(name, None)
         else:
             anchor = next(iter(route.vertices), GridPoint(0, 0, 0))
@@ -248,6 +344,49 @@ class IncrementalDRCChecker:
                 location=anchor,
                 detail="routed metal does not connect every pin",
             )
+
+    def _route_connects_all(self, route, groups: List[List[GridPoint]]) -> bool:
+        """Int-keyed twin of :meth:`NetRoute.connects_all`.
+
+        Same union structure over the same members (union-find partitions do
+        not depend on root choice), keyed by flat index so the per-refresh
+        open re-check skips GridPoint hashing on every union/find.
+        """
+        if not groups:
+            return True
+        index_of = self.grid.index_of
+        vertices = route.vertices
+        parent: Dict[int, int] = {}
+        for vertex in vertices:
+            index = index_of(vertex)
+            parent[index] = index
+
+        def find(index: int) -> int:
+            root = parent.setdefault(index, index)
+            while parent[root] != root:
+                parent[root] = parent[parent[root]]
+                root = parent[root]
+            return root
+
+        for a, b in route.edges:
+            root_a = find(index_of(a))
+            root_b = find(index_of(b))
+            if root_a != root_b:
+                parent[root_b] = root_a
+        anchors: List[int] = []
+        for group in groups:
+            touched = [v for v in group if v in vertices]
+            if not touched:
+                return False
+            first = index_of(touched[0])
+            anchors.append(first)
+            for vertex in touched[1:]:
+                root_a = find(first)
+                root_b = find(index_of(vertex))
+                if root_a != root_b:
+                    parent[root_b] = root_a
+        root = find(anchors[0])
+        return all(find(anchor) == root for anchor in anchors[1:])
 
     # ------------------------------------------------------------------
     # Reports (same shapes as the full checker)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import Dac2012Router, LayoutDecomposer
@@ -565,10 +566,17 @@ def route_with_checkpoint(
         # replacements, demotions) into the persisted campaign state, on
         # top of whatever an earlier (preempted) life already recorded.
         state.update_executor_stats(executor)
+        checkpoint_started = perf_counter()
         journal.fold(grid.snapshot_state())
         save_checkpoint(
             path, design, journal, state.solution, state, keep=checkpoint_keep
         )
+        # The fold+save cost of this very checkpoint lands in the *next*
+        # saved stats record (update_executor_stats ran above); the live
+        # PhaseTimes record sees it immediately.
+        phases = getattr(router, "phases", None)
+        if phases is not None:
+            phases.add("checkpoint", perf_counter() - checkpoint_started)
         if on_checkpoint is not None:
             on_checkpoint(state)
 

@@ -7,12 +7,19 @@ benchmark harnesses can score them uniformly.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.geometry import GridPoint, Point, Segment
 from repro.utils import DisjointSet
+
+#: Process-global monotone revision source for :class:`NetRoute`.  Every
+#: constructed (or unpickled) route gets the next value, so two distinct
+#: route objects can never share a revision -- unlike ``id()``, which the
+#: allocator happily reuses once the old object is collected.
+_route_revisions = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,14 @@ class NetRoute:
         evaluator reports as defects rather than silently accepting.
     stitches:
         The mask changes introduced inside this net.
+    revision:
+        Process-unique monotone stamp assigned at construction.  The
+        incremental checkers detect route-object replacement (rip-up &
+        reroute, snapshot restore) by comparing it -- identity (``id()``)
+        is unusable because CPython reuses addresses of collected routes.
+        Excluded from equality; re-stamped on unpickle so a route shipped
+        across a process boundary always reads as replaced (a conservative
+        extra rescan, never a missed one).
     """
 
     net_name: str
@@ -64,6 +79,13 @@ class NetRoute:
     stitches: Set[Stitch] = field(default_factory=set)
     routed: bool = True
     failure_reason: str = ""
+    revision: int = field(
+        default_factory=lambda: next(_route_revisions), compare=False, repr=False
+    )
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.__dict__["revision"] = next(_route_revisions)
 
     # -- construction -------------------------------------------------------
 

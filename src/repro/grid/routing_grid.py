@@ -149,6 +149,25 @@ FIRST_VIA_DIRECTION = 4
 
 
 @dataclass(frozen=True)
+class OffsetArrays:
+    """Flat-buffer twin of an :meth:`RoutingGrid.interaction_offsets` table.
+
+    The tuple-of-tuples table drives the pure-Python loops; the three
+    parallel ``array('q')`` buffers are what the vectorised / native check
+    kernels consume directly (zero-copy ``frombuffer`` / ``Py_buffer``).
+    Frozen and cached on the grid so every consumer shares one copy.
+    """
+
+    offsets: Tuple[Tuple[int, int, int], ...]
+    dcols: array
+    drows: array
+    deltas: array
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+
+@dataclass(frozen=True)
 class ColoredShape:
     """A piece of colored metal registered on the grid for TPL interactions."""
 
@@ -223,6 +242,12 @@ class RoutingGrid:
         # Interaction offsets precomputed per radius (pressure, checkers),
         # frozen to tuples so no caller can corrupt the shared cache.
         self._interaction_offsets_cache: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        # Flat-buffer twins of the offset tables (repro.check kernels),
+        # keyed by (radius, include_center).
+        self._offset_arrays_cache: Dict[Tuple[int, bool], "OffsetArrays"] = {}
+        # Per-layer canonical reach offsets (max(Dcolor, min_spacing)) so
+        # the incremental checkers and the scheduler share one table.
+        self._layer_offsets_cache: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
         # Per-radius block half-width when the offsets form a full square
         # (they do for the L-infinity spacing predicate); lets the numpy
         # pressure kernel use strided-slice adds instead of offset loops.
@@ -230,6 +255,8 @@ class RoutingGrid:
         # Cached numpy view over the live pressure buffer, invalidated when
         # the buffer object is replaced (reset_routing_state).
         self._pressure_np_view: Optional[Tuple[object, object]] = None
+        # Lazily built flat-index -> GridPoint table (geometry is immutable).
+        self._vertex_table: Optional[Tuple[GridPoint, ...]] = None
 
         # Precomputed neighbour table, built lazily on first use (grids are
         # also constructed by code that never searches them).
@@ -313,6 +340,21 @@ class RoutingGrid:
             and 0 <= vertex.col < self.num_cols
             and 0 <= vertex.row < self.num_rows
         )
+
+    def vertex_table(self) -> Tuple[GridPoint, ...]:
+        """Return every :class:`GridPoint` indexed by flat index, cached.
+
+        The geometry never changes after construction, so hit-processing
+        loops (the incremental checkers translate thousands of flat kernel
+        hits back to vertices per refresh) index this table instead of
+        paying a :meth:`vertex_of` divmod + allocation per hit.
+        """
+        table = self._vertex_table
+        if table is None:
+            vertex_of = self.vertex_of
+            table = tuple(vertex_of(index) for index in range(self.num_vertices))
+            self._vertex_table = table
+        return table
 
     def neighbor_table(self) -> array:
         """Return the precomputed flat neighbour table.
@@ -759,6 +801,51 @@ class RoutingGrid:
         frozen = tuple(offsets)
         self._interaction_offsets_cache[radius] = frozen
         return frozen
+
+    def interaction_offset_arrays(self, radius: int, include_center: bool = True) -> OffsetArrays:
+        """Return the :class:`OffsetArrays` twin of :meth:`interaction_offsets`.
+
+        With ``include_center=False`` the ``(0, 0, 0)`` self-offset is
+        dropped (the spacing checker's view: exact overlap is a short, not a
+        spacing violation).  Cached per ``(radius, include_center)`` and
+        frozen, so the incremental checkers, the dirty-region expansion and
+        the check kernels all share one table per radius instead of each
+        deriving their own.
+        """
+        key = (radius, include_center)
+        cached = self._offset_arrays_cache.get(key)
+        if cached is not None:
+            return cached
+        offsets = self.interaction_offsets(radius)
+        if not include_center:
+            offsets = tuple(offset for offset in offsets if offset != (0, 0, 0))
+        arrays = OffsetArrays(
+            offsets=offsets,
+            dcols=array("q", [dcol for dcol, _drow, _delta in offsets]),
+            drows=array("q", [drow for _dcol, drow, _delta in offsets]),
+            deltas=array("q", [delta for _dcol, _drow, delta in offsets]),
+        )
+        self._offset_arrays_cache[key] = arrays
+        return arrays
+
+    def layer_interaction_offsets(self, layer: int) -> Tuple[Tuple[int, int, int], ...]:
+        """Return the canonical reach offsets of *layer* (cached per layer).
+
+        The reach is :meth:`interaction_radius` of the layer
+        (``max(Dcolor, min_spacing)``) -- the table the incremental conflict
+        checker scans with and the batch scheduler's window expansion is
+        derived from.  Delegates to :meth:`interaction_offsets`, so the
+        per-radius cache deduplicates layers sharing one ``Dcolor``.
+        """
+        cached = self._layer_offsets_cache.get(layer)
+        if cached is None:
+            cached = self.interaction_offsets(self.interaction_radius(layer=layer))
+            self._layer_offsets_cache[layer] = cached
+        return cached
+
+    def layer_interaction_offset_arrays(self, layer: int) -> OffsetArrays:
+        """Return the :class:`OffsetArrays` twin of :meth:`layer_interaction_offsets`."""
+        return self.interaction_offset_arrays(self.interaction_radius(layer=layer))
 
     def _pressure_offsets(self, layer: int) -> Tuple[Tuple[int, int, int], ...]:
         """Return the offsets interacting at *layer*'s color spacing ``Dcolor``."""

@@ -1,20 +1,26 @@
-"""Build machinery for the compiled relaxation kernel.
+"""Build machinery for the compiled kernels.
 
-The extension is a single C file with no dependencies beyond the Python
-headers, so the build is one compiler invocation -- done either ahead of
-time (``python setup.py build_ext --inplace``, ``scripts/build_native.py``,
-the CI matrix) or lazily on first import by :func:`repro.native.load_kernel`
-when a compiler is present.
+The package carries two extensions, each a single C file with no
+dependencies beyond the Python headers, so a build is one compiler
+invocation -- done either ahead of time (``python setup.py build_ext
+--inplace``, ``scripts/build_native.py``, the CI matrix) or lazily on
+first import by :func:`repro.native.load_kernel` /
+:func:`repro.native.load_check_kernel` when a compiler is present:
+
+* ``_relaxation`` -- the Dijkstra/A* relaxation inner loop;
+* ``_checkwork`` -- the incremental-check dirty-vertex neighborhood scan.
 
 The compile uses the interpreter's own toolchain configuration
 (``sysconfig``) with fused multiply-add contraction disabled
-(``-ffp-contract=off``): the kernel's bit-exactness contract requires every
-floating-point operation to round exactly as the interpreted loop does, and
-an FMA contracts two of those roundings into one.
+(``-ffp-contract=off``): the relaxation kernel's bit-exactness contract
+requires every floating-point operation to round exactly as the
+interpreted loop does, and an FMA contracts two of those roundings into
+one (``_checkwork`` is integer-only, but shares the flags so both builds
+stay one code path).
 
 The binary lands next to the source inside the package when that directory
 is writable (the dev/CI layout); read-only installs fall back to a per-user
-cache directory, which :func:`repro.native.load_kernel` also probes.
+cache directory, which the loaders also probe.
 """
 
 from __future__ import annotations
@@ -26,31 +32,39 @@ import sysconfig
 import tempfile
 from typing import List, Optional
 
-#: Module name of the compiled kernel inside ``repro.native``.
+#: Module name of the compiled relaxation (search) kernel.
 EXTENSION_NAME = "_relaxation"
+
+#: Module name of the compiled incremental-check scan kernel.
+CHECK_EXTENSION_NAME = "_checkwork"
+
+#: Every compiled unit the package carries.
+ALL_EXTENSION_NAMES = (EXTENSION_NAME, CHECK_EXTENSION_NAME)
 
 
 class NativeBuildError(RuntimeError):
-    """Raised when the kernel cannot be compiled (no compiler, bad flags...)."""
+    """Raised when a kernel cannot be compiled (no compiler, bad flags...)."""
 
 
-def extension_filename() -> str:
-    """Return the platform binary filename (``_relaxation.cpython-*.so``)."""
+def extension_filename(name: str = EXTENSION_NAME) -> str:
+    """Return the platform binary filename (``<name>.cpython-*.so``)."""
     suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
-    return EXTENSION_NAME + suffix
+    return name + suffix
 
 
-def source_path() -> str:
+def source_path(name: str = EXTENSION_NAME) -> str:
     """Return the absolute path of the kernel's C source."""
-    return os.path.join(os.path.dirname(os.path.abspath(__file__)), EXTENSION_NAME + ".c")
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), name + ".c")
 
 
-def package_target() -> str:
+def package_target(name: str = EXTENSION_NAME) -> str:
     """Return the in-package build target path (preferred location)."""
-    return os.path.join(os.path.dirname(os.path.abspath(__file__)), extension_filename())
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), extension_filename(name)
+    )
 
 
-def cache_target() -> str:
+def cache_target(name: str = EXTENSION_NAME) -> str:
     """Return the fallback build target for read-only package directories.
 
     Scoped per user, interpreter tag and ABI so unrelated environments
@@ -61,15 +75,15 @@ def cache_target() -> str:
     except AttributeError:  # pragma: no cover - non-POSIX
         scope = "user"
     tag = f"repro-native-{scope}-py{sys.version_info[0]}.{sys.version_info[1]}"
-    return os.path.join(tempfile.gettempdir(), tag, extension_filename())
+    return os.path.join(tempfile.gettempdir(), tag, extension_filename(name))
 
 
-def candidate_paths() -> List[str]:
+def candidate_paths(name: str = EXTENSION_NAME) -> List[str]:
     """Return every path the loader should probe for a built kernel."""
-    return [package_target(), cache_target()]
+    return [package_target(name), cache_target(name)]
 
 
-def _compiler_command(target: str) -> List[str]:
+def _compiler_command(target: str, name: str) -> List[str]:
     cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "cc"
     command = cc.split()
     command += ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
@@ -78,32 +92,32 @@ def _compiler_command(target: str) -> List[str]:
         command += ["-I", include]
     if sys.platform == "darwin":  # pragma: no cover - linux CI
         command += ["-undefined", "dynamic_lookup"]
-    command += [source_path(), "-o", target]
+    command += [source_path(name), "-o", target]
     return command
 
 
-def build_extension(target: Optional[str] = None) -> str:
-    """Compile the kernel and return the binary's path.
+def build_extension(target: Optional[str] = None, name: str = EXTENSION_NAME) -> str:
+    """Compile the *name* kernel and return the binary's path.
 
     Writes to a temporary file first and renames atomically, so concurrent
     builders (parallel pytest workers, forked pool workers racing on a cold
     cache) never import a half-written binary.  Raises
     :class:`NativeBuildError` on any failure.
     """
-    source = source_path()
+    source = source_path(name)
     if not os.path.exists(source):
         raise NativeBuildError(f"kernel source missing: {source}")
     if target is None:
-        target = package_target()
+        target = package_target(name)
         if not os.access(os.path.dirname(target), os.W_OK):
-            target = cache_target()
+            target = cache_target(name)
     directory = os.path.dirname(target)
     try:
         os.makedirs(directory, exist_ok=True)
     except OSError as exc:
         raise NativeBuildError(f"cannot create build directory {directory}: {exc}")
     staging = target + f".build-{os.getpid()}"
-    command = _compiler_command(staging)
+    command = _compiler_command(staging, name)
     try:
         completed = subprocess.run(
             command,

@@ -1,0 +1,99 @@
+"""Lightweight wall-clock phase accounting for routing campaigns.
+
+Every rip-up-and-reroute iteration decomposes into a fixed set of phases:
+
+``plan``
+    Disjoint-batch planning (``BatchScheduler.plan``).
+``search``
+    Pathfinding proper: serial batch routing, thread/fork batch compute,
+    and live-reroute fallbacks.
+``commit``
+    Applying speculative results to the authoritative grid
+    (``_commit_batch``).
+``check``
+    Incremental DRC / conflict re-validation in the routers' loops.
+``ipc``
+    Pool-backend traffic: suffix shipping, result receive, cursor syncs.
+``checkpoint``
+    Journal folding and checkpoint serialisation.
+
+:class:`PhaseTimes` is the per-owner record (one per batch executor /
+router); every ``add`` also feeds a process-global accumulator so the
+bench harness can ask "how much of this process run went to each phase"
+with one snapshot/delta pair, regardless of how many routers and
+executors the scenario constructed.  The timers are plain
+``perf_counter`` differences added from the call sites -- no tracing, no
+callbacks -- so the accounting overhead is one float add per timed
+region and the records are JSON-clean.
+
+Attribution is non-overlapping by construction: the call sites time
+leaf regions only (a pool batch's wall time is ``ipc``, not ``search``;
+the serial fallback inside a failed parallel batch is ``search``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Canonical phase names, in display order.
+PHASE_NAMES = ("plan", "search", "commit", "check", "ipc", "checkpoint")
+
+#: Process-global accumulated seconds per phase (all PhaseTimes instances).
+_global_seconds: Dict[str, float] = {name: 0.0 for name in PHASE_NAMES}
+
+
+class PhaseTimes:
+    """Accumulated wall-clock seconds per campaign phase."""
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, seconds: Optional[Dict[str, float]] = None) -> None:
+        self._seconds: Dict[str, float] = {name: 0.0 for name in PHASE_NAMES}
+        if seconds:
+            for name, value in seconds.items():
+                if name in self._seconds:
+                    self._seconds[name] = float(value)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Charge *seconds* to *phase* (and to the process-global tally)."""
+        self._seconds[phase] += seconds
+        _global_seconds[phase] += seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a JSON-clean copy (every phase present, in display order)."""
+        return dict(self._seconds)
+
+    def total(self) -> float:
+        """Return the summed accounted seconds."""
+        return sum(self._seconds.values())
+
+    def merge(self, other: Dict[str, float]) -> None:
+        """Add another record's seconds phase-by-phase (no global feed:
+        the other record already fed the global tally when it accumulated)."""
+        for name, value in other.items():
+            if name in self._seconds:
+                self._seconds[name] += float(value)
+
+
+def global_phase_snapshot() -> Dict[str, float]:
+    """Return a copy of the process-global per-phase tally."""
+    return dict(_global_seconds)
+
+
+def global_phase_delta(snapshot: Dict[str, float]) -> Dict[str, float]:
+    """Return per-phase seconds accumulated since *snapshot*."""
+    return {
+        name: _global_seconds[name] - snapshot.get(name, 0.0) for name in PHASE_NAMES
+    }
+
+
+def merge_phase_seconds(
+    base: Optional[Dict[str, float]], extra: Optional[Dict[str, float]]
+) -> Dict[str, float]:
+    """Return the phase-wise sum of two ``phase_seconds`` dicts (JSON-clean)."""
+    merged = {name: 0.0 for name in PHASE_NAMES}
+    for record in (base, extra):
+        if record:
+            for name, value in record.items():
+                merged[name] = merged.get(name, 0.0) + float(value)
+    return merged

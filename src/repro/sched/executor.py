@@ -64,6 +64,7 @@ from repro import faults
 from repro.accel import get_native_kernel
 from repro.design import Net
 from repro.grid import RoutingSolution
+from repro.profiling import PhaseTimes
 from repro.sched.autotune import (
     AutotuneController,
     Decision,
@@ -208,10 +209,18 @@ class ExecutorStats:
     #: a probe ran).  Not a counter: excluded from :meth:`as_dict` so the
     #: campaign's additive stats merge stays numeric.
     profile: Optional[Dict[str, object]] = None
+    #: Per-phase wall-clock accounting (plan/search/commit/check/ipc/
+    #: checkpoint).  The owning router shares this record, so executor-side
+    #: phases (plan, search, ipc, commit) and router-side phases (check,
+    #: checkpoint) land in one place.  Appears in :meth:`as_dict` as the
+    #: nested ``phase_seconds`` entry, which the campaign merge adds
+    #: phase-by-phase.
+    phases: PhaseTimes = field(default_factory=PhaseTimes)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dict (benchmark JSON friendly)."""
         return {
+            "phase_seconds": self.phases.as_dict(),
             "nets_routed": self.nets_routed,
             "batches": self.batches,
             "parallel_batches": self.parallel_batches,
@@ -1221,7 +1230,10 @@ class BatchExecutor:
                     "serial", len(nets), time.perf_counter() - started
                 )
                 return
-        for batch in self.scheduler.plan(nets):
+        plan_started = time.perf_counter()
+        batches = self.scheduler.plan(nets)
+        self.stats.phases.add("plan", time.perf_counter() - plan_started)
+        for batch in batches:
             self.stats.batches += 1
             self.stats.nets_routed += len(batch)
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
@@ -1256,8 +1268,10 @@ class BatchExecutor:
     # ------------------------------------------------------------------
 
     def _run_batch_serial(self, batch: Sequence[Net], solution: RoutingSolution) -> None:
+        started = time.perf_counter()
         for net in batch:
             solution.add_route(self.router.route_net(net))
+        self.stats.phases.add("search", time.perf_counter() - started)
 
     def _run_batch_parallel(
         self, batch: Sequence[Net], solution: RoutingSolution
@@ -1297,9 +1311,17 @@ class BatchExecutor:
                 # (Whether a pool is even possible -- fork availability,
                 # worker_spec support -- is _ensure_pool's call.)
                 return None
+            # Pool batches spend their wall time in worker traffic (suffix
+            # shipping + result receive): account them as ipc; in-process
+            # backends (thread/process) are concurrent search.
+            compute_phase = "ipc" if backend == "pool" else "search"
+            compute_started = time.perf_counter()
             try:
                 results = self._compute_batch_with_retry(backend, batch)
             except Exception:
+                self.stats.phases.add(
+                    compute_phase, time.perf_counter() - compute_started
+                )
                 self._consecutive_failures += 1
                 if (
                     self._consecutive_failures >= self.supervisor.demote_after
@@ -1308,6 +1330,7 @@ class BatchExecutor:
                     self._demote()
                     continue  # re-attempt this batch at the lower tier
                 return None
+            self.stats.phases.add(compute_phase, time.perf_counter() - compute_started)
             if results is None:
                 return None
             self._consecutive_failures = 0
@@ -1551,6 +1574,7 @@ class BatchExecutor:
         if pool is None:
             return
         deadline = self.supervisor.deadline_seconds(max(1, len(pool.workers)))
+        started = time.perf_counter()
         try:
             # Replayed-op accounting happens on the pool's own counters at
             # send time (drained below): the return value is informational.
@@ -1563,6 +1587,8 @@ class BatchExecutor:
             self._discard_pool()
         else:
             self._drain_pool_stats()
+        finally:
+            self.stats.phases.add("ipc", time.perf_counter() - started)
 
     def _compute_batch_pooled(
         self, batch: Sequence[Net]
@@ -1610,6 +1636,8 @@ class BatchExecutor:
     ) -> None:
         grid = self.router.grid
         committed: List[CellWindow] = []
+        started = time.perf_counter()
+        fallback_seconds = 0.0
         for net, spec in zip(batch, results):
             if self._speculation_valid(spec, committed):
                 self.stats.speculative_accepted += 1
@@ -1618,11 +1646,19 @@ class BatchExecutor:
                 influence = self._ops_influence_box(spec.ops)
             else:
                 self.stats.speculative_fallbacks += 1
+                fallback_started = time.perf_counter()
                 route = self.router.route_net(net)
+                fallback_seconds += time.perf_counter() - fallback_started
                 influence = self._vertices_influence_box(route.vertices)
             solution.add_route(route)
             if influence is not None:
                 committed.append(influence)
+        # Live-reroute fallbacks are search work; the remainder of the wall
+        # time (validation + op application) is the commit phase proper.
+        self.stats.phases.add("search", fallback_seconds)
+        self.stats.phases.add(
+            "commit", time.perf_counter() - started - fallback_seconds
+        )
 
     def _speculation_valid(
         self, spec: SpeculativeRoute, committed: Sequence[CellWindow]

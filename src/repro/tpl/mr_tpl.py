@@ -17,6 +17,7 @@ evaluation code scores exactly like the baselines' outputs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.campaign import CampaignState
@@ -26,6 +27,7 @@ from repro.dr.cost import CostModel
 from repro.geometry import GridPoint
 from repro.gr import GlobalRouter, GuideSet
 from repro.grid import NetRoute, RoutingGrid, RoutingSolution
+from repro.profiling import PhaseTimes
 from repro.sched import GridSink, make_batch_executor
 from repro.tpl.backtrace import Backtracer, apply_colored_path
 from repro.tpl.color_state import ColorState
@@ -102,6 +104,13 @@ class MrTPLRouter:
             margin_cells=batch_margin,
             autotune=autotune,
         )
+        # Per-phase wall-clock record: shared with the executor's stats when
+        # one is engaged, so campaign merges and bench JSON see one record.
+        self.phases = (
+            self.batch_executor.stats.phases
+            if self.batch_executor is not None
+            else PhaseTimes()
+        )
 
     # ------------------------------------------------------------------
     # Full flow (Fig. 2, left column)
@@ -137,7 +146,9 @@ class MrTPLRouter:
 
         iterations = campaign.iteration
         for iteration in range(campaign.iteration, self.max_iterations):
+            check_started = perf_counter()
             report = self.incremental_conflicts.check(solution)
+            self.phases.add("check", perf_counter() - check_started)
             offenders = report.nets_involved()
             offenders.update(route.net_name for route in solution.failed_nets())
             defects = (len(solution.failed_nets()), report.conflict_count)
@@ -166,7 +177,9 @@ class MrTPLRouter:
 
         # Rip-up and reroute can oscillate on hard instances; keep the best
         # iteration rather than blindly returning the last one.
+        check_started = perf_counter()
         final_report = self.incremental_conflicts.check(solution)
+        self.phases.add("check", perf_counter() - check_started)
         final_defects = (len(solution.failed_nets()), final_report.conflict_count)
         if (
             campaign.best_defects is not None
@@ -204,8 +217,10 @@ class MrTPLRouter:
         if self.batch_executor is not None:
             self.batch_executor.route_nets(nets, solution)
         else:
+            search_started = perf_counter()
             for net in nets:
                 solution.add_route(self.route_net(net))
+            self.phases.add("search", perf_counter() - search_started)
 
     def make_search_engine(self) -> Optional[ColorStateSearch]:
         """Return a fresh flat color-state engine over this router's grid.

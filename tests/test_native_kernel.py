@@ -249,8 +249,8 @@ class TestFallback:
         import repro.native.build as build
 
         monkeypatch.setenv(native.AUTOBUILD_ENV, "0")
-        monkeypatch.setattr(build, "candidate_paths", lambda: [])
-        monkeypatch.setattr(native, "candidate_paths", lambda: [])
+        monkeypatch.setattr(build, "candidate_paths", lambda name=None: [])
+        monkeypatch.setattr(native, "candidate_paths", lambda name=None: [])
         native.reset_loader_state()
         try:
             assert native.load_kernel() is None
